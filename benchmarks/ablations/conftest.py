@@ -1,0 +1,1 @@
+"""Fixtures for the ablation benchmarks (no shared sweep needed)."""

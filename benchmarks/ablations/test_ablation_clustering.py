@@ -1,0 +1,75 @@
+"""Ablation: was clustering a good idea? (Section 6's question.)
+
+The paper argues that with 32 *independent* processors instead of 4
+clusters of 8, every loop barrier would synchronise 32 tasks instead of
+4 and every processor would hit the global memory for work
+distribution, so clustering wins.  We rebuild the same machine as 32
+one-CE "clusters" (every CE is its own task: all distribution through
+global memory, 32-way barriers) and compare against the real 4x8
+organisation on the same workload.
+"""
+
+from repro.apps import synthetic_app
+from repro.core import run_phases, user_breakdown
+from repro.hardware import CedarConfig
+from repro.runtime import LoopConstruct, RuntimeParams
+
+
+def run_organisation(n_clusters: int, ces_per_cluster: int, rt_params=None):
+    app = synthetic_app(
+        construct=LoopConstruct.SDOALL,
+        n_steps=3,
+        loops_per_step=4,
+        n_outer=max(8, 2 * n_clusters),
+        n_inner=32 * 8 // max(8, 2 * n_clusters),
+        iter_time_ns=3_000_000,
+        mem_fraction=0.3,
+        serial_fraction_of_step=0.05,
+    )
+    config = CedarConfig(n_clusters=n_clusters, ces_per_cluster=ces_per_cluster)
+    result = run_phases(
+        app.phases(1.0),
+        n_processors=32,
+        app_name=app.name,
+        config=config,
+        rt_params=rt_params,
+    )
+    main = user_breakdown(result, 0)
+    return result, main
+
+
+def test_ablation_clustering(benchmark):
+    clustered, clustered_main = benchmark.pedantic(
+        lambda: run_organisation(4, 8), rounds=1, iterations=1
+    )
+    flat, flat_main = run_organisation(32, 1)
+    # The paper: "special mechanisms such as ... software combining
+    # tree approach would be needed" for a flat machine -- try it.
+    combined, combined_main = run_organisation(
+        32, 1, rt_params=RuntimeParams(barrier_fanout=2)
+    )
+
+    print(
+        f"\nclustered 4x8:      CT {clustered.ct_ns / 1e6:.1f} ms, "
+        f"main overhead {clustered_main.overhead_fraction:.1%}"
+    )
+    print(
+        f"flat     32x1:      CT {flat.ct_ns / 1e6:.1f} ms, "
+        f"main overhead {flat_main.overhead_fraction:.1%}"
+    )
+    print(
+        f"flat     32x1+tree: CT {combined.ct_ns / 1e6:.1f} ms, "
+        f"main overhead {combined_main.overhead_fraction:.1%}"
+    )
+
+    # Clustering wins on completion time for the same 32 CEs.
+    assert clustered.ct_ns < flat.ct_ns
+    # The flat organisation pays more parallelization overhead: 32-way
+    # barriers and per-CE global-memory work distribution.
+    assert flat_main.overhead_fraction > clustered_main.overhead_fraction
+    # The combining tree repairs the flat machine's barrier hot spot
+    # (it never does worse than the central counter), but clustering
+    # remains at least as good: its work distribution avoids global
+    # memory entirely.
+    assert combined.ct_ns <= flat.ct_ns * 1.01
+    assert clustered.ct_ns <= combined.ct_ns * 1.02

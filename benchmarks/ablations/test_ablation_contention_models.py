@@ -1,0 +1,61 @@
+"""Ablation: analytic contention model vs packet-level simulation.
+
+Application-scale runs price memory bursts with the closed-form model;
+this bench quantifies its agreement with the packet-level network and
+reports the speed gap that justifies the substitution.
+"""
+
+import time
+
+from repro.hardware import CedarConfig, ContentionModel, GlobalMemorySystem
+from repro.sim import Simulator
+
+
+def packet_time(n_ces: int, n_words: int) -> tuple[float, float]:
+    """(mean stream ns, wall seconds) at packet level."""
+    start = time.perf_counter()
+    sim = Simulator()
+    memory = GlobalMemorySystem(sim, CedarConfig())
+    times = []
+
+    def stream(ce):
+        elapsed = yield sim.process(
+            memory.vector_access(ce, base_address=ce * 8192, n_words=n_words)
+        )
+        times.append(elapsed)
+
+    procs = [sim.process(stream(ce)) for ce in range(n_ces)]
+    sim.run(until=sim.all_of(procs))
+    return sum(times) / len(times), time.perf_counter() - start
+
+
+def analytic_time(n_ces: int, n_words: int) -> tuple[float, float]:
+    start = time.perf_counter()
+    config = CedarConfig()
+    model = ContentionModel(config)
+    cycles = model.vector_time_cycles(
+        n_words,
+        requesters=n_ces,
+        rate=1.0,
+        cluster_requesters=min(n_ces, config.ces_per_cluster),
+    )
+    return cycles * config.cycle_ns, time.perf_counter() - start
+
+
+def test_ablation_contention_models(benchmark):
+    benchmark.pedantic(lambda: packet_time(16, 96), rounds=1, iterations=1)
+    print("\n  CEs | packet ns | analytic ns | ratio | packet wall / analytic wall")
+    for n_ces in (1, 2, 4, 8, 16):
+        p_ns, p_wall = packet_time(n_ces, 96)
+        a_ns, a_wall = analytic_time(n_ces, 96)
+        speedup = p_wall / max(a_wall, 1e-9)
+        print(
+            f"  {n_ces:3d} | {p_ns:9.0f} | {a_ns:11.0f} | "
+            f"{a_ns / p_ns:5.2f} | {speedup:8.0f}x"
+        )
+        # Factor-level agreement everywhere.
+        assert 0.3 < a_ns / p_ns < 3.0
+    # The analytic model must be orders of magnitude cheaper.
+    _, p_wall = packet_time(16, 96)
+    _, a_wall = analytic_time(16, 96)
+    assert a_wall * 50 < p_wall

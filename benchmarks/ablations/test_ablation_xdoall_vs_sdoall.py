@@ -1,0 +1,67 @@
+"""Ablation: flat XDOALL vs hierarchical SDOALL/CDOALL distribution.
+
+Section 6 finds the xdoall distribution overhead reaches ~10 % of CT
+because every CE test&sets a global-memory lock per iteration, while
+sdoall distribution (one requester per cluster + CC-bus inner dispatch)
+costs under 1 %.  The trade-off reverses the other way for *imbalanced*
+work, where xdoall's fine self-scheduling wins.  Both effects are
+checked here on the same synthetic workload.
+"""
+
+from repro.apps import synthetic_app
+from repro.core import run_application, user_breakdown
+from repro.runtime import LoopConstruct
+
+
+def run_with(construct: LoopConstruct, iter_time_ns: int, work_skew: float):
+    app = synthetic_app(
+        construct=construct,
+        n_steps=2,
+        loops_per_step=3,
+        n_outer=8,
+        n_inner=64,
+        iter_time_ns=iter_time_ns,
+        mem_fraction=0.25,
+        serial_fraction_of_step=0.03,
+    )
+    app.loops_per_step = [
+        type(s)(**{**s.__dict__, "work_skew": work_skew}) for s in app.loops_per_step
+    ]
+    result = run_application(app, 32, scale=1.0)
+    return result, user_breakdown(result, 0)
+
+
+def test_fine_grain_favours_sdoall(benchmark):
+    """At 300 us iterations the xdoall lock serialises distribution."""
+    sdo, sdo_b = benchmark.pedantic(
+        lambda: run_with(LoopConstruct.SDOALL, 300_000, 0.0), rounds=1, iterations=1
+    )
+    xdo, xdo_b = run_with(LoopConstruct.XDOALL, 300_000, 0.0)
+    print(
+        f"\nfine grain: sdoall CT {sdo.ct_ns/1e6:.1f} ms "
+        f"(pickup {sdo_b.fraction(sdo_b.pickup_sdoall_ns):.2%}), "
+        f"xdoall CT {xdo.ct_ns/1e6:.1f} ms "
+        f"(pickup {xdo_b.fraction(xdo_b.pickup_xdoall_ns):.2%})"
+    )
+    assert sdo.ct_ns < xdo.ct_ns
+    assert xdo_b.fraction(xdo_b.pickup_xdoall_ns) > sdo_b.fraction(
+        sdo_b.pickup_sdoall_ns
+    )
+
+
+def test_skewed_work_favours_xdoall(benchmark):
+    """With heavily skewed coarse iterations, xdoall self-balances
+    while sdoall's chunked clusters idle at the barrier."""
+    sdo, sdo_b = benchmark.pedantic(
+        lambda: run_with(LoopConstruct.SDOALL, 8_000_000, 0.8),
+        rounds=1,
+        iterations=1,
+    )
+    xdo, xdo_b = run_with(LoopConstruct.XDOALL, 8_000_000, 0.8)
+    print(
+        f"\nskewed: sdoall CT {sdo.ct_ns/1e6:.1f} ms "
+        f"(barrier {sdo_b.fraction(sdo_b.barrier_ns):.2%}), "
+        f"xdoall CT {xdo.ct_ns/1e6:.1f} ms"
+    )
+    assert xdo.ct_ns < sdo.ct_ns
+    assert sdo_b.fraction(sdo_b.barrier_ns) > 0.01

@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+The full five-application, five-configuration sweep is expensive, so it
+runs once per session and every table/figure benchmark reads from it.
+The per-test ``benchmark`` fixture then times one representative
+simulation so ``pytest-benchmark`` reports a meaningful cost for each
+experiment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import sweep_all
+
+#: Workload scale used by the benchmark sweep: a compromise between
+#: runtime and the statistical weight of rare OS events.
+BENCH_SCALE = 0.02
+
+
+@pytest.fixture(scope="session")
+def sweep():
+    """All five applications on all five configurations."""
+    return sweep_all(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def sweep32(sweep):
+    """The 32-processor runs only, keyed by application."""
+    return {app: by_config[32] for app, by_config in sweep.items()}

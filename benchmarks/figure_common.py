@@ -1,0 +1,48 @@
+"""Shared helpers for the Figures 5-9 user-time-breakdown benchmarks."""
+
+from __future__ import annotations
+
+from repro.core import user_breakdown
+from repro.core.experiments import figure_user_breakdown
+
+__all__ = ["check_user_breakdown_invariants", "print_figure"]
+
+
+def print_figure(app: str, by_config) -> None:
+    """Render the figure's table to the benchmark log."""
+    rows, text = figure_user_breakdown(app, by_config)
+    print("\n" + text)
+
+
+def check_user_breakdown_invariants(app: str, by_config) -> dict:
+    """Invariants every application's user-time breakdown satisfies.
+
+    Returns the 32-processor breakdowns for app-specific assertions.
+    """
+    breakdowns = {}
+    for n_proc, result in sorted(by_config.items()):
+        for task_id in range(result.config.n_clusters):
+            b = user_breakdown(result, task_id)
+            breakdowns[(n_proc, task_id)] = b
+            # Components are a partition-like decomposition: they never
+            # exceed the task's wall time by more than rounding noise.
+            total = b.useful_ns + b.overhead_ns
+            assert total <= b.wall_ns * 1.02, (
+                f"{app}@{n_proc}p task {task_id}: components sum to "
+                f"{total / b.wall_ns:.2f}x wall time"
+            )
+            if task_id == 0:
+                # Only helper tasks busy-wait for work.
+                assert b.helper_wait_ns == 0.0
+            else:
+                # Helpers run no serial code or main cluster-only loops.
+                assert b.serial_ns == 0.0
+                assert b.mc_loop_ns == 0.0
+
+    # Parallelization overhead of the main task grows with clusters
+    # (the paper's central Section-6 result).
+    main_ovhd = {n: breakdowns[(n, 0)].overhead_fraction for n, t in breakdowns if t == 0}
+    assert main_ovhd[32] > main_ovhd[4], (
+        f"{app}: main-task overhead should grow with clusters, got {main_ovhd}"
+    )
+    return breakdowns

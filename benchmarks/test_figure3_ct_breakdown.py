@@ -1,0 +1,44 @@
+"""Benchmark regenerating Figure 3: completion-time breakdowns.
+
+Shape targets from Section 5: OS overhead is 3-4 % of CT on one
+processor and grows to 5-21 % on 32; system time is the largest OS
+component, interrupts next; kernel-lock spin stays under 1 %.
+"""
+
+from repro.apps import ocean
+from repro.core import ct_breakdown, run_application
+from repro.core.experiments import figure3
+from repro.xylem.categories import TimeCategory
+
+
+def _os_fraction(result, cluster_id=0):
+    b = ct_breakdown(result, cluster_id)
+    os_ns = (
+        b[TimeCategory.SYSTEM] + b[TimeCategory.INTERRUPT] + b[TimeCategory.KSPIN]
+    )
+    return os_ns / result.ct_ns
+
+
+def test_figure3_ct_breakdown(benchmark, sweep):
+    benchmark.pedantic(
+        lambda: run_application(ocean(), 8, scale=0.01), rounds=1, iterations=1
+    )
+    rows, text = figure3(sweep)
+    print("\n" + text)
+
+    for app, by_config in sweep.items():
+        # Breakdown identity: user + system + interrupt + spin == CT.
+        for n_proc, result in by_config.items():
+            b = ct_breakdown(result, 0)
+            assert sum(b.values()) == result.ct_ns
+        # OS overhead small on one processor...
+        assert _os_fraction(by_config[1]) < 0.08, app
+        # ...and a notable but bounded share on the full machine.
+        os32 = _os_fraction(by_config[32])
+        assert 0.02 < os32 < 0.25, f"{app}@32p OS fraction {os32:.1%}"
+        # System time dominates interrupts; spin is negligible.
+        b32 = ct_breakdown(by_config[32], 0)
+        assert b32[TimeCategory.SYSTEM] > b32[TimeCategory.INTERRUPT] * 0.8
+        assert b32[TimeCategory.KSPIN] < 0.01 * by_config[32].ct_ns
+        # User time is always the dominant mode.
+        assert b32[TimeCategory.USER] > 0.6 * by_config[32].ct_ns

@@ -1,0 +1,36 @@
+"""Benchmark regenerating Figure 5: user-time breakdown of FLO52.
+
+FLO52 is the pure-SDOALL code: its parallelization overhead is barrier
+wait (imbalanced small loops) plus helper busy-wait; there is no xdoall
+pickup component at all.
+"""
+
+from repro.apps import flo52
+from repro.core import run_application
+
+from figure_common import check_user_breakdown_invariants, print_figure
+
+
+def test_figure5_flo52(benchmark, sweep):
+    benchmark.pedantic(
+        lambda: run_application(flo52(), 32, scale=0.01), rounds=1, iterations=1
+    )
+    by_config = sweep["FLO52"]
+    print_figure("FLO52", by_config)
+    b = check_user_breakdown_invariants("FLO52", by_config)
+
+    b32 = b[(32, 0)]
+    # No XDOALL anywhere in FLO52.
+    assert b32.iter_xdoall_ns == 0.0
+    assert b32.pickup_xdoall_ns == 0.0
+    # Substantial barrier wait on the 4-cluster machine (paper: 7-16%).
+    barrier32 = b32.fraction(b32.barrier_ns)
+    assert barrier32 > 0.03, f"barrier wait only {barrier32:.1%}"
+    # Barrier wait grows with clusters.
+    b16 = b[(16, 0)]
+    assert b32.fraction(b32.barrier_ns) >= b16.fraction(b16.barrier_ns) * 0.8
+    # Helpers spend a large share of their time waiting for work
+    # (serial code + barrier time of the main task; paper: up to 34%).
+    h32 = b[(32, 1)]
+    wait = h32.fraction(h32.helper_wait_ns)
+    assert 0.15 < wait < 0.75, f"helper wait {wait:.1%}"

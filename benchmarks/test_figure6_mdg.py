@@ -1,0 +1,29 @@
+"""Benchmark regenerating Figure 6: user-time breakdown of MDG.
+
+MDG is the well-behaved code: big, evenly-dividing loops keep every
+overhead component small, which is why it speeds up almost linearly.
+"""
+
+from repro.apps import mdg
+from repro.core import run_application
+
+from figure_common import check_user_breakdown_invariants, print_figure
+
+
+def test_figure6_mdg(benchmark, sweep):
+    benchmark.pedantic(
+        lambda: run_application(mdg(), 8, scale=0.01), rounds=1, iterations=1
+    )
+    by_config = sweep["MDG"]
+    print_figure("MDG", by_config)
+    b = check_user_breakdown_invariants("MDG", by_config)
+
+    b32 = b[(32, 0)]
+    # Main-task parallelization overhead stays small.
+    assert b32.overhead_fraction < 0.15, f"MDG overhead {b32.overhead_fraction:.1%}"
+    # Iteration execution dominates the bar.
+    iters = b32.fraction(b32.iter_sdoall_ns + b32.iter_xdoall_ns)
+    assert iters > 0.55, f"MDG@32p iteration share {iters:.1%}"
+    # Helpers barely wait: almost no serial code to idle through.
+    h32 = b[(32, 1)]
+    assert h32.fraction(h32.helper_wait_ns) < 0.25

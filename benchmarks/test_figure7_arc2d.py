@@ -1,0 +1,30 @@
+"""Benchmark regenerating Figure 7: user-time breakdown of ARC2D.
+
+ARC2D mixes both constructs: its xdoall pickup share is visible but
+moderate, and the overall overhead sits between FLO52 and MDG.
+"""
+
+from repro.apps import arc2d
+from repro.core import run_application
+
+from figure_common import check_user_breakdown_invariants, print_figure
+
+
+def test_figure7_arc2d(benchmark, sweep):
+    benchmark.pedantic(
+        lambda: run_application(arc2d(), 32, scale=0.01), rounds=1, iterations=1
+    )
+    by_config = sweep["ARC2D"]
+    print_figure("ARC2D", by_config)
+    b = check_user_breakdown_invariants("ARC2D", by_config)
+
+    b32 = b[(32, 0)]
+    # Both constructs execute iterations.
+    assert b32.iter_sdoall_ns > 0
+    assert b32.iter_xdoall_ns > 0
+    # The xdoall pickup overhead is present and grows with processors.
+    b8 = b[(8, 0)]
+    assert b32.fraction(b32.pickup_xdoall_ns) >= b8.fraction(b8.pickup_xdoall_ns)
+    # Overall main-task overhead within the paper's 10-25% band at 32p
+    # (tolerantly widened).
+    assert 0.02 < b32.overhead_fraction < 0.35

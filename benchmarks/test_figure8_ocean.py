@@ -1,0 +1,27 @@
+"""Benchmark regenerating Figure 8: user-time breakdown of OCEAN.
+
+OCEAN's flat loops have limited trip counts: on four clusters the CEs
+run out of iterations, so speedup flattens while waits grow.
+"""
+
+from repro.apps import ocean
+from repro.core import run_application
+
+from figure_common import check_user_breakdown_invariants, print_figure
+
+
+def test_figure8_ocean(benchmark, sweep):
+    benchmark.pedantic(
+        lambda: run_application(ocean(), 32, scale=0.01), rounds=1, iterations=1
+    )
+    by_config = sweep["OCEAN"]
+    print_figure("OCEAN", by_config)
+    b = check_user_breakdown_invariants("OCEAN", by_config)
+
+    b32 = b[(32, 0)]
+    # Mixed constructs present.
+    assert b32.iter_sdoall_ns > 0
+    assert b32.iter_xdoall_ns > 0
+    assert b32.mc_loop_ns > 0
+    # Main task overhead noticeable at 32 but below FLO52-like extremes.
+    assert 0.02 < b32.overhead_fraction < 0.35

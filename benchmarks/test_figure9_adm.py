@@ -1,0 +1,31 @@
+"""Benchmark regenerating Figure 9: user-time breakdown of ADM.
+
+ADM is the pure-XDOALL code: the dominating overhead is the iteration
+pickup through the global-memory lock, which is what saturates its
+speedup between 16 and 32 processors (Section 6's xdoall discussion).
+"""
+
+from repro.apps import adm
+from repro.core import run_application
+
+from figure_common import check_user_breakdown_invariants, print_figure
+
+
+def test_figure9_adm(benchmark, sweep):
+    benchmark.pedantic(
+        lambda: run_application(adm(), 32, scale=0.01), rounds=1, iterations=1
+    )
+    by_config = sweep["ADM"]
+    print_figure("ADM", by_config)
+    b = check_user_breakdown_invariants("ADM", by_config)
+
+    b32 = b[(32, 0)]
+    # Pure XDOALL: no sdoall iterations at all.
+    assert b32.iter_sdoall_ns == 0.0
+    # The xdoall pickup share is the big overhead and grows with CEs
+    # (paper: the distribution overhead reaches ~10% of CT).
+    pick32 = b32.fraction(b32.pickup_xdoall_ns)
+    b8 = b[(8, 0)]
+    pick8 = b8.fraction(b8.pickup_xdoall_ns)
+    assert pick32 > 0.04, f"ADM@32p pickup share {pick32:.1%}"
+    assert pick32 > pick8, f"pickup should grow: {pick8:.1%} -> {pick32:.1%}"

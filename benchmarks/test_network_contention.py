@@ -1,0 +1,75 @@
+"""Packet-level network/memory microbenchmarks (Section 7's mechanism).
+
+Exercises the two-stage shuffle-exchange network and the interleaved
+memory directly: per-CE stream time grows with the number of streaming
+CEs, and hot-spot traffic collapses throughput (Pfister/Norton, cited
+in the paper's clustering discussion).
+"""
+
+from repro.hardware import CedarConfig, ContentionModel, GlobalMemorySystem
+from repro.sim import Simulator
+
+
+def stream_all(n_ces: int, n_words: int = 64) -> int:
+    sim = Simulator()
+    memory = GlobalMemorySystem(sim, CedarConfig())
+    procs = [
+        sim.process(memory.vector_access(ce, base_address=ce * 4096, n_words=n_words))
+        for ce in range(n_ces)
+    ]
+    sim.run(until=sim.all_of(procs))
+    return sim.now
+
+
+def hot_spot_all(n_ces: int, n_requests: int = 64) -> int:
+    sim = Simulator()
+    config = CedarConfig()
+    memory = GlobalMemorySystem(sim, config)
+
+    def hammer(ce):
+        last = None
+        for _ in range(n_requests):
+            last = memory.request(ce, address=0)  # module 0 for everyone
+            yield sim.timeout(4 * config.cycle_ns)
+        yield last
+
+    procs = [sim.process(hammer(ce)) for ce in range(n_ces)]
+    sim.run(until=sim.all_of(procs))
+    return sim.now
+
+
+def test_stream_contention_grows(benchmark):
+    times = {n: stream_all(n) for n in (1, 4, 16)}
+    benchmark.pedantic(lambda: stream_all(32), rounds=1, iterations=1)
+    times[32] = stream_all(32)
+    print("\nper-batch stream completion:", {n: f"{t/1000:.1f}us" for n, t in times.items()})
+    assert times[4] >= times[1]
+    assert times[16] > times[1]
+    assert times[32] > times[16]
+    # Far from linear collapse: the interleaved banks and two networks
+    # provide real parallelism.
+    assert times[32] < times[1] * 32
+
+
+def test_hot_spot_tree_saturation(benchmark):
+    uniform = stream_all(16, n_words=64)
+    hot = benchmark.pedantic(lambda: hot_spot_all(16, 64), rounds=1, iterations=1)
+    hot = hot_spot_all(16, 64)
+    print(f"\nuniform {uniform/1000:.1f}us vs hot-spot {hot/1000:.1f}us")
+    # All requests to one 4-cycle module serialise: hot >> uniform.
+    assert hot > uniform * 2
+
+
+def test_analytic_hot_spot_collapse(benchmark):
+    model = ContentionModel(CedarConfig())
+    bw = benchmark.pedantic(
+        lambda: {f: model.hot_spot_bandwidth(32, 0.5, f) for f in (0.0, 0.05, 0.2)},
+        rounds=1,
+        iterations=1,
+    )
+    assert bw[0.05] < bw[0.0]
+    assert bw[0.2] < bw[0.05]
+    # Hardware message combining (the Pfister/Norton remedy) restores
+    # the lost bandwidth.
+    for f in (0.05, 0.2):
+        assert model.hot_spot_bandwidth(32, 0.5, f, combining=True) > bw[f]

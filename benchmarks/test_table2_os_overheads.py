@@ -1,0 +1,50 @@
+"""Benchmark regenerating Table 2: detailed OS overheads, 4-cluster Cedar.
+
+Shape targets from Section 5: CPIs, context switching, page faults and
+cluster critical sections together dominate the OS overhead (>90 % in
+the paper); kernel-lock spin is negligible; global syscalls and ASTs
+are the smallest categories.
+"""
+
+from repro.apps import arc2d
+from repro.core import run_application
+from repro.core.experiments import table2
+from repro.xylem.categories import OsActivity, TimeCategory
+
+
+def test_table2_os_overheads(benchmark, sweep32):
+    benchmark.pedantic(
+        lambda: run_application(arc2d(), 32, scale=0.01), rounds=1, iterations=1
+    )
+    rows, text = table2(sweep32)
+    print("\n" + text)
+
+    dominant = {
+        OsActivity.CPI,
+        OsActivity.CTX,
+        OsActivity.PGFLT_CONCURRENT,
+        OsActivity.PGFLT_SEQUENTIAL,
+        OsActivity.CRSECT_CLUSTER,
+    }
+    for app, result in sweep32.items():
+        totals = {a: result.accounting.activity_total_ns(a) for a in OsActivity}
+        os_total = sum(totals.values())
+        assert os_total > 0
+        # The dominant categories account for the bulk of OS overhead.
+        share = sum(totals[a] for a in dominant) / os_total
+        assert share > 0.80, f"{app}: dominant categories only {share:.0%}"
+        # Individually, each activity is a small part of CT (Table 2:
+        # every entry is below 5 % of completion time).
+        for activity, ns in totals.items():
+            assert result.fraction_of_ct(ns) < 0.08, (
+                f"{app}: {activity.value} is {result.fraction_of_ct(ns):.1%} of CT"
+            )
+        # Global syscalls and ASTs are the smallest categories.
+        assert totals[OsActivity.SYSCALL_GLOBAL] < totals[OsActivity.CPI]
+        assert totals[OsActivity.AST] < totals[OsActivity.CPI]
+        # Kernel lock contention is negligible (< 1 % of CT).
+        kspin = sum(
+            result.accounting.category_ns(c, TimeCategory.KSPIN)
+            for c in range(result.config.n_clusters)
+        )
+        assert result.fraction_of_ct(kspin) < 0.01, f"{app}: kspin too high"

@@ -1,0 +1,59 @@
+"""Benchmark regenerating Table 3: average parallel-loop concurrency.
+
+Shape targets: MDG's big evenly-divisible loops keep per-cluster
+parallel concurrency near 8; OCEAN's and ADM's limited trip counts /
+xdoall pickup dead time pull it down on four clusters relative to two;
+FLO52's small inner loops sit in between.
+"""
+
+from repro.apps import mdg
+from repro.core import parallel_loop_concurrency, run_application
+from repro.core.experiments import table3
+
+
+def test_table3_par_concurrency(benchmark, sweep):
+    benchmark.pedantic(
+        lambda: run_application(mdg(), 16, scale=0.01), rounds=1, iterations=1
+    )
+    rows, text = table3(sweep)
+    print("\n" + text)
+
+    par = {
+        app: {
+            n: [
+                parallel_loop_concurrency(result, t)
+                for t in range(result.config.n_clusters)
+            ]
+            for n, result in by_config.items()
+            if n > 1
+        }
+        for app, by_config in sweep.items()
+    }
+
+    # Physical bounds.
+    for app, by_config in par.items():
+        for n, values in by_config.items():
+            for v in values:
+                assert 1.0 <= v <= 8.0 + 1e-9, f"{app}@{n}: par_concurr {v}"
+
+    # MDG stays near the full cluster width everywhere (paper: >= 7.6;
+    # the 4-processor configuration's cluster has only 4 CEs).
+    for n, values in par["MDG"].items():
+        width = sweep["MDG"][n].config.ces_per_cluster
+        assert min(values) > 0.88 * width, f"MDG@{n}p par_concurr {values}"
+
+    # OCEAN and ADM lose parallel concurrency from 2 to 4 clusters
+    # (paper: ~7.5 down to ~5.6-5.9).  ADM's drop is large (xdoall lock
+    # saturation); OCEAN's is directional but smaller than the paper's
+    # (see EXPERIMENTS.md).
+    for app, min_drop in (("OCEAN", 0.12), ("ADM", 1.0)):
+        mean16 = sum(par[app][16]) / len(par[app][16])
+        mean32 = sum(par[app][32]) / len(par[app][32])
+        assert mean32 < mean16 - min_drop, (
+            f"{app}: expected concurrency drop 16->32, got {mean16:.2f} -> {mean32:.2f}"
+        )
+
+    # FLO52's small trip counts keep it clearly below MDG at 32 procs.
+    flo32 = sum(par["FLO52"][32]) / 4
+    mdg32 = sum(par["MDG"][32]) / 4
+    assert flo32 < mdg32 - 0.5

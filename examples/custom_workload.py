@@ -1,0 +1,72 @@
+"""Build a custom workload and compare the two loop constructs.
+
+Demonstrates the synthetic workload generator and the trade-off the
+paper's Section 6 analyses: the hierarchical SDOALL/CDOALL construct
+distributes work per cluster (cheap, but suffers barrier waits under
+load imbalance), while the flat XDOALL construct self-balances
+perfectly but pays a per-iteration test&set on a global-memory lock
+that serialises under fine granularity.
+
+Run with::
+
+    python examples/custom_workload.py
+"""
+
+from repro.apps import synthetic_app
+from repro.core import render_table, run_application, user_breakdown
+from repro.runtime import LoopConstruct
+
+
+def run_construct(construct: LoopConstruct, iter_time_ns: int, work_skew: float):
+    app = synthetic_app(
+        name=f"SYNTH-{construct.value}",
+        construct=construct,
+        n_steps=4,
+        loops_per_step=4,
+        n_outer=9,
+        n_inner=48,
+        iter_time_ns=iter_time_ns,
+        mem_fraction=0.3,
+    )
+    # Apply skew to the generated loops (rebuild with skewed shapes).
+    app.loops_per_step = [
+        type(shape)(**{**shape.__dict__, "work_skew": work_skew})
+        for shape in app.loops_per_step
+    ]
+    result = run_application(app, n_processors=32, scale=1.0)
+    b = user_breakdown(result, task_id=0)
+    return result, b
+
+
+def main() -> None:
+    print("SDOALL/CDOALL vs XDOALL on the 4-cluster Cedar, 32 processors")
+    print("(9x48 iterations per loop, 30% memory time, skewed work)\n")
+    rows = []
+    for granularity_us in (500, 2000, 8000):
+        for construct in (LoopConstruct.SDOALL, LoopConstruct.XDOALL):
+            result, b = run_construct(construct, granularity_us * 1000, work_skew=0.4)
+            rows.append(
+                [
+                    granularity_us,
+                    construct.value,
+                    result.ct_ns / 1e9,
+                    b.fraction(b.barrier_ns) * 100.0,
+                    b.fraction(b.pickup_xdoall_ns + b.pickup_sdoall_ns) * 100.0,
+                    b.overhead_fraction * 100.0,
+                ]
+            )
+    print(
+        render_table(
+            ["iter (us)", "construct", "CT (s)", "barrier %", "pickup %", "total ovhd %"],
+            rows,
+        )
+    )
+    print(
+        "\nCoarse iterations favour either construct; fine iterations make\n"
+        "XDOALL's global-lock pickup dominate -- the effect behind the\n"
+        "paper's 'worth the effort to exploit the hierarchical construct'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quantify the overheads the paper chose NOT to characterize.
+
+Section 3.2 excludes capacity/conflict cache misses and TLB misses from
+the study.  This example turns on the optional cluster cache/TLB model
+and re-runs a sweep-heavy workload with per-cluster working sets
+straddling the Alliant FX/8's 512 KB shared cache, showing how much
+completion time the exclusion leaves on the table.
+
+Run with::
+
+    python examples/excluded_overheads.py
+"""
+
+from dataclasses import replace
+
+from repro.apps import synthetic_app
+from repro.core import render_table, run_phases
+from repro.hardware import paper_configuration
+from repro.runtime import LoopConstruct
+
+
+def run_with_ws(ws_bytes: int, model_cache: bool):
+    app = synthetic_app(
+        construct=LoopConstruct.SDOALL,
+        n_steps=3,
+        loops_per_step=3,
+        n_outer=8,
+        n_inner=32,
+        iter_time_ns=2_000_000,
+        mem_fraction=0.3,
+    )
+    app.loops_per_step = [
+        type(s)(**{**s.__dict__, "cluster_ws_bytes": ws_bytes})
+        for s in app.loops_per_step
+    ]
+    config = paper_configuration(32)
+    if model_cache:
+        config = replace(config, model_cluster_cache=True)
+    return run_phases(app.phases(1.0), 32, config=config)
+
+
+def main() -> None:
+    print("Cluster cache/TLB stalls: the paper's excluded overheads")
+    print("(Alliant FX/8 shared cache: 512 KB per cluster)\n")
+    rows = []
+    for ws_kb in (256, 512, 768, 1024, 2048):
+        plain = run_with_ws(ws_kb * 1024, model_cache=False)
+        cached = run_with_ws(ws_kb * 1024, model_cache=True)
+        delta = (cached.ct_ns - plain.ct_ns) / plain.ct_ns * 100.0
+        rows.append([ws_kb, plain.ct_ns / 1e6, cached.ct_ns / 1e6, delta])
+    print(
+        render_table(
+            ["working set (KB)", "paper accounting (ms)", "with cache model (ms)", "delta %"],
+            rows,
+        )
+    )
+    print(
+        "\nBelow the 512 KB capacity the exclusion is harmless; past it,"
+        "\ncyclic sweeps thrash the cluster cache and the uncharacterized"
+        "\noverhead grows -- the paper's scoping choice quantified."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Sweep the OS service rates and watch Figure 3 change shape.
+
+The paper's Section 5.1 closes with tuning advice: make context
+switching cooperate with the runtime (skip inactive register saves),
+reduce concurrent faults to sequential ones through compilation, and
+inline the hot critical sections.  This example applies each proposed
+improvement to the OS model and re-measures FLO52's completion-time
+breakdown on the 4-cluster Cedar, rendering the paper-style stacked
+bars.
+
+Run with::
+
+    python examples/os_overhead_study.py
+"""
+
+from dataclasses import replace
+
+from repro.apps import flo52
+from repro.core import ct_breakdown, render_ct_bars, run_application
+from repro.xylem import TimeCategory, XylemParams
+
+
+def os_fraction(result) -> float:
+    b = ct_breakdown(result, 0)
+    return (
+        b[TimeCategory.SYSTEM] + b[TimeCategory.INTERRUPT] + b[TimeCategory.KSPIN]
+    ) / result.ct_ns
+
+
+def main() -> None:
+    base = XylemParams()
+    variants = {
+        "stock Xylem": base,
+        "cheaper ctx (RTL-cooperative switches)": replace(
+            base, ctx_cost_ns=base.ctx_cost_ns // 2
+        ),
+        "sequentialised faults (compiler)": replace(
+            base,
+            pgflt_concurrent_cost_ns=base.pgflt_sequential_cost_ns,
+            pgflt_join_cost_ns=base.pgflt_trap_light_ns,
+            pgflt_cpi_fraction=0.1,
+        ),
+        "inlined critical sections": replace(
+            base, crsect_cluster_cost_ns=base.crsect_cluster_cost_ns // 2
+        ),
+        "all three improvements": replace(
+            base,
+            ctx_cost_ns=base.ctx_cost_ns // 2,
+            pgflt_concurrent_cost_ns=base.pgflt_sequential_cost_ns,
+            pgflt_join_cost_ns=base.pgflt_trap_light_ns,
+            pgflt_cpi_fraction=0.1,
+            crsect_cluster_cost_ns=base.crsect_cluster_cost_ns // 2,
+        ),
+    }
+    print("FLO52 on the 4-cluster Cedar: Section 5.1's proposed OS fixes\n")
+    results = {}
+    for name, params in variants.items():
+        result = run_application(flo52(), 32, scale=0.02, os_params=params)
+        results[name] = result
+        print(
+            f"{name:42s} CT {result.ct_seconds:6.1f} s, "
+            f"OS {os_fraction(result):6.2%}"
+        )
+    print()
+    stock = results["stock Xylem"]
+    improved = results["all three improvements"]
+    print(render_ct_bars({32: stock}, width=56).replace("32p", "stock"))
+    print(render_ct_bars({32: improved}, width=56).split("\n")[1].replace(" 32p", "fixed"))
+
+
+if __name__ == "__main__":
+    main()

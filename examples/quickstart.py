@@ -1,0 +1,57 @@
+"""Quickstart: run FLO52 on the 4-cluster Cedar and decompose its time.
+
+This reproduces, for one application on one configuration, everything
+the paper measures: completion time, the Figure-3 OS breakdown, the
+Figure-5 user-time breakdown, and the Table-4 contention estimate.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.apps import flo52
+from repro.core import (
+    contention_overhead,
+    ct_breakdown,
+    parallel_loop_concurrency,
+    run_application,
+    user_breakdown,
+)
+from repro.xylem import TimeCategory
+
+
+def main() -> None:
+    app = flo52()
+    print(f"Running {app.name} on the 4-cluster (32-processor) Cedar model...")
+    result = run_application(app, n_processors=32, scale=0.02)
+    print(f"Completion time (extrapolated to full scale): {result.ct_seconds:.1f} s")
+    print(f"(paper measured 73 s on the real machine)\n")
+
+    print("Completion-time breakdown of the main cluster (Figure 3):")
+    breakdown = ct_breakdown(result, cluster_id=0)
+    for category in TimeCategory:
+        pct = breakdown[category] / result.ct_ns * 100.0
+        print(f"  {category.value:10s} {pct:6.2f} %")
+
+    print("\nUser-time breakdown of the main task (Figure 5):")
+    b = user_breakdown(result, task_id=0)
+    for name, ns in b.as_dict().items():
+        print(f"  {name:14s} {b.fraction(ns) * 100.0:6.2f} %")
+    print(f"  -> parallelization overhead: {b.overhead_fraction * 100.0:.1f} % of CT")
+
+    print("\nGlobal memory / network contention (Table 4 methodology):")
+    print("  running the 1-processor baseline...")
+    base = run_application(app, n_processors=1, scale=0.02)
+    row = contention_overhead(result, base)
+    print(f"  T_p_actual = {result.seconds(row.tp_actual_ns):7.1f} s")
+    print(f"  T_p_ideal  = {result.seconds(row.tp_ideal_ns):7.1f} s")
+    print(f"  Ov_cont    = {row.ov_cont_pct:7.1f} % of CT (paper: 21 %)")
+
+    print("\nPer-task parallel-loop concurrency (Table 3):")
+    for task in range(result.config.n_clusters):
+        name = "Main" if task == 0 else f"helper{task}"
+        print(f"  {name:8s} {parallel_loop_concurrency(result, task):5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""Scaling study: sweep one application over all five configurations.
+
+Rebuilds that application's column of the paper's Table 1 (completion
+time, speedup, concurrency), Table 3 (parallel-loop concurrency) and
+Table 4 (contention overhead), printing the simulated values next to
+the paper's measurements.
+
+Run with::
+
+    python examples/scaling_study.py [APP] [SCALE]
+
+where APP is one of FLO52, ARC2D, MDG, OCEAN, ADM (default FLO52).
+"""
+
+import sys
+
+from repro.apps import PAPER_APPS
+from repro.core import contention_overhead, render_table, run_application
+from repro.core import reference
+from repro.core.speedup import speedup_table
+
+
+def main() -> None:
+    app_name = sys.argv[1].upper() if len(sys.argv) > 1 else "FLO52"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.02
+    if app_name not in PAPER_APPS:
+        raise SystemExit(f"unknown application {app_name}; pick from {list(PAPER_APPS)}")
+
+    print(f"Sweeping {app_name} over 1/4/8/16/32 processors (scale={scale})...")
+    results = {}
+    for n_proc in (1, 4, 8, 16, 32):
+        results[n_proc] = run_application(PAPER_APPS[app_name](), n_proc, scale=scale)
+        print(f"  {n_proc:2d} processors done")
+
+    rows = []
+    for row in speedup_table(results):
+        paper = reference.TABLE1[app_name][row.n_processors]
+        rows.append(
+            [row.n_processors, row.ct_seconds, paper[0], row.speedup, paper[1],
+             row.concurrency, paper[2]]
+        )
+    print()
+    print(
+        render_table(
+            ["procs", "CT (s)", "paper", "speedup", "paper", "concurr", "paper"],
+            rows,
+            title=f"Table 1 column for {app_name}",
+        )
+    )
+
+    rows = []
+    base = results[1]
+    for n_proc in (4, 8, 16, 32):
+        c = contention_overhead(results[n_proc], base)
+        paper = reference.TABLE4[app_name][n_proc]
+        rows.append(
+            [
+                n_proc,
+                results[n_proc].seconds(c.tp_actual_ns),
+                paper[0],
+                results[n_proc].seconds(c.tp_ideal_ns),
+                paper[1],
+                c.ov_cont_pct,
+                paper[2],
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["procs", "Tp_act", "paper", "Tp_ideal", "paper", "Ov %", "paper"],
+            rows,
+            title=f"Table 4 rows for {app_name}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

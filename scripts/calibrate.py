@@ -1,0 +1,48 @@
+"""Calibration sweep: print key numbers vs paper for chosen apps/configs."""
+import sys, time
+from repro.apps import PAPER_APPS
+from repro.core import run_application, user_breakdown, contention_overhead, parallel_loop_concurrency
+from repro.core.speedup import speedup_table
+from repro.core import reference
+from repro.xylem.categories import OsActivity, TimeCategory
+
+apps = sys.argv[1].split(",") if len(sys.argv) > 1 else list(PAPER_APPS)
+configs = [int(x) for x in sys.argv[2].split(",")] if len(sys.argv) > 2 else [1, 4, 8, 16, 32]
+scale = float(sys.argv[3]) if len(sys.argv) > 3 else 0.02
+
+for app in apps:
+    t0 = time.time()
+    results = {n: run_application(PAPER_APPS[app](), n, scale=scale) for n in configs}
+    print(f"\n=== {app} (wall {time.time()-t0:.1f}s) ===")
+    rows = speedup_table(results) if 1 in results else []
+    for row in rows:
+        p = reference.TABLE1[app][row.n_processors]
+        print(f"  {row.n_processors:2d}p CT {row.ct_seconds:7.1f} (paper {p[0]:7.1f})  "
+              f"spd {row.speedup:5.2f} ({p[1]:5.2f})  conc {row.concurrency:5.2f} ({p[2]:5.2f})")
+    if 1 in results:
+        base = results[1]
+        for n in configs:
+            if n == 1: continue
+            r = results[n]
+            c = contention_overhead(r, base)
+            p = reference.TABLE4[app][n]
+            pc = [parallel_loop_concurrency(r, t) for t in range(r.config.n_clusters)]
+            print(f"  {n:2d}p Tp_act {r.seconds(c.tp_actual_ns):7.1f} ({p[0]:7.1f}) "
+                  f"Tp_idl {r.seconds(c.tp_ideal_ns):7.1f} ({p[1]:7.1f}) Ov {c.ov_cont_pct:5.1f}% ({p[2]:4.1f}%) "
+                  f"parc {['%.2f'%x for x in pc]}")
+    if 32 in results:
+        r = results[32]
+        b0 = user_breakdown(r, 0)
+        print(f"  32p main: serial {b0.fraction(b0.serial_ns)*100:.1f}% mc {b0.fraction(b0.mc_loop_ns)*100:.1f}% "
+              f"sdoit {b0.fraction(b0.iter_sdoall_ns)*100:.1f}% xdoit {b0.fraction(b0.iter_xdoall_ns)*100:.1f}% "
+              f"barr {b0.fraction(b0.barrier_ns)*100:.1f}% xpick {b0.fraction(b0.pickup_xdoall_ns)*100:.1f}% "
+              f"ovhd {b0.overhead_fraction*100:.1f}%")
+        if r.config.n_clusters > 1:
+            b1 = user_breakdown(r, 1)
+            print(f"  32p hlp1: wait {b1.fraction(b1.helper_wait_ns)*100:.1f}% ovhd {b1.overhead_fraction*100:.1f}%")
+        os_tot = sum(r.accounting.activity_total_ns(a) for a in OsActivity)
+        print(f"  32p OS total {r.seconds(os_tot):5.2f}s = {r.fraction_of_ct(os_tot)*100:.1f}% CT ; "
+              f"kspin {r.fraction_of_ct(sum(r.accounting.category_ns(c, TimeCategory.KSPIN) for c in range(4)))*100:.2f}%")
+        for a in OsActivity:
+            ns = r.accounting.activity_total_ns(a)
+            print(f"     {a.value:15s} {r.seconds(ns):6.2f}s {r.fraction_of_ct(ns)*100:5.2f}%")

@@ -1,0 +1,38 @@
+"""Workload models of the five Perfect Benchmark applications.
+
+FLO52, ARC2D, MDG, OCEAN and ADM as characterized in the paper, plus a
+synthetic workload generator.  Each model is calibrated against the
+paper's 1-processor measurements; multi-processor behaviour emerges
+from the simulated machine, OS and runtime mechanisms.
+"""
+
+from repro.apps.adm import adm
+from repro.apps.arc2d import arc2d
+from repro.apps.base import AppModel, LoopShape, PageSpace, loop_timing
+from repro.apps.flo52 import flo52
+from repro.apps.mdg import mdg
+from repro.apps.ocean import ocean
+from repro.apps.synthetic import synthetic_app
+
+#: Builders of the five paper applications, in the paper's order.
+PAPER_APPS = {
+    "FLO52": flo52,
+    "ARC2D": arc2d,
+    "MDG": mdg,
+    "OCEAN": ocean,
+    "ADM": adm,
+}
+
+__all__ = [
+    "AppModel",
+    "LoopShape",
+    "PAPER_APPS",
+    "PageSpace",
+    "adm",
+    "arc2d",
+    "flo52",
+    "loop_timing",
+    "mdg",
+    "ocean",
+    "synthetic_app",
+]

@@ -1,0 +1,275 @@
+"""Base machinery for the Perfect Benchmark application models.
+
+The paper's applications (FLO52, ARC2D, MDG, OCEAN, ADM) are
+compute-intensive, loop-parallel, time-stepping scientific codes.  Each
+model here is a *phase program*: an initialisation section followed by
+``n_steps`` repetitions of a step template of serial sections and
+parallel loops.
+
+Calibration discipline
+----------------------
+Model parameters are chosen against the paper's **1-processor** column
+only (completion time and parallel-loop time, Tables 1 and 4), which by
+construction contains no contention or multi-cluster parallelization
+overhead.  Everything the paper measures on 2-32 processors (speedup,
+concurrency, barrier/helper waits, xdoall distribution overhead, memory
+and network contention) must then *emerge* from the simulated
+mechanisms.
+
+Because a full run is hundreds to thousands of Cedar-seconds, models
+are usually simulated at a reduced ``scale`` (fewer time steps, same
+per-step structure); steps are homogeneous, so results extrapolate
+linearly and :meth:`AppModel.extrapolation` gives the factor.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.hardware.config import CedarConfig
+from repro.runtime.loops import LoopConstruct, ParallelLoop, Phase, SerialPhase
+
+__all__ = ["AppModel", "LoopShape", "loop_timing", "PageSpace"]
+
+#: CE cycle time used when converting calibrated times to word counts.
+_CYCLE_NS = CedarConfig.__dataclass_fields__["cycle_ns"].default
+_MIN_RT_CYCLES = CedarConfig().min_memory_round_trip_cycles
+
+
+def loop_timing(iter_time_ns: int, mem_fraction: float, mem_rate: float) -> tuple[int, int]:
+    """Split a calibrated single-CE iteration time into work + memory.
+
+    Returns ``(work_ns, mem_words)`` such that on an uncontended
+    machine ``work_ns + stream_time(mem_words, rate)`` is approximately
+    *iter_time_ns*, with the memory stream occupying ``mem_fraction``
+    of it.
+
+    Parameters
+    ----------
+    iter_time_ns:
+        Total single-CE iteration time to calibrate to.
+    mem_fraction:
+        Fraction of the iteration spent streaming global memory.
+    mem_rate:
+        Stream request rate (requests per CE cycle).
+    """
+    if iter_time_ns <= 0:
+        raise ValueError(f"iter_time_ns must be positive, got {iter_time_ns}")
+    if not 0.0 <= mem_fraction < 1.0:
+        raise ValueError(f"mem_fraction must be in [0, 1), got {mem_fraction}")
+    mem_ns = iter_time_ns * mem_fraction
+    if mem_ns <= 0:
+        return iter_time_ns, 0
+    # stream_time ~ ((words - 1)/rate + min_rt) * cycle
+    words = 1 + (mem_ns / _CYCLE_NS - _MIN_RT_CYCLES) * mem_rate
+    words = max(1, int(round(words)))
+    stream_ns = ((words - 1) / mem_rate + _MIN_RT_CYCLES) * _CYCLE_NS
+    work_ns = max(0, int(round(iter_time_ns - stream_ns)))
+    return work_ns, words
+
+
+@dataclass(frozen=True)
+class LoopShape:
+    """Reusable description of one parallel loop in a step template."""
+
+    construct: LoopConstruct
+    n_outer: int
+    n_inner: int
+    #: Calibrated single-CE time of one iteration (compute + memory).
+    iter_time_ns: int
+    #: Fraction of the iteration streaming global memory.
+    mem_fraction: float = 0.3
+    #: Stream request rate (requests per CE cycle).
+    mem_rate: float = 0.5
+    #: Iterations sharing one fresh data page; 0 disables paging.
+    iters_per_page: int = 0
+    #: If true, the loop sweeps fresh pages every step (cold data);
+    #: otherwise its pages are warm after the first step.
+    fresh_pages_each_step: bool = False
+    #: Per-iteration work variation amplitude (see ParallelLoop).
+    work_skew: float = 0.0
+    #: Per-cluster working set for the optional cache model.
+    cluster_ws_bytes: int = 0
+    label: str = ""
+
+    def build(self, page_base: int) -> ParallelLoop:
+        """Materialise the loop with a concrete page placement."""
+        work_ns, words = loop_timing(self.iter_time_ns, self.mem_fraction, self.mem_rate)
+        return ParallelLoop(
+            construct=self.construct,
+            n_outer=self.n_outer,
+            n_inner=self.n_inner,
+            work_ns_per_iter=work_ns,
+            mem_words_per_iter=words,
+            mem_rate=self.mem_rate,
+            page_base=page_base if self.iters_per_page > 0 else -1,
+            iters_per_page=max(1, self.iters_per_page),
+            work_skew=self.work_skew,
+            cluster_ws_bytes=self.cluster_ws_bytes,
+            label=self.label,
+        )
+
+    @property
+    def total_single_ce_ns(self) -> int:
+        """Single-CE time to execute the whole loop once."""
+        return self.n_outer * self.n_inner * self.iter_time_ns
+
+
+class PageSpace:
+    """Sequential allocator of virtual data pages for an app model."""
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def allocate(self, n_pages: int) -> int:
+        """Reserve *n_pages* pages; returns the base page id."""
+        base = self._next
+        self._next += max(0, n_pages)
+        return base
+
+    @property
+    def allocated(self) -> int:
+        """Total pages allocated so far."""
+        return self._next
+
+
+class AppModel:
+    """A Perfect-Benchmark-style time-stepping application model.
+
+    Subclasses (or direct instantiations) provide the step template;
+    :meth:`phases` unrolls it at a given scale.
+
+    Parameters
+    ----------
+    name:
+        Application name as used in the paper.
+    n_steps:
+        Full-scale number of time steps.
+    serial_per_step_ns:
+        Serial code per step (single-CE time).
+    loops_per_step:
+        The parallel loops of one step, in order.
+    serial_pages_per_step, serial_syscalls_per_step:
+        Paging and syscall behaviour of the serial sections.
+    init_serial_ns, init_pages:
+        One-off initialisation phase.
+    serial_mem_fraction:
+        Fraction of serial time streaming global memory.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_steps: int,
+        serial_per_step_ns: int,
+        loops_per_step: Sequence[LoopShape],
+        serial_pages_per_step: int = 0,
+        serial_syscalls_per_step: int = 0,
+        init_serial_ns: int = 0,
+        init_pages: int = 0,
+        serial_mem_fraction: float = 0.0,
+        serial_mem_rate: float = 0.3,
+    ) -> None:
+        if n_steps <= 0:
+            raise ValueError(f"n_steps must be positive, got {n_steps}")
+        self.name = name
+        self.n_steps = n_steps
+        self.serial_per_step_ns = serial_per_step_ns
+        self.loops_per_step = list(loops_per_step)
+        self.serial_pages_per_step = serial_pages_per_step
+        self.serial_syscalls_per_step = serial_syscalls_per_step
+        self.init_serial_ns = init_serial_ns
+        self.init_pages = init_pages
+        self.serial_mem_fraction = serial_mem_fraction
+        self.serial_mem_rate = serial_mem_rate
+
+    # -- unrolling ------------------------------------------------------------
+
+    def steps_at_scale(self, scale: float) -> int:
+        """Time steps actually simulated at *scale*."""
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        return max(1, round(self.n_steps * scale))
+
+    def extrapolation(self, scale: float) -> float:
+        """Multiplier from simulated totals to full-scale totals."""
+        return self.n_steps / self.steps_at_scale(scale)
+
+    def phases(self, scale: float = 1.0) -> list[Phase]:
+        """Unroll the program at *scale* into a concrete phase list."""
+        steps = self.steps_at_scale(scale)
+        pages = PageSpace()
+        phases: list[Phase] = []
+        if self.init_serial_ns > 0 or self.init_pages > 0:
+            # The one-off initialisation is scaled with the step count
+            # so that extrapolating the simulated totals back to full
+            # scale (multiplying by n_steps / steps) is exact.
+            init_ns = int(round(self.init_serial_ns * steps / self.n_steps))
+            phases.append(
+                SerialPhase(
+                    work_ns=init_ns,
+                    page_base=pages.allocate(self.init_pages) if self.init_pages else -1,
+                    n_pages=self.init_pages,
+                    syscalls=2,
+                    label="init",
+                )
+            )
+        # Warm (step-invariant) loop data is allocated once.
+        warm_bases: dict[int, int] = {}
+        for index, shape in enumerate(self.loops_per_step):
+            if shape.iters_per_page > 0 and not shape.fresh_pages_each_step:
+                n_pages = math.ceil(shape.n_outer * shape.n_inner / shape.iters_per_page)
+                warm_bases[index] = pages.allocate(n_pages)
+        serial_work, serial_words = loop_timing(
+            max(1, self.serial_per_step_ns), self.serial_mem_fraction, self.serial_mem_rate
+        ) if self.serial_per_step_ns > 0 and self.serial_mem_fraction > 0 else (
+            self.serial_per_step_ns,
+            0,
+        )
+        for step in range(steps):
+            if self.serial_per_step_ns > 0:
+                phases.append(
+                    SerialPhase(
+                        work_ns=serial_work,
+                        mem_words=serial_words,
+                        mem_rate=self.serial_mem_rate,
+                        page_base=pages.allocate(self.serial_pages_per_step)
+                        if self.serial_pages_per_step
+                        else -1,
+                        n_pages=self.serial_pages_per_step,
+                        syscalls=self.serial_syscalls_per_step,
+                        label=f"step{step}-serial",
+                    )
+                )
+            for index, shape in enumerate(self.loops_per_step):
+                if index in warm_bases:
+                    base = warm_bases[index]
+                elif shape.iters_per_page > 0:
+                    n_pages = math.ceil(
+                        shape.n_outer * shape.n_inner / shape.iters_per_page
+                    )
+                    base = pages.allocate(n_pages)
+                else:
+                    base = -1
+                phases.append(shape.build(base))
+        return phases
+
+    # -- calibration helpers ----------------------------------------------------
+
+    def nominal_parallel_ns(self) -> int:
+        """Full-scale single-CE parallel-loop time (calibration anchor)."""
+        per_step = sum(shape.total_single_ce_ns for shape in self.loops_per_step)
+        return per_step * self.n_steps
+
+    def nominal_serial_ns(self) -> int:
+        """Full-scale serial time (calibration anchor)."""
+        return self.init_serial_ns + self.serial_per_step_ns * self.n_steps
+
+    def nominal_ct_ns(self) -> int:
+        """Full-scale single-CE completion-time anchor."""
+        return self.nominal_parallel_ns() + self.nominal_serial_ns()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AppModel {self.name}: {self.n_steps} steps, {len(self.loops_per_step)} loops/step>"

@@ -1,0 +1,89 @@
+"""Workload model of FLO52 (transonic flow past an airfoil).
+
+FLO52 is the Perfect Benchmark that exercises *only* the hierarchical
+SDOALL/CDOALL construct (Section 2).  Its distinguishing measured
+behaviour in the paper:
+
+* the worst global-memory/network contention of the five codes
+  (17-27 % of completion time, Table 4) -- its loops are memory-heavy
+  vector sweeps;
+* poor speedup (8.40 at 32 processors) and low concurrency (14.82),
+  driven by small loop trip counts;
+* large multi-cluster barrier wait times (7-16 % of CT on 4 clusters),
+  driven by outer trip counts that do not divide evenly among clusters.
+
+The model encodes exactly those structural properties: four SDOALL
+loops per time step with small, unevenly-dividing trip counts and a
+high memory fraction, calibrated so the single-CE parallel-loop time
+matches the paper's T1 = 574 s (Table 4).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, LoopShape
+from repro.runtime.loops import LoopConstruct
+
+__all__ = ["flo52"]
+
+
+def flo52() -> AppModel:
+    """Build the FLO52 model (full scale: 100 time steps)."""
+    loops = [
+        # Small trip counts: 5 outer iterations over 4 clusters and 14
+        # inner iterations over 8 CEs guarantee imbalance.
+        LoopShape(
+            construct=LoopConstruct.SDOALL,
+            n_outer=5,
+            n_inner=14,
+            iter_time_ns=11_900_000,
+            mem_fraction=0.55,
+            mem_rate=0.60,
+            work_skew=0.5,
+            label="flux-sweep",
+        ),
+        LoopShape(
+            construct=LoopConstruct.SDOALL,
+            n_outer=7,
+            n_inner=10,
+            iter_time_ns=11_900_000,
+            mem_fraction=0.55,
+            mem_rate=0.60,
+            work_skew=0.5,
+            label="dissipation",
+        ),
+        LoopShape(
+            construct=LoopConstruct.SDOALL,
+            n_outer=6,
+            n_inner=18,
+            iter_time_ns=11_900_000,
+            mem_fraction=0.55,
+            mem_rate=0.60,
+            work_skew=0.5,
+            iters_per_page=32,
+            fresh_pages_each_step=True,
+            label="runge-kutta",
+        ),
+        LoopShape(
+            construct=LoopConstruct.SDOALL,
+            n_outer=9,
+            n_inner=26,
+            iter_time_ns=11_900_000,
+            mem_fraction=0.55,
+            mem_rate=0.60,
+            work_skew=0.5,
+            iters_per_page=32,
+            fresh_pages_each_step=True,
+            label="multigrid",
+        ),
+    ]
+    return AppModel(
+        name="FLO52",
+        n_steps=100,
+        serial_per_step_ns=200_000_000,
+        loops_per_step=loops,
+        serial_pages_per_step=2,
+        serial_syscalls_per_step=1,
+        init_serial_ns=1_000_000_000,
+        init_pages=12,
+        serial_mem_fraction=0.2,
+    )

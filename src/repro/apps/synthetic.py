@@ -1,0 +1,60 @@
+"""Synthetic workload generator.
+
+Builds parameterised loop-parallel applications for experiments that
+sweep a single property -- loop granularity, memory intensity,
+construct choice, trip-count balance -- the way the paper's discussion
+sections reason about them.  Used by the ablation benchmarks and the
+``examples/custom_workload.py`` example.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppModel, LoopShape
+from repro.runtime.loops import LoopConstruct
+
+__all__ = ["synthetic_app"]
+
+
+def synthetic_app(
+    name: str = "SYNTH",
+    construct: LoopConstruct = LoopConstruct.SDOALL,
+    n_steps: int = 10,
+    loops_per_step: int = 4,
+    n_outer: int = 8,
+    n_inner: int = 64,
+    iter_time_ns: int = 5_000_000,
+    mem_fraction: float = 0.3,
+    mem_rate: float = 0.5,
+    serial_fraction_of_step: float = 0.05,
+    pages: bool = False,
+) -> AppModel:
+    """Build a single-knob synthetic application.
+
+    Parameters mirror :class:`repro.apps.base.LoopShape`;
+    ``serial_fraction_of_step`` sets serial time as a fraction of the
+    step's single-CE parallel time.
+    """
+    if construct is LoopConstruct.XDOALL:
+        outer, inner = 1, n_outer * n_inner
+    else:
+        outer, inner = n_outer, n_inner
+    shape = LoopShape(
+        construct=construct,
+        n_outer=outer,
+        n_inner=inner,
+        iter_time_ns=iter_time_ns,
+        mem_fraction=mem_fraction,
+        mem_rate=mem_rate,
+        iters_per_page=32 if pages else 0,
+        fresh_pages_each_step=pages,
+        label="synthetic",
+    )
+    parallel_per_step = loops_per_step * shape.total_single_ce_ns
+    serial_per_step = int(parallel_per_step * serial_fraction_of_step)
+    return AppModel(
+        name=name,
+        n_steps=n_steps,
+        serial_per_step_ns=serial_per_step,
+        loops_per_step=[shape] * loops_per_step,
+        serial_syscalls_per_step=1,
+    )

@@ -1,0 +1,147 @@
+"""Command-line interface for the reproduction.
+
+Run as ``python -m repro.cli <command>``:
+
+* ``run APP N_PROC`` -- run one application on one configuration and
+  print every decomposition the paper reports for it.
+* ``sweep APP`` -- run one application on all five configurations and
+  print its Table 1/3/4 columns.
+* ``tables`` -- run everything and print Tables 1-4 and Figure 3.
+* ``trace APP N_PROC -o FILE`` -- run and off-load the cedarhpm trace
+  buffer to a JSON-lines file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import PAPER_APPS
+from repro.core import (
+    contention_overhead,
+    ct_breakdown,
+    parallel_loop_concurrency,
+    run_application,
+    user_breakdown,
+)
+from repro.core.experiments import (
+    figure3,
+    sweep_all,
+    sweep_application,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+from repro.hpm import save_trace, trace_summary
+from repro.xylem.categories import TimeCategory
+
+__all__ = ["main"]
+
+
+def _app_builder(name: str):
+    key = name.upper()
+    if key not in PAPER_APPS:
+        raise SystemExit(f"unknown application {name!r}; pick from {list(PAPER_APPS)}")
+    return PAPER_APPS[key]
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    builder = _app_builder(args.app)
+    result = run_application(builder(), args.processors, scale=args.scale)
+    print(f"{result.app_name} on {args.processors} processors (scale {args.scale})")
+    print(f"completion time: {result.ct_seconds:.1f} s (extrapolated)")
+    print("\ncompletion-time breakdown (main cluster):")
+    breakdown = ct_breakdown(result, 0)
+    for category in TimeCategory:
+        print(f"  {category.value:10s} {breakdown[category] / result.ct_ns:7.2%}")
+    print("\nuser-time breakdown (main task):")
+    b = user_breakdown(result, 0)
+    for name, ns in b.as_dict().items():
+        print(f"  {name:14s} {b.fraction(ns):7.2%}")
+    if args.processors > 1:
+        base = run_application(builder(), 1, scale=args.scale)
+        row = contention_overhead(result, base)
+        print(f"\ncontention overhead: {row.ov_cont_pct:.1f} % of CT")
+        for task in range(result.config.n_clusters):
+            name = "Main" if task == 0 else f"helper{task}"
+            print(f"  par_concurr {name}: {parallel_loop_concurrency(result, task):.2f}")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    _app_builder(args.app)  # validate
+    results = sweep_application(args.app.upper(), scale=args.scale)
+    wrapped = {args.app.upper(): results}
+    for build in (table1, table3, table4):
+        _, text = build(wrapped)
+        print(text)
+        print()
+
+
+def _cmd_tables(args: argparse.Namespace) -> None:
+    sweep = sweep_all(scale=args.scale)
+    sweep32 = {app: by_config[32] for app, by_config in sweep.items()}
+    for build, payload in (
+        (table1, sweep),
+        (table2, {a: sweep32[a] for a in ("FLO52", "ARC2D", "MDG")}),
+        (table3, sweep),
+        (table4, sweep),
+        (figure3, sweep),
+    ):
+        _, text = build(payload)
+        print(text)
+        print()
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    builder = _app_builder(args.app)
+    result = run_application(builder(), args.processors, scale=args.scale)
+    count = save_trace(result.events, args.output)
+    summary = trace_summary(result.events)
+    print(f"wrote {count} events to {args.output}")
+    print(f"span: {summary['span_ns'] / 1e6:.1f} ms simulated")
+    for name, value in sorted(summary["by_type"].items()):
+        print(f"  {name:20s} {value}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ISCA'94 Cedar overhead characterization, in simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one application on one configuration")
+    run.add_argument("app")
+    run.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
+    run.add_argument("--scale", type=float, default=0.02)
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="run one application on all configurations")
+    sweep.add_argument("app")
+    sweep.add_argument("--scale", type=float, default=0.02)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    tables = sub.add_parser("tables", help="regenerate Tables 1-4 and Figure 3")
+    tables.add_argument("--scale", type=float, default=0.02)
+    tables.set_defaults(func=_cmd_tables)
+
+    trace = sub.add_parser("trace", help="off-load a run's event trace to a file")
+    trace.add_argument("app")
+    trace.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
+    trace.add_argument("-o", "--output", default="trace.jsonl")
+    trace.add_argument("--scale", type=float, default=0.02)
+    trace.set_defaults(func=_cmd_trace)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,162 @@
+"""Completion-time and user-time breakdowns (Figures 3 and 4-9).
+
+Two views, mirroring the paper:
+
+* :func:`ct_breakdown` -- the "Q"-facility view of Section 5: cluster
+  time split into user, system, interrupt and kernel-lock spin time.
+* :func:`user_breakdown` -- the Section 6 view: the user time of each
+  task split into useful work (serial code, main cluster-only loops,
+  s(x)doall iteration execution) and parallelization overheads (loop
+  setup, iteration pickup, barrier wait, helper busy-wait), computed
+  from the cedarhpm event traces exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.runner import RunResult
+from repro.core.trace_analysis import Interval, IntervalKind, extract_intervals
+from repro.runtime.loops import LoopConstruct
+from repro.xylem.categories import TimeCategory
+
+__all__ = ["UserTimeBreakdown", "ct_breakdown", "user_breakdown", "task_ids"]
+
+_MC_CONSTRUCTS = {LoopConstruct.CLUSTER_ONLY.value, LoopConstruct.CDOACROSS.value}
+
+
+def _intervals(result: RunResult) -> list[Interval]:
+    cached = result._cache.get("intervals")
+    if cached is None:
+        cached = extract_intervals(result.events, end_ns=result.ct_ns)
+        result._cache["intervals"] = cached
+    return cached
+
+
+def task_ids(result: RunResult) -> list[int]:
+    """Task ids of the run: 0 is the main task, 1.. are helpers."""
+    return list(range(result.config.n_clusters))
+
+
+def ct_breakdown(result: RunResult, cluster_id: int) -> dict[TimeCategory, int]:
+    """Figure-3 breakdown of one cluster's completion time (ns)."""
+    return result.accounting.breakdown(cluster_id, result.ct_ns)
+
+
+@dataclass(frozen=True)
+class UserTimeBreakdown:
+    """Figure 4's decomposition of one task's time (nanoseconds).
+
+    Below-the-line (useful) components: ``serial_ns``, ``mc_loop_ns``,
+    ``iter_sdoall_ns``, ``iter_xdoall_ns``.  Above-the-line
+    (parallelization overhead) components: ``setup_ns``,
+    ``pickup_sdoall_ns``, ``pickup_xdoall_ns``, ``barrier_ns``,
+    ``helper_wait_ns``.  Per-CE quantities (iteration execution and
+    xdoall pickup) are averaged over the cluster's CEs so every
+    component is commensurable with the task's wall-clock time.
+    """
+
+    task_id: int
+    wall_ns: int
+    serial_ns: float
+    mc_loop_ns: float
+    iter_sdoall_ns: float
+    iter_xdoall_ns: float
+    setup_ns: float
+    pickup_sdoall_ns: float
+    pickup_xdoall_ns: float
+    barrier_ns: float
+    helper_wait_ns: float
+
+    @property
+    def useful_ns(self) -> float:
+        """Below-the-line time (serial + mc + iteration execution)."""
+        return self.serial_ns + self.mc_loop_ns + self.iter_sdoall_ns + self.iter_xdoall_ns
+
+    @property
+    def overhead_ns(self) -> float:
+        """Parallelization overhead (above-the-line) time."""
+        return (
+            self.setup_ns
+            + self.pickup_sdoall_ns
+            + self.pickup_xdoall_ns
+            + self.barrier_ns
+            + self.helper_wait_ns
+        )
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Parallelization overhead as a fraction of the task's time."""
+        if self.wall_ns == 0:
+            return 0.0
+        return self.overhead_ns / self.wall_ns
+
+    def fraction(self, component_ns: float) -> float:
+        """Any component as a fraction of the task's wall time."""
+        if self.wall_ns == 0:
+            return 0.0
+        return component_ns / self.wall_ns
+
+    def as_dict(self) -> dict[str, float]:
+        """Component values by name (for table rendering)."""
+        return {
+            "serial": self.serial_ns,
+            "mc_loop": self.mc_loop_ns,
+            "iter_sdoall": self.iter_sdoall_ns,
+            "iter_xdoall": self.iter_xdoall_ns,
+            "setup": self.setup_ns,
+            "pickup_sdoall": self.pickup_sdoall_ns,
+            "pickup_xdoall": self.pickup_xdoall_ns,
+            "barrier_wait": self.barrier_ns,
+            "helper_wait": self.helper_wait_ns,
+        }
+
+
+def user_breakdown(result: RunResult, task_id: int) -> UserTimeBreakdown:
+    """Compute the Figure 4 breakdown for one task from the traces."""
+    intervals = _intervals(result)
+    per_cluster = result.config.ces_per_cluster
+    serial = mc = setup = barrier = wait = 0.0
+    iter_sd = iter_xd = pick_sd = pick_xd = 0.0
+    for interval in intervals:
+        if interval.task_id != task_id:
+            continue
+        kind = interval.kind
+        if kind is IntervalKind.SERIAL:
+            serial += interval.duration_ns
+        elif kind is IntervalKind.MC_LOOP:
+            mc += interval.duration_ns
+        elif kind is IntervalKind.SETUP:
+            setup += interval.duration_ns
+        elif kind is IntervalKind.BARRIER:
+            barrier += interval.duration_ns
+        elif kind is IntervalKind.HELPER_WAIT:
+            wait += interval.duration_ns
+        elif kind is IntervalKind.ITERATION:
+            construct = interval.construct
+            if construct in _MC_CONSTRUCTS:
+                continue  # contained in the MC_LOOP interval
+            if construct == LoopConstruct.XDOALL.value:
+                iter_xd += interval.duration_ns / per_cluster
+            else:
+                iter_sd += interval.duration_ns / per_cluster
+        elif kind is IntervalKind.PICKUP:
+            if interval.construct == LoopConstruct.XDOALL.value:
+                pick_xd += interval.duration_ns / per_cluster
+            else:
+                # SDOALL outer pickups happen on the lead CE only: they
+                # are task-level events, not averaged.
+                pick_sd += interval.duration_ns
+    return UserTimeBreakdown(
+        task_id=task_id,
+        wall_ns=result.ct_ns,
+        serial_ns=serial,
+        mc_loop_ns=mc,
+        iter_sdoall_ns=iter_sd,
+        iter_xdoall_ns=iter_xd,
+        setup_ns=setup,
+        pickup_sdoall_ns=pick_sd,
+        pickup_xdoall_ns=pick_xd,
+        barrier_ns=barrier,
+        helper_wait_ns=wait,
+    )

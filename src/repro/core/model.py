@@ -1,0 +1,94 @@
+"""Closed-form completion-time predictor.
+
+A back-of-envelope model of the simulated machine, in the spirit of the
+performance-prediction work the paper's introduction surveys (Koss,
+Saavedra-Barrera): completion time as serial time plus parallel time
+divided by effective concurrency, stretched by contention, plus OS and
+distribution overheads.  Validated against the full simulation by
+``tests/core/test_model.py``; useful for quickly sizing experiments
+before running them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import AppModel, LoopShape
+from repro.hardware.config import CedarConfig, paper_configuration
+from repro.hardware.contention import ContentionModel
+from repro.runtime.loops import LoopConstruct
+
+__all__ = ["PredictedTime", "predict_completion_time"]
+
+
+@dataclass(frozen=True)
+class PredictedTime:
+    """Predicted completion-time decomposition (seconds, full scale)."""
+
+    serial_s: float
+    parallel_s: float
+    contention_s: float
+    os_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Predicted completion time."""
+        return self.serial_s + self.parallel_s + self.contention_s + self.os_s
+
+
+def _loop_effective_width(shape: LoopShape, config: CedarConfig) -> float:
+    """Average CEs usefully busy while the loop executes."""
+    per_cluster = config.ces_per_cluster
+    if shape.construct in (LoopConstruct.CLUSTER_ONLY, LoopConstruct.CDOACROSS):
+        chunks = -(-shape.n_inner // per_cluster)
+        return shape.n_inner / chunks
+    if shape.construct is LoopConstruct.XDOALL:
+        total = shape.n_outer * shape.n_inner
+        machine = config.n_processors
+        rounds = -(-total // machine)
+        return total / rounds
+    # SDOALL: outer iterations round-robin the clusters; the inner
+    # CDOALL spreads over each cluster's CEs.
+    outer_rounds = -(-shape.n_outer // config.n_clusters)
+    inner_chunks = -(-shape.n_inner // per_cluster)
+    clusters_busy = shape.n_outer / outer_rounds
+    inner_width = shape.n_inner / inner_chunks
+    return clusters_busy * inner_width
+
+
+def predict_completion_time(app: AppModel, n_processors: int) -> PredictedTime:
+    """Predict the full-scale completion time of *app*.
+
+    The prediction mirrors the simulator's mechanisms analytically:
+    loop time is single-CE time over the loop's effective width; the
+    memory part of each iteration is stretched by the contention
+    model's slowdown at that width; a flat percentage approximates the
+    OS daemons.
+    """
+    config = paper_configuration(n_processors)
+    contention = ContentionModel(config)
+    serial_s = app.nominal_serial_ns() / 1e9
+
+    parallel_s = 0.0
+    contention_s = 0.0
+    for shape in app.loops_per_step:
+        loop_total_s = shape.total_single_ce_ns * app.n_steps / 1e9
+        width = _loop_effective_width(shape, config)
+        base = loop_total_s / width
+        parallel_s += base
+        if shape.mem_fraction > 0.0:
+            requesters = max(1, round(width))
+            cluster_requesters = min(requesters, config.ces_per_cluster)
+            slowdown = contention.vector_time_cycles(
+                1000, requesters, shape.mem_rate, cluster_requesters
+            ) / contention.vector_time_cycles(1000, 1, shape.mem_rate, 1)
+            contention_s += base * shape.mem_fraction * (slowdown - 1.0)
+
+    busy_s = serial_s + parallel_s + contention_s
+    os_s = busy_s * 0.06  # flat approximation of the OS daemons
+    return PredictedTime(
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        contention_s=contention_s,
+        os_s=os_s,
+    )

@@ -1,0 +1,198 @@
+"""The paper's published numbers, for comparison and benchmarks.
+
+Transcribed from Tables 1-4 and the Section 5-7 prose of Natarajan,
+Sharma & Iyer, "Measurement-Based Characterization of Global Memory and
+Network Contention, Operating System and Parallelization Overheads:
+Case Study on a Shared-Memory Multiprocessor", ISCA 1994.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "APPS",
+    "CONFIGS",
+    "TABLE1",
+    "TABLE2",
+    "TABLE3",
+    "TABLE4",
+    "NARRATIVE",
+]
+
+#: Applications in the paper's order.
+APPS = ("FLO52", "ARC2D", "MDG", "OCEAN", "ADM")
+
+#: Processor counts of the measured configurations.
+CONFIGS = (1, 4, 8, 16, 32)
+
+#: Table 1 -- completion time (s), speedup, average concurrency.
+#: ``TABLE1[app][n_proc] = (ct_s, speedup, concurrency)``; the
+#: 1-processor entries have speedup/concurrency of 1.0 by definition.
+TABLE1 = {
+    "FLO52": {
+        1: (613.0, 1.0, 1.0),
+        4: (214.0, 2.86, 3.49),
+        8: (145.0, 4.23, 6.11),
+        16: (96.0, 6.39, 9.66),
+        32: (73.0, 8.40, 14.82),
+    },
+    "ARC2D": {
+        1: (2139.0, 1.0, 1.0),
+        4: (593.0, 3.61, 3.70),
+        8: (342.0, 6.25, 6.82),
+        16: (203.0, 10.54, 12.28),
+        32: (142.0, 15.06, 20.56),
+    },
+    "MDG": {
+        1: (4935.0, 1.0, 1.0),
+        4: (1260.0, 3.89, 3.92),
+        8: (663.0, 7.44, 7.60),
+        16: (346.0, 14.26, 15.14),
+        32: (202.0, 24.43, 28.82),
+    },
+    "OCEAN": {
+        1: (2726.0, 1.0, 1.0),
+        4: (711.0, 3.83, 3.86),
+        8: (381.0, 7.16, 7.53),
+        16: (230.0, 11.85, 12.98),
+        32: (175.0, 15.58, 17.27),
+    },
+    "ADM": {
+        1: (707.0, 1.0, 1.0),
+        4: (208.0, 3.40, 3.46),
+        8: (121.0, 5.84, 6.06),
+        16: (83.0, 8.52, 9.42),
+        32: (80.0, 8.84, 13.56),
+    },
+}
+
+#: Table 2 -- detailed OS overheads on the 4-cluster Cedar:
+#: ``TABLE2[app][activity] = (seconds, percent_of_ct)``.
+TABLE2 = {
+    "FLO52": {
+        "cpi": (3.48, 4.70),
+        "ctx": (1.68, 2.30),
+        "pg flt (c)": (2.22, 3.04),
+        "pg flt (s)": (1.64, 2.25),
+        "Cr Sect (clus)": (1.17, 1.60),
+        "Cr Sect (glbl)": (0.23, 0.33),
+        "clus syscall": (0.26, 0.35),
+        "glbl syscall": (0.04, 0.05),
+        "ast": (0.03, 0.04),
+    },
+    "ARC2D": {
+        "cpi": (5.62, 3.95),
+        "ctx": (2.91, 2.04),
+        "pg flt (c)": (3.73, 2.62),
+        "pg flt (s)": (2.20, 1.54),
+        "Cr Sect (clus)": (3.43, 2.77),
+        "Cr Sect (glbl)": (1.18, 0.83),
+        "clus syscall": (0.84, 0.59),
+        "glbl syscall": (0.05, 0.04),
+        "ast": (0.18, 0.13),
+    },
+    "MDG": {
+        "cpi": (2.42, 1.18),
+        "ctx": (3.72, 1.84),
+        "pg flt (c)": (1.54, 0.76),
+        "pg flt (s)": (0.48, 0.23),
+        "Cr Sect (clus)": (2.42, 1.18),
+        "Cr Sect (glbl)": (0.80, 0.39),
+        "clus syscall": (0.48, 0.28),
+        "glbl syscall": (0.03, 0.01),
+        "ast": (0.05, 0.02),
+    },
+}
+
+#: Table 3 -- average parallel-loop concurrency per task:
+#: ``TABLE3[app][n_proc] = {task_name: value}``.
+TABLE3 = {
+    "FLO52": {
+        4: {"Main": 3.88},
+        8: {"Main": 7.28},
+        16: {"Main": 7.01, "helper1": 5.93},
+        32: {"Main": 6.85, "helper1": 6.51, "helper2": 6.34, "helper3": 6.25},
+    },
+    "ARC2D": {
+        4: {"Main": 3.94},
+        8: {"Main": 7.64},
+        16: {"Main": 7.63, "helper1": 7.45},
+        32: {"Main": 7.62, "helper1": 7.15, "helper2": 7.16, "helper3": 7.18},
+    },
+    "MDG": {
+        4: {"Main": 3.96},
+        8: {"Main": 7.79},
+        16: {"Main": 7.88, "helper1": 7.84},
+        32: {"Main": 7.98, "helper1": 7.89, "helper2": 7.92, "helper3": 7.95},
+    },
+    "OCEAN": {
+        4: {"Main": 3.92},
+        8: {"Main": 7.88},
+        16: {"Main": 7.42, "helper1": 7.62},
+        32: {"Main": 5.74, "helper1": 5.59, "helper2": 5.61, "helper3": 5.58},
+    },
+    "ADM": {
+        4: {"Main": 3.96},
+        8: {"Main": 7.93},
+        16: {"Main": 7.55, "helper1": 7.45},
+        32: {"Main": 5.89, "helper1": 5.94, "helper2": 5.91, "helper3": 5.83},
+    },
+}
+
+#: Table 4 -- global memory and network contention overhead:
+#: ``TABLE4[app][n_proc] = (tp_actual_s, tp_ideal_s, ov_cont_pct)``;
+#: the 1-processor entries carry only tp_actual.
+TABLE4 = {
+    "FLO52": {
+        1: (574.0, None, None),
+        4: (185.0, 148.0, 17.0),
+        8: (118.0, 79.0, 27.0),
+        16: (68.0, 45.0, 24.0),
+        32: (37.0, 22.0, 21.0),
+    },
+    "ARC2D": {
+        1: (2067.0, None, None),
+        4: (545.0, 525.0, 3.4),
+        8: (300.0, 270.0, 8.8),
+        16: (160.0, 139.0, 10.3),
+        32: (94.0, 74.0, 14.1),
+    },
+    "MDG": {
+        1: (4800.0, None, None),
+        4: (1228.0, 1212.0, 1.3),
+        8: (643.0, 616.0, 4.1),
+        16: (330.0, 305.0, 7.2),
+        32: (178.0, 151.0, 13.4),
+    },
+    "OCEAN": {
+        1: (2647.0, None, None),
+        4: (701.0, 675.0, 3.5),
+        8: (360.0, 336.0, 6.3),
+        16: (195.0, 177.0, 8.0),
+        32: (133.0, 120.0, 7.4),
+    },
+    "ADM": {
+        1: (663.0, None, None),
+        4: (171.0, 167.0, 1.9),
+        8: (89.0, 84.0, 4.1),
+        16: (51.0, 46.0, 5.9),
+        32: (43.0, 33.0, 12.5),
+    },
+}
+
+#: Headline bands from the abstract and Sections 5-7 prose, used by the
+#: narrative benchmark.
+NARRATIVE = {
+    # OS overhead as % of CT.
+    "os_overhead_1proc_pct": (3.0, 4.0),
+    "os_overhead_32proc_pct": (5.0, 21.0),
+    # Parallelization overhead on the 4-cluster Cedar as % of CT.
+    "par_overhead_main_32_pct": (10.0, 25.0),
+    "par_overhead_helper_32_pct": (15.0, 44.0),
+    # Barrier wait as % of CT.
+    "barrier_wait_16_pct": (2.0, 7.0),
+    "barrier_wait_32_pct": (7.0, 16.0),
+    # Contention overhead on the 4-cluster Cedar as % of CT.
+    "contention_32_pct": (7.0, 21.0),
+    # Kernel lock spin as % of CT.
+    "kspin_max_pct": (0.0, 1.0),
+}

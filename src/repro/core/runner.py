@@ -1,0 +1,154 @@
+"""Experiment runner: execute an application model on a configuration.
+
+Assembles the full stack -- simulator, machine, Xylem kernel, cedarhpm
+monitor, activity board, statfx sampler, runtime library -- runs the
+program in a dedicated single-user setting (only the target application
+and the OS, as in the paper), and returns a :class:`RunResult` carrying
+everything the analysis modules need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apps.base import AppModel
+from repro.hardware.config import CedarConfig, paper_configuration
+from repro.hardware.machine import CedarMachine
+from repro.hpm.activity import ActivityBoard
+from repro.hpm.events import TraceEvent
+from repro.hpm.monitor import CedarHpm
+from repro.hpm.statfx import Statfx
+from repro.runtime.library import CedarFortranRuntime
+from repro.runtime.loops import Phase
+from repro.runtime.params import RuntimeParams
+from repro.sim import Simulator
+from repro.xylem.accounting import TimeAccounting
+from repro.xylem.kernel import XylemKernel
+from repro.xylem.params import XylemParams
+from repro.xylem.vm import FaultStats
+
+__all__ = ["RunResult", "run_application", "run_phases"]
+
+#: Default workload scale: 1/50 of the full-scale step counts keeps a
+#: five-application, five-configuration sweep in the tens of seconds.
+DEFAULT_SCALE = 0.02
+
+
+@dataclass
+class RunResult:
+    """Everything measured during one application run."""
+
+    app_name: str
+    config: CedarConfig
+    scale: float
+    #: Multiplier from simulated totals to full-scale totals.
+    extrapolation: float
+    #: Simulated completion time in nanoseconds (not extrapolated).
+    ct_ns: int
+    #: The off-loaded cedarhpm trace buffer.
+    events: list[TraceEvent]
+    accounting: TimeAccounting
+    fault_stats: FaultStats
+    statfx: Statfx
+    board: ActivityBoard
+    machine: CedarMachine
+    kernel: XylemKernel
+    runtime: CedarFortranRuntime
+
+    #: Lazily-filled cache used by the analysis helpers.
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def n_processors(self) -> int:
+        """Processors in the configuration."""
+        return self.config.n_processors
+
+    @property
+    def ct_seconds(self) -> float:
+        """Extrapolated full-scale completion time in seconds."""
+        return self.ct_ns * self.extrapolation / 1e9
+
+    def seconds(self, ns: float) -> float:
+        """Extrapolate a simulated nanosecond quantity to full-scale seconds."""
+        return ns * self.extrapolation / 1e9
+
+    def fraction_of_ct(self, ns: float) -> float:
+        """Express a simulated nanosecond quantity as a fraction of CT."""
+        if self.ct_ns == 0:
+            return 0.0
+        return ns / self.ct_ns
+
+
+def run_phases(
+    phases: list[Phase],
+    n_processors: int,
+    app_name: str = "custom",
+    scale: float = 1.0,
+    extrapolation: float = 1.0,
+    config: CedarConfig | None = None,
+    os_params: XylemParams | None = None,
+    rt_params: RuntimeParams | None = None,
+    statfx_interval_ns: int = 200_000,
+) -> RunResult:
+    """Run an explicit phase list on a configuration (low-level entry)."""
+    sim = Simulator()
+    cfg = config if config is not None else paper_configuration(n_processors)
+    machine = CedarMachine(sim, cfg)
+    hpm = CedarHpm(sim)
+    board = ActivityBoard(sim, cfg)
+    statfx = Statfx(sim, board, interval_ns=statfx_interval_ns)
+    statfx.start()
+    kernel = XylemKernel(sim, cfg, os_params or XylemParams(), hpm=hpm)
+    runtime = CedarFortranRuntime(
+        sim, machine, kernel, hpm=hpm, board=board, params=rt_params
+    )
+    main = runtime.run_program(phases)
+    ct_ns = sim.run(until=main)
+    return RunResult(
+        app_name=app_name,
+        config=cfg,
+        scale=scale,
+        extrapolation=extrapolation,
+        ct_ns=ct_ns,
+        events=hpm.offload(),
+        accounting=kernel.accounting,
+        fault_stats=kernel.vm.stats,
+        statfx=statfx,
+        board=board,
+        machine=machine,
+        kernel=kernel,
+        runtime=runtime,
+    )
+
+
+def run_application(
+    app: AppModel,
+    n_processors: int,
+    scale: float = DEFAULT_SCALE,
+    config: CedarConfig | None = None,
+    os_params: XylemParams | None = None,
+    rt_params: RuntimeParams | None = None,
+    statfx_interval_ns: int = 200_000,
+) -> RunResult:
+    """Run an application model at *scale* on a paper configuration.
+
+    This is the main public entry point of the reproduction::
+
+        from repro.apps import flo52
+        from repro.core import run_application
+
+        result = run_application(flo52(), n_processors=32, scale=0.02)
+        print(result.ct_seconds)
+    """
+    phases = app.phases(scale)
+    return run_phases(
+        phases,
+        n_processors,
+        app_name=app.name,
+        scale=scale,
+        extrapolation=app.extrapolation(scale),
+        config=config,
+        os_params=os_params,
+        rt_params=rt_params,
+        statfx_interval_ns=statfx_interval_ns,
+    )

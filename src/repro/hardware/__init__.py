@@ -1,0 +1,43 @@
+"""Hardware model of the Cedar shared-memory multiprocessor.
+
+Implements the machine described in Section 2 of the paper: clusters of
+pipelined vector CEs with a concurrency control bus, a 32-module
+interleaved global memory, and two-stage shuffle-exchange forward and
+return networks, plus an analytic contention model used by
+application-scale simulations.
+"""
+
+from repro.hardware.cache import (
+    CacheConfig,
+    ClusterCacheModel,
+    SetAssociativeCache,
+    StreamingMissModel,
+)
+from repro.hardware.cluster import CE, Cluster, ConcurrencyControlBus
+from repro.hardware.config import PAPER_PROCESSOR_COUNTS, CedarConfig, paper_configuration
+from repro.hardware.contention import ContentionEstimate, ContentionModel, LoadTracker
+from repro.hardware.machine import CedarMachine
+from repro.hardware.memory import GlobalMemorySystem, MemoryStats
+from repro.hardware.network import DeltaNetwork, NetworkStats, Packet
+
+__all__ = [
+    "CacheConfig",
+    "CE",
+    "CedarConfig",
+    "ClusterCacheModel",
+    "CedarMachine",
+    "Cluster",
+    "ConcurrencyControlBus",
+    "ContentionEstimate",
+    "ContentionModel",
+    "DeltaNetwork",
+    "GlobalMemorySystem",
+    "LoadTracker",
+    "MemoryStats",
+    "NetworkStats",
+    "PAPER_PROCESSOR_COUNTS",
+    "Packet",
+    "SetAssociativeCache",
+    "StreamingMissModel",
+    "paper_configuration",
+]

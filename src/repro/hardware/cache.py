@@ -1,0 +1,190 @@
+"""Cluster shared-data-cache and TLB models (the paper's exclusions).
+
+Section 3.2: "The use of a shared coherent cache in Cedar circumvents
+the false sharing and cache coherency problems.  However, there would
+still be capacity and conflict cache misses.  The overhead due to these
+cache misses and the other overheads determined by the underlying
+hardware -- the overhead due to TLB misses ... -- are not characterized
+in this study."
+
+This module models what the paper excluded, so the exclusion can be
+quantified (``examples/excluded_overheads.py``):
+
+* :class:`SetAssociativeCache` -- an exact set-associative LRU cache,
+  used for microbenchmarks and to validate the analytic estimator;
+* :class:`StreamingMissModel` -- a closed-form miss-rate estimate for
+  the loop-sweep access patterns of the modelled applications;
+* :class:`ClusterCacheModel` -- per-cluster stall-time estimates that
+  application runs can optionally enable
+  (``CedarConfig.model_cluster_cache``).
+
+The Alliant FX/8's shared data cache is modelled with its published
+organisation: 512 KB, 4-way interleaved banks, 32-byte lines.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+__all__ = [
+    "CacheConfig",
+    "SetAssociativeCache",
+    "StreamingMissModel",
+    "ClusterCacheModel",
+]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Organisation of a cluster's shared data cache and TLB."""
+
+    #: Total capacity in bytes (Alliant FX/8: 512 KB shared cache).
+    capacity_bytes: int = 512 * 1024
+    #: Cache line size in bytes.
+    line_bytes: int = 32
+    #: Set associativity.
+    associativity: int = 4
+    #: CE cycles to refill a line from cluster memory.
+    miss_penalty_cycles: int = 12
+    #: TLB entries per CE.
+    tlb_entries: int = 64
+    #: Page size covered by one TLB entry.
+    tlb_page_bytes: int = 4096
+    #: CE cycles to service a TLB miss (table walk).
+    tlb_miss_penalty_cycles: int = 20
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0:
+            raise ValueError("capacity and line size must be positive")
+        if self.capacity_bytes % self.line_bytes != 0:
+            raise ValueError("capacity must be a whole number of lines")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        n_lines = self.capacity_bytes // self.line_bytes
+        if n_lines % self.associativity != 0:
+            raise ValueError("line count must divide evenly into sets")
+
+    @property
+    def n_lines(self) -> int:
+        """Total cache lines."""
+        return self.capacity_bytes // self.line_bytes
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_lines // self.associativity
+
+
+class SetAssociativeCache:
+    """Exact set-associative cache with true-LRU replacement.
+
+    Used at microbenchmark scale and to validate
+    :class:`StreamingMissModel`; not intended for full-application runs.
+    """
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.config.n_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on a hit."""
+        line = address // self.config.line_bytes
+        index = line % self.config.n_sets
+        ways = self._sets[index]
+        if line in ways:
+            ways.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        ways[line] = None
+        if len(ways) > self.config.associativity:
+            ways.popitem(last=False)
+        return False
+
+    def access_range(self, base: int, n_bytes: int, stride: int = 8) -> int:
+        """Access a strided range; returns the number of misses."""
+        before = self.misses
+        for offset in range(0, max(stride, n_bytes), stride):
+            self.access(base + offset)
+        return self.misses - before
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed so far."""
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.misses / total
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (contents are kept)."""
+        self.hits = 0
+        self.misses = 0
+
+
+class StreamingMissModel:
+    """Closed-form miss estimates for loop-sweep access patterns.
+
+    The modelled applications sweep arrays repeatedly (time-stepping
+    codes): each loop touches a working set of ``ws_bytes`` per cluster
+    with unit-stride vector accesses, revisiting it every step.
+    """
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+
+    def sweep_miss_rate(self, ws_bytes: int) -> float:
+        """Per-*line* miss probability of a cyclic sweep.
+
+        A working set that fits in the cache only cold-misses (treated
+        as ~0 for steady state); one that exceeds it is evicted before
+        reuse -- with true LRU a cyclic sweep larger than the cache
+        misses on (approximately) every line.  A smooth ramp between
+        1x and 2x capacity avoids a modelling cliff at exactly-fits.
+        """
+        if ws_bytes <= 0:
+            return 0.0
+        capacity = self.config.capacity_bytes
+        if ws_bytes <= capacity:
+            return 0.0
+        if ws_bytes >= 2 * capacity:
+            return 1.0
+        return (ws_bytes - capacity) / capacity
+
+    def sweep_stall_cycles(self, bytes_accessed: int, ws_bytes: int) -> float:
+        """Expected refill stall cycles for one sweep of a loop chunk."""
+        lines = bytes_accessed / self.config.line_bytes
+        return (
+            lines
+            * self.sweep_miss_rate(ws_bytes)
+            * self.config.miss_penalty_cycles
+        )
+
+    def tlb_stall_cycles(self, bytes_accessed: int, ws_bytes: int) -> float:
+        """Expected TLB-walk stall cycles for one sweep."""
+        reach = self.config.tlb_entries * self.config.tlb_page_bytes
+        if ws_bytes <= reach:
+            return 0.0
+        pages = bytes_accessed / self.config.tlb_page_bytes
+        return pages * self.config.tlb_miss_penalty_cycles
+
+
+class ClusterCacheModel:
+    """Per-cluster stall accounting built on the streaming model."""
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        self.model = StreamingMissModel(self.config)
+        self.stall_cycles_total = 0.0
+
+    def chunk_stall_cycles(self, bytes_accessed: int, ws_bytes: int) -> float:
+        """Cache + TLB stall cycles for one CE chunk, and record them."""
+        stall = self.model.sweep_stall_cycles(bytes_accessed, ws_bytes)
+        stall += self.model.tlb_stall_cycles(bytes_accessed, ws_bytes)
+        self.stall_cycles_total += stall
+        return stall

@@ -1,0 +1,351 @@
+"""Analytic model of global-memory and network contention.
+
+The paper's contention overhead arises because more than one processor
+issues (mostly vector) requests to the shared global memory through the
+shared two-stage network (Section 7).  The packet-level simulator in
+:mod:`repro.hardware.network` reproduces this directly but is too slow
+for full-application runs, so application-scale simulations use this
+closed-form open-queueing-network model instead.  The model is
+validated against the packet-level simulator by
+``tests/hardware/test_contention_validation.py`` and the ablation bench
+``benchmarks/ablations/test_ablation_contention_models.py``.
+
+Model
+-----
+``k`` CEs each offer ``rate`` requests per CE cycle, addressed
+uniformly over the 32 interleaved modules (vector accesses with unit
+or odd stride spread across banks).  Three queueing centres lie on the
+forward path -- a stage-0 switch port, a stage-1 switch port, and a
+memory bank -- and two more on the return path.  Each centre is
+approximated as M/D/1; if any centre is saturated the per-CE throughput
+is throttled to the bottleneck capacity.  A hot-spot variant
+concentrates a fraction of the traffic on a single bank, reproducing
+the Pfister/Norton tree-saturation throughput collapse used in the
+clustering discussion of Section 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hardware.config import CedarConfig
+
+__all__ = ["ContentionModel", "ContentionEstimate", "LoadTracker"]
+
+
+@dataclass(frozen=True)
+class ContentionEstimate:
+    """Result of one analytic contention evaluation."""
+
+    #: Number of actively-requesting CEs the estimate assumes.
+    requesters: int
+    #: Offered per-CE request rate (requests per CE cycle).
+    offered_rate: float
+    #: Achieved per-CE request rate after bottleneck throttling.
+    achieved_rate: float
+    #: Mean request round trip in CE cycles, including queueing.
+    round_trip_cycles: float
+    #: Highest utilisation over all queueing centres (1.0 == saturated).
+    bottleneck_utilisation: float
+
+    @property
+    def throttled(self) -> bool:
+        """Whether some centre saturated and throughput was reduced."""
+        return self.achieved_rate < self.offered_rate - 1e-12
+
+
+class ContentionModel:
+    """Closed-form contention estimates for a :class:`CedarConfig`."""
+
+    #: Utilisation cap used to keep M/D/1 waiting times finite.
+    MAX_UTILISATION = 0.98
+
+    def __init__(self, config: CedarConfig) -> None:
+        self.config = config
+        self._stage0_switches = max(1, math.ceil(config.n_processors / config.switch_radix))
+
+    # -- queueing helpers -------------------------------------------------
+
+    @staticmethod
+    def _md1_wait(utilisation: float, service: float) -> float:
+        """M/D/1 mean waiting time for given utilisation and service time."""
+        if utilisation <= 0.0:
+            return 0.0
+        rho = min(utilisation, ContentionModel.MAX_UTILISATION)
+        return rho * service / (2.0 * (1.0 - rho))
+
+    def _centres(
+        self,
+        requesters: int,
+        rate: float,
+        hot_fraction: float = 0.0,
+        cluster_requesters: int | None = None,
+    ):
+        """Yield (name, arrival_rate, service_cycles) queueing centres.
+
+        Arrival rates are per-centre request rates in requests/cycle for
+        *one* representative centre on the path of a tagged request.
+        ``cluster_requesters`` is the number of streaming CEs sharing
+        the tagged CE's own cluster (vector phases are synchronised
+        within a cluster); when unknown, active CEs are assumed spread
+        evenly over the clusters.
+        """
+        config = self.config
+        k = requesters
+        total = k * rate
+        if cluster_requesters is not None:
+            per_switch = max(1, min(cluster_requesters, config.ces_per_cluster))
+        else:
+            per_switch = min(k, math.ceil(k / self._stage0_switches))
+        link = float(config.link_cycles)
+        service = float(config.memory_service_cycles)
+        uniform = 1.0 - hot_fraction
+        # Shared cluster interface/cache channel on the way out.
+        channel_service = 1.0 / config.cluster_channel_words_per_cycle
+        yield ("cluster-channel", per_switch * rate, channel_service)
+        # Forward stage 0: per-switch traffic spread over radix ports.
+        yield ("fwd-stage0", per_switch * rate / config.switch_radix, link)
+        # Forward stage 1: all traffic spread over all module links.
+        yield ("fwd-stage1", total / config.n_memory_modules, link)
+        # Memory bank seen by a uniform request.
+        bank_uniform = total * uniform / config.n_memory_modules
+        bank_hot = total * hot_fraction + bank_uniform
+        if hot_fraction > 0.0:
+            yield ("bank-hot", bank_hot, service)
+        else:
+            yield ("bank", bank_uniform, service)
+        # Return path mirrors the forward path.
+        yield ("bwd-stage0", total / config.n_memory_modules, link)
+        yield ("bwd-stage1", per_switch * rate / config.switch_radix, link)
+
+    # -- public API --------------------------------------------------------
+
+    def estimate(
+        self,
+        requesters: int,
+        rate: float,
+        hot_fraction: float = 0.0,
+        cluster_requesters: int | None = None,
+    ) -> ContentionEstimate:
+        """Estimate round trip and achieved throughput.
+
+        Parameters
+        ----------
+        requesters:
+            Number of CEs actively issuing requests machine-wide.
+        rate:
+            Offered requests per CE cycle (0 < rate <= 1).
+        hot_fraction:
+            Fraction of the traffic addressed to a single hot module
+            (0 for uniform vector traffic).
+        cluster_requesters:
+            Streaming CEs sharing the tagged CE's cluster (defaults to
+            an even spread of *requesters* over the clusters).
+        """
+        if requesters < 0:
+            raise ValueError(f"requesters must be >= 0, got {requesters}")
+        if rate < 0.0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+        if requesters == 0 or rate == 0.0:
+            return ContentionEstimate(
+                requesters=requesters,
+                offered_rate=rate,
+                achieved_rate=rate,
+                round_trip_cycles=float(self.config.min_memory_round_trip_cycles),
+                bottleneck_utilisation=0.0,
+            )
+        # Throughput throttling: scale the offered rate down until no
+        # centre exceeds the utilisation cap.
+        scale = 1.0
+        for _, arrival, service in self._centres(
+            requesters, rate, hot_fraction, cluster_requesters
+        ):
+            utilisation = arrival * service
+            if utilisation > self.MAX_UTILISATION:
+                scale = min(scale, self.MAX_UTILISATION / utilisation)
+        achieved = rate * scale
+        worst = 0.0
+        wait = 0.0
+        for _, arrival, service in self._centres(
+            requesters, achieved, hot_fraction, cluster_requesters
+        ):
+            utilisation = arrival * service
+            worst = max(worst, utilisation)
+            wait += self._md1_wait(utilisation, service)
+        round_trip = self.config.min_memory_round_trip_cycles + wait
+        return ContentionEstimate(
+            requesters=requesters,
+            offered_rate=rate,
+            achieved_rate=achieved,
+            round_trip_cycles=round_trip,
+            bottleneck_utilisation=worst,
+        )
+
+    def stream_rate(
+        self, requesters: int, rate: float, cluster_requesters: int | None = None
+    ) -> float:
+        """Self-consistent achieved per-CE stream rate.
+
+        Two mechanisms limit the offered rate: open-network saturation
+        (some queueing centre at capacity) and the closed-loop window
+        constraint -- a CE's Global Interface keeps at most
+        ``vector_window`` requests in flight, so the achieved rate
+        cannot exceed ``window / round_trip``.  The fixed point is
+        found by a few damped iterations.
+        """
+        window = float(self.config.vector_window)
+        achieved = self.estimate(requesters, rate, cluster_requesters=cluster_requesters).achieved_rate
+        for _ in range(20):
+            est = self.estimate(requesters, achieved, cluster_requesters=cluster_requesters)
+            limited = min(rate, est.achieved_rate, window / est.round_trip_cycles)
+            if abs(limited - achieved) < 1e-9:
+                achieved = limited
+                break
+            achieved = 0.5 * (achieved + limited)
+        return max(achieved, 1e-9)
+
+    def vector_time_cycles(
+        self,
+        n_words: int,
+        requesters: int,
+        rate: float,
+        cluster_requesters: int | None = None,
+    ) -> float:
+        """Time in CE cycles for one CE to stream ``n_words`` requests.
+
+        The CE pipelines requests at the achieved (window- and
+        saturation-limited) rate; the last response arrives one round
+        trip after the last issue.
+        """
+        if n_words <= 0:
+            raise ValueError(f"n_words must be positive, got {n_words}")
+        achieved = self.stream_rate(requesters, rate, cluster_requesters)
+        est = self.estimate(requesters, achieved, cluster_requesters=cluster_requesters)
+        issue_time = (n_words - 1) / achieved
+        return issue_time + est.round_trip_cycles
+
+    def slowdown(self, n_words: int, requesters: int, rate: float) -> float:
+        """Stretch factor of a vector stream vs. the single-CE case."""
+        alone = self.vector_time_cycles(n_words, 1, rate)
+        loaded = self.vector_time_cycles(n_words, requesters, rate)
+        return loaded / alone
+
+    def scalar_round_trip_cycles(self, background_k: int, background_rate: float) -> float:
+        """Round trip of one scalar request under background streams.
+
+        Used for synchronisation traffic -- lock test&set, barrier-flag
+        reads -- issued while ``background_k`` CEs stream vector
+        requests at ``background_rate``.  The probe queues behind the
+        background traffic at every centre.  Utilisation is capped a
+        little below the stream cap because the bounded switch buffers
+        of the real network limit how much queue a single scalar probe
+        can encounter.
+        """
+        if background_k <= 0 or background_rate <= 0.0:
+            return float(self.config.min_memory_round_trip_cycles)
+        achieved = self.stream_rate(background_k, background_rate)
+        wait = 0.0
+        for _, arrival, service in self._centres(background_k, achieved):
+            utilisation = min(arrival * service, 0.95)
+            wait += self._md1_wait(utilisation, service)
+        return self.config.min_memory_round_trip_cycles + wait
+
+    def hot_spot_bandwidth(
+        self,
+        requesters: int,
+        rate: float,
+        hot_fraction: float,
+        combining: bool = False,
+    ) -> float:
+        """Aggregate delivered requests/cycle under hot-spot traffic.
+
+        Reproduces the Pfister/Norton result that a small hot-spot
+        fraction collapses the *total* network bandwidth: the hot bank
+        saturates first and everything queued behind it slows down.
+
+        With ``combining=True`` the switches merge requests addressed
+        to the hot location (hardware message combining, the remedy
+        Pfister/Norton propose and the paper's Section 6 cites): each
+        switch stage can merge up to ``radix`` hot requests into one,
+        so the hot traffic reaching the bank shrinks by up to
+        ``radix ** stages`` and the bandwidth collapse disappears.
+        """
+        if combining and hot_fraction > 0.0:
+            stages = max(1, self.config._network_stages())
+            merge_factor = min(requesters, self.config.switch_radix**stages)
+            hot_fraction = hot_fraction / merge_factor
+        est = self.estimate(requesters, rate, hot_fraction=hot_fraction)
+        return est.achieved_rate * requesters
+
+
+class LoadTracker:
+    """Tracks how many CEs are actively streaming global-memory traffic.
+
+    The application-scale simulation registers a CE here for the
+    duration of each memory burst; the current count feeds the analytic
+    model so that contention *emerges* from concurrency.  The tracker
+    also accumulates a time-weighted average for reporting.
+    """
+
+    def __init__(self, sim, n_clusters: int = 4) -> None:
+        self._sim = sim
+        self._active = 0
+        self._rate_sum = 0.0
+        self._last_change_ns = 0
+        self._weighted_sum = 0.0
+        self._per_cluster = [0] * n_clusters
+
+    @property
+    def active(self) -> int:
+        """Number of CEs currently streaming."""
+        return self._active
+
+    def active_in_cluster(self, cluster_id: int) -> int:
+        """Number of streaming CEs in one cluster."""
+        return self._per_cluster[cluster_id]
+
+    @property
+    def mean_rate(self) -> float:
+        """Mean offered rate of the currently streaming CEs."""
+        if self._active == 0:
+            return 0.0
+        return self._rate_sum / self._active
+
+    @property
+    def busiest_cluster_count(self) -> int:
+        """Streaming-CE count of the busiest cluster."""
+        return max(self._per_cluster, default=0)
+
+    def _accumulate(self) -> None:
+        now = self._sim.now
+        self._weighted_sum += self._active * (now - self._last_change_ns)
+        self._last_change_ns = now
+
+    def enter(self, rate: float = 0.5, cluster_id: int = 0) -> None:
+        """Register one more streaming CE offering *rate* req/cycle."""
+        self._accumulate()
+        self._active += 1
+        self._rate_sum += rate
+        self._per_cluster[cluster_id] += 1
+
+    def exit(self, rate: float = 0.5, cluster_id: int = 0) -> None:
+        """Deregister a streaming CE (pass the enter arguments back)."""
+        if self._active <= 0:
+            raise ValueError("LoadTracker.exit() without matching enter()")
+        if self._per_cluster[cluster_id] <= 0:
+            raise ValueError(f"no streaming CEs registered in cluster {cluster_id}")
+        self._accumulate()
+        self._active -= 1
+        self._rate_sum = max(0.0, self._rate_sum - rate)
+        self._per_cluster[cluster_id] -= 1
+
+    def time_weighted_mean(self) -> float:
+        """Average number of streaming CEs so far."""
+        now = self._sim.now
+        total = self._weighted_sum + self._active * (now - self._last_change_ns)
+        if now == 0:
+            return 0.0
+        return total / now

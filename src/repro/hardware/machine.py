@@ -1,0 +1,169 @@
+"""The assembled Cedar machine model.
+
+:class:`CedarMachine` wires together the clusters, the global memory
+system, and the contention machinery, and offers the two memory-access
+facades the rest of the reproduction uses:
+
+* :meth:`memory_burst` -- the fast path used by application-scale
+  simulations: the burst duration is computed with the analytic
+  contention model from the number of *currently streaming* CEs, which
+  the machine tracks, so contention emerges from concurrency.
+* :attr:`memory` -- the packet-level :class:`GlobalMemorySystem`,
+  instantiated on demand for microbenchmarks and validation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+from repro.hardware.cache import ClusterCacheModel
+from repro.hardware.cluster import CE, Cluster
+from repro.hardware.config import CedarConfig
+from repro.hardware.contention import ContentionModel, LoadTracker
+from repro.hardware.memory import GlobalMemorySystem
+from repro.sim import Simulator
+
+__all__ = ["CedarMachine"]
+
+
+class CedarMachine:
+    """A simulated Cedar configuration.
+
+    Parameters
+    ----------
+    sim:
+        The simulator all machine processes run on.
+    config:
+        Machine configuration.
+    packet_level_memory:
+        If true, build the packet-level global memory system eagerly.
+        It is otherwise created lazily on first use of :attr:`memory`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CedarConfig,
+        packet_level_memory: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.clusters = [Cluster(sim, config, i) for i in range(config.n_clusters)]
+        self.contention = ContentionModel(config)
+        self.load = LoadTracker(sim, n_clusters=config.n_clusters)
+        self._memory: GlobalMemorySystem | None = None
+        if packet_level_memory:
+            self._memory = GlobalMemorySystem(sim, config)
+        #: Optional cluster cache/TLB stall models (Section 3.2's
+        #: excluded overheads), built when the config enables them.
+        self.cluster_caches: list[ClusterCacheModel] | None = None
+        if config.model_cluster_cache:
+            self.cluster_caches = [
+                ClusterCacheModel() for _ in range(config.n_clusters)
+            ]
+
+    @property
+    def memory(self) -> GlobalMemorySystem:
+        """The packet-level global memory system (built lazily)."""
+        if self._memory is None:
+            self._memory = GlobalMemorySystem(self.sim, self.config)
+        return self._memory
+
+    @property
+    def n_processors(self) -> int:
+        """Total CEs in this configuration."""
+        return self.config.n_processors
+
+    def all_ces(self) -> list[CE]:
+        """All CEs of the machine, in global id order."""
+        return [ce for cluster in self.clusters for ce in cluster.ces]
+
+    def ce(self, ce_id: int) -> CE:
+        """Look up a CE by global id."""
+        cluster = self.clusters[ce_id // self.config.ces_per_cluster]
+        return cluster.ces[ce_id % self.config.ces_per_cluster]
+
+    # -- analytic fast path ------------------------------------------------
+
+    #: Segments a burst is split into so its cost tracks load changes.
+    BURST_SEGMENTS = 4
+
+    def memory_burst(self, n_words: int, rate: float, cluster_id: int = 0) -> Generator:
+        """Process: one CE streams ``n_words`` global-memory requests.
+
+        The burst is priced with the analytic contention model from the
+        number of CEs streaming concurrently -- both machine-wide (bank
+        pressure) and within the caller's own cluster (shared channel
+        and stage-0 switch pressure); the CE registers with the load
+        tracker for the duration so later bursts see it.  The stream is
+        split into a few segments, each re-priced at the load current
+        when it starts -- otherwise a CE whose process happens to start
+        an instant before its peers would be priced at an artificially
+        low load for its whole burst.  Returns the total duration in
+        nanoseconds.
+        """
+        start = self.sim.now
+        segments = min(self.BURST_SEGMENTS, n_words)
+        base = n_words // segments
+        remainder = n_words - base * segments
+        self.load.enter(rate, cluster_id)
+        try:
+            for index in range(segments):
+                words = base + (1 if index < remainder else 0)
+                if words == 0:
+                    continue
+                cycles = self.contention.vector_time_cycles(
+                    words,
+                    requesters=self.load.active,
+                    rate=rate,
+                    cluster_requesters=self.load.active_in_cluster(cluster_id),
+                )
+                yield self.sim.timeout(self.config.cycles_to_ns(cycles))
+        finally:
+            self.load.exit(rate, cluster_id)
+        return self.sim.now - start
+
+    def cache_stall_ns(self, cluster_id: int, bytes_accessed: int, ws_bytes: int) -> int:
+        """Cluster cache + TLB stall time for a chunk, if modelled.
+
+        Returns 0 when cache modelling is disabled (the paper's own
+        accounting) or the loop declares no cluster working set.
+        """
+        if self.cluster_caches is None or ws_bytes <= 0 or bytes_accessed <= 0:
+            return 0
+        cycles = self.cluster_caches[cluster_id].chunk_stall_cycles(
+            bytes_accessed, ws_bytes
+        )
+        return self.config.cycles_to_ns(cycles)
+
+    def global_round_trip_ns(self) -> int:
+        """One scalar global-memory round trip under current load.
+
+        Used for synchronisation traffic (lock test&set probes,
+        barrier-flag checks): the probe queues behind whatever vector
+        streams are in flight right now.
+        """
+        cycles = self.contention.scalar_round_trip_cycles(
+            self.load.active, self.load.mean_rate
+        )
+        return self.config.cycles_to_ns(cycles)
+
+    def ideal_burst_ns(self, n_words: int, rate: float) -> int:
+        """Burst duration with a single requester (no contention).
+
+        Uses the same segmentation as :meth:`memory_burst` so the two
+        are directly comparable.
+        """
+        segments = min(self.BURST_SEGMENTS, n_words)
+        base = n_words // segments
+        remainder = n_words - base * segments
+        total = 0
+        for index in range(segments):
+            words = base + (1 if index < remainder else 0)
+            if words == 0:
+                continue
+            cycles = self.contention.vector_time_cycles(
+                words, requesters=1, rate=rate, cluster_requesters=1
+            )
+            total += self.config.cycles_to_ns(cycles)
+        return total

@@ -1,0 +1,79 @@
+"""Shared processor-activity board sampled by the ``statfx`` monitor.
+
+The runtime marks each CE active while it executes user computation
+(serial code or loop iterations) and inactive while it spins waiting
+for work or at barriers; ``statfx`` derives per-cluster concurrency
+from this board.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.config import CedarConfig
+from repro.sim import Simulator
+
+__all__ = ["ActivityBoard"]
+
+
+class ActivityBoard:
+    """Tracks which CEs are actively computing at any instant.
+
+    Also accumulates exact time-weighted activity per CE, which gives
+    the same average concurrency a dense sampler would converge to.
+    """
+
+    def __init__(self, sim: Simulator, config: CedarConfig) -> None:
+        self.sim = sim
+        self.config = config
+        n = config.n_processors
+        self._active = [False] * n
+        self._since = [0] * n
+        self._busy_ns = [0] * n
+
+    def set_active(self, ce_id: int) -> None:
+        """Mark a CE as actively computing."""
+        if not self._active[ce_id]:
+            self._active[ce_id] = True
+            self._since[ce_id] = self.sim.now
+
+    def set_idle(self, ce_id: int) -> None:
+        """Mark a CE as idle (spinning or waiting)."""
+        if self._active[ce_id]:
+            self._busy_ns[ce_id] += self.sim.now - self._since[ce_id]
+            self._active[ce_id] = False
+
+    def is_active(self, ce_id: int) -> bool:
+        """Whether the CE is currently computing."""
+        return self._active[ce_id]
+
+    def active_in_cluster(self, cluster_id: int) -> int:
+        """Number of currently active CEs in *cluster_id*."""
+        per = self.config.ces_per_cluster
+        lo = cluster_id * per
+        return sum(1 for ce in range(lo, lo + per) if self._active[ce])
+
+    def active_total(self) -> int:
+        """Number of currently active CEs in the machine."""
+        return sum(self._active)
+
+    def busy_ns(self, ce_id: int) -> int:
+        """Total active time of a CE so far."""
+        total = self._busy_ns[ce_id]
+        if self._active[ce_id]:
+            total += self.sim.now - self._since[ce_id]
+        return total
+
+    def mean_concurrency(self, cluster_id: int | None = None) -> float:
+        """Exact time-weighted average active-CE count.
+
+        Restricted to one cluster when *cluster_id* is given, otherwise
+        over the whole machine (the paper sums per-cluster values).
+        """
+        now = self.sim.now
+        if now == 0:
+            return 0.0
+        if cluster_id is None:
+            ces = range(self.config.n_processors)
+        else:
+            per = self.config.ces_per_cluster
+            ces = range(cluster_id * per, (cluster_id + 1) * per)
+        return sum(self.busy_ns(ce) for ce in ces) / now

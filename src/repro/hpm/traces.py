@@ -1,0 +1,82 @@
+"""Trace-buffer off-loading: persistence and summaries.
+
+On the real system the cedarhpm trace buffers were off-loaded to a Sun
+workstation for analysis after each run (Section 4); this module is the
+equivalent: event traces can be written to and read back from a simple
+JSON-lines format, and summarised for quick inspection.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.hpm.events import EventType, TraceEvent
+
+__all__ = ["save_trace", "load_trace", "trace_summary"]
+
+
+def _to_record(event: TraceEvent) -> dict:
+    payload = event.payload
+    if isinstance(payload, tuple):
+        payload = list(payload)
+    return {
+        "e": int(event.event_type),
+        "t": event.timestamp_ns,
+        "p": event.processor_id,
+        "k": event.task_id,
+        "d": payload,
+    }
+
+
+def _from_record(record: dict) -> TraceEvent:
+    payload = record.get("d")
+    if isinstance(payload, list):
+        payload = tuple(payload)
+    return TraceEvent(
+        EventType(record["e"]),
+        record["t"],
+        record["p"],
+        record.get("k", -1),
+        payload,
+    )
+
+
+def save_trace(events: list[TraceEvent], path: str | Path) -> int:
+    """Write events to *path* as JSON lines; returns the event count."""
+    path = Path(path)
+    with path.open("w") as f:
+        for event in events:
+            f.write(json.dumps(_to_record(event), separators=(",", ":")))
+            f.write("\n")
+    return len(events)
+
+
+def load_trace(path: str | Path) -> list[TraceEvent]:
+    """Read events back from a file written by :func:`save_trace`."""
+    events = []
+    with Path(path).open() as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                events.append(_from_record(json.loads(line)))
+    return events
+
+
+def trace_summary(events: list[TraceEvent]) -> dict:
+    """Quick-look statistics of a trace buffer.
+
+    Returns a dict with the event count, the time span, per-event-type
+    counts and per-processor counts.
+    """
+    if not events:
+        return {"events": 0, "span_ns": 0, "by_type": {}, "by_processor": {}}
+    by_type = Counter(e.event_type.name for e in events)
+    by_processor = Counter(e.processor_id for e in events)
+    return {
+        "events": len(events),
+        "span_ns": events[-1].timestamp_ns - events[0].timestamp_ns,
+        "by_type": dict(by_type),
+        "by_processor": dict(by_processor),
+    }

@@ -1,0 +1,23 @@
+"""Model of the Cedar Fortran runtime library.
+
+Implements the parallel-loop execution protocol characterized in
+Section 6 of the paper: helper tasks spinning for work, hierarchical
+SDOALL/CDOALL distribution, flat XDOALL distribution through a
+global-memory lock, and spin finish-barriers.
+"""
+
+from repro.runtime.library import CedarFortranRuntime
+from repro.runtime.loops import LoopConstruct, ParallelLoop, Phase, SerialPhase
+from repro.runtime.params import RuntimeParams
+from repro.runtime.transform import merge_adjacent_loops, mergeable
+
+__all__ = [
+    "CedarFortranRuntime",
+    "LoopConstruct",
+    "ParallelLoop",
+    "Phase",
+    "RuntimeParams",
+    "SerialPhase",
+    "merge_adjacent_loops",
+    "mergeable",
+]

@@ -1,0 +1,209 @@
+"""Parallel-loop and phase descriptors for Cedar Fortran programs.
+
+Cedar Fortran exposes loop-level parallelism through two constructs
+(Section 2): the hierarchical ``SDOALL``/``CDOALL`` nest, whose outer
+iterations are self-scheduled one at a time to each cluster task and
+whose inner iterations spread over the cluster's 8 CEs via the
+concurrency control bus, and the flat ``XDOALL``, in which every CE of
+the machine independently picks iterations by test&set on a
+global-memory lock.  Applications also contain a few *main
+cluster-only* loops (``CDOALL``/``CDOACROSS`` without an outer spread
+loop).
+
+The descriptors here say nothing about *how* loops execute -- that is
+:mod:`repro.runtime.library`'s job; they describe the shape and cost of
+the work, and are what the application models in :mod:`repro.apps` are
+made of.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "LoopConstruct",
+    "ParallelLoop",
+    "SerialPhase",
+    "Phase",
+]
+
+
+class LoopConstruct(enum.Enum):
+    """Which runtime construct executes a parallel loop."""
+
+    #: Hierarchical spread/cluster nest: outer iterations per cluster,
+    #: inner iterations over the cluster's CEs via the CC bus.
+    SDOALL = "sdoall"
+    #: Flat loop: every CE picks iterations from a global-memory lock.
+    XDOALL = "xdoall"
+    #: Main cluster-only loop (CDOALL without an outer spread loop).
+    CLUSTER_ONLY = "cluster_only"
+    #: Main cluster-only loop with serialised regions (CDOACROSS).
+    CDOACROSS = "cdoacross"
+
+
+#: Constructs executed only by the cluster running the main task.
+MAIN_CLUSTER_ONLY = frozenset({LoopConstruct.CLUSTER_ONLY, LoopConstruct.CDOACROSS})
+
+
+@dataclass(frozen=True)
+class ParallelLoop:
+    """One parallel loop of an application.
+
+    Parameters
+    ----------
+    construct:
+        Runtime construct used.
+    n_outer:
+        SDOALL outer (spread) iteration count.  Unused by XDOALL and
+        cluster-only loops.
+    n_inner:
+        Iterations of the inner/flat loop body.  For SDOALL this is the
+        CDOALL trip count of *each* outer iteration; for XDOALL and
+        cluster-only loops it is the full trip count.
+    work_ns_per_iter:
+        Pure CE compute time of one iteration (no memory stalls).
+    mem_words_per_iter:
+        Global-memory words each iteration streams (vector accesses).
+    mem_rate:
+        Request rate of the streams (requests per CE cycle, <= 1).
+    page_base:
+        First virtual page the loop's data occupies (page faults are
+        generated on first touch).  ``-1`` disables paging for the loop.
+    iters_per_page:
+        How many consecutive iterations share one data page; values > 1
+        make simultaneously-executing CEs touch the same fresh page,
+        which is what produces *concurrent* page faults.
+    serial_fraction:
+        For CDOACROSS only: fraction of each iteration that must run
+        serialised.
+    work_skew:
+        Deterministic per-iteration work variation amplitude in [0, 1):
+        real loop bodies are not uniform (boundary iterations, sparse
+        rows), which is what makes the self-scheduled clusters finish a
+        spread loop at different times and the main task wait at the
+        barrier.
+    label:
+        Stable identifier used in traces.
+    """
+
+    construct: LoopConstruct
+    n_inner: int
+    work_ns_per_iter: int
+    n_outer: int = 1
+    mem_words_per_iter: int = 0
+    mem_rate: float = 0.5
+    page_base: int = -1
+    iters_per_page: int = 8
+    serial_fraction: float = 0.0
+    #: CDOACROSS dependence distance: iteration i waits for iteration
+    #: i - distance, so at most ``distance`` iterations can run
+    #: concurrently (0 means no cross-iteration dependence).
+    dependence_distance: int = 0
+    work_skew: float = 0.0
+    #: Per-cluster working set the loop sweeps through the cluster's
+    #: shared data cache (0 disables the optional cache/TLB stall
+    #: modelling -- the paper's own accounting excludes it).
+    cluster_ws_bytes: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_inner <= 0:
+            raise ValueError(f"n_inner must be positive, got {self.n_inner}")
+        if self.n_outer <= 0:
+            raise ValueError(f"n_outer must be positive, got {self.n_outer}")
+        if self.work_ns_per_iter < 0:
+            raise ValueError("work_ns_per_iter must be >= 0")
+        if self.mem_words_per_iter < 0:
+            raise ValueError("mem_words_per_iter must be >= 0")
+        if not 0.0 < self.mem_rate <= 1.0:
+            raise ValueError(f"mem_rate must be in (0, 1], got {self.mem_rate}")
+        if self.iters_per_page <= 0:
+            raise ValueError("iters_per_page must be positive")
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ValueError("serial_fraction must be in [0, 1]")
+        if not 0.0 <= self.work_skew < 1.0:
+            raise ValueError("work_skew must be in [0, 1)")
+        if self.cluster_ws_bytes < 0:
+            raise ValueError("cluster_ws_bytes must be >= 0")
+        if self.dependence_distance < 0:
+            raise ValueError("dependence_distance must be >= 0")
+        if self.dependence_distance > 0 and self.construct is not LoopConstruct.CDOACROSS:
+            raise ValueError("dependence_distance applies to CDOACROSS loops only")
+        if self.construct in MAIN_CLUSTER_ONLY and self.n_outer != 1:
+            raise ValueError("cluster-only loops have no outer iterations")
+
+    @property
+    def is_main_cluster_only(self) -> bool:
+        """Whether only the main task's cluster executes this loop."""
+        return self.construct in MAIN_CLUSTER_ONLY
+
+    def work_multiplier(self, index: int, salt: int = 0) -> float:
+        """Deterministic work-variation multiplier for chunk *index*.
+
+        A cheap integer hash mapped to [1 - work_skew, 1 + work_skew];
+        the multiplier is 1.0 when ``work_skew`` is 0.  ``salt``
+        distinguishes loop instances so the long iterations land on
+        different processors each invocation, as they do in real codes.
+        """
+        if self.work_skew == 0.0:
+            return 1.0
+        h = (index * 2654435761 + (salt + 1) * 0x9E3779B9) & 0xFFFF
+        return 1.0 + self.work_skew * (h / 32767.5 - 1.0)
+
+    @property
+    def total_iterations(self) -> int:
+        """Total loop-body executions."""
+        return self.n_outer * self.n_inner
+
+    @property
+    def total_work_ns(self) -> int:
+        """Total pure compute time of the loop body."""
+        return self.total_iterations * self.work_ns_per_iter
+
+    def page_for_iteration(self, outer: int, inner: int) -> int | None:
+        """Data page touched by iteration (outer, inner), if paging."""
+        if self.page_base < 0:
+            return None
+        index = outer * self.n_inner + inner
+        return self.page_base + index // self.iters_per_page
+
+    @property
+    def n_pages(self) -> int:
+        """Number of data pages the loop touches."""
+        if self.page_base < 0:
+            return 0
+        return (self.total_iterations + self.iters_per_page - 1) // self.iters_per_page
+
+
+@dataclass(frozen=True)
+class SerialPhase:
+    """A serial code section executed by the main task's lead CE."""
+
+    work_ns: int
+    #: Global-memory words streamed during the section.
+    mem_words: int = 0
+    mem_rate: float = 0.3
+    #: Pages touched while executing the section (sequential faults).
+    page_base: int = -1
+    n_pages: int = 0
+    #: Cluster system calls issued during the section.
+    syscalls: int = 0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.work_ns < 0:
+            raise ValueError("work_ns must be >= 0")
+        if self.mem_words < 0:
+            raise ValueError("mem_words must be >= 0")
+        if self.n_pages < 0:
+            raise ValueError("n_pages must be >= 0")
+        if self.syscalls < 0:
+            raise ValueError("syscalls must be >= 0")
+        if not 0.0 < self.mem_rate <= 1.0:
+            raise ValueError(f"mem_rate must be in (0, 1], got {self.mem_rate}")
+
+
+#: A program phase: either serial code or a parallel loop.
+Phase = SerialPhase | ParallelLoop

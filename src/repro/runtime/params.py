@@ -1,0 +1,70 @@
+"""Tunable costs of the Cedar Fortran runtime-library model.
+
+These model the protocol costs of Section 2's runtime description: the
+spin polling of helper tasks on the ``sdoall_activity_lock``, the
+global-memory test&set cost of picking an iteration, the loop-parameter
+setup writes, and barrier detach/detection costs.  All are expressed in
+CE cycles or nanoseconds and are deliberately user-visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RuntimeParams"]
+
+
+@dataclass(frozen=True)
+class RuntimeParams:
+    """Cost parameters of the runtime-library protocol model."""
+
+    #: CE cycles between helper polls of the activity lock ("checking
+    #: the sdoall_activity_lock in the global memory every few cycles").
+    spin_check_cycles: int = 50
+    #: Global-memory round trips per iteration pickup (test&set the
+    #: loop-index lock, read/update the index, release).
+    pickup_round_trips: float = 4.0
+    #: Extra CE cycles of bookkeeping per pickup.
+    pickup_overhead_cycles: int = 30
+    #: Cost for the main task to set up loop parameters in global
+    #: memory before posting a loop (several global writes).
+    setup_round_trips: float = 3.0
+    #: Extra CE cycles of setup bookkeeping.
+    setup_overhead_cycles: int = 60
+    #: Cost for a helper to join a posted loop once it sees the post.
+    join_round_trips: float = 1.0
+    #: Global round trips for a task to detach at a loop finish barrier.
+    detach_round_trips: float = 1.0
+    #: CE cycles between barrier polls by the spinning main task.
+    barrier_check_cycles: int = 50
+    #: Compute/memory interleave slices per CDOALL chunk: vector codes
+    #: alternate gather/compute/scatter phases, so a chunk's global
+    #: traffic is spread through it rather than front-loaded.
+    chunk_slices: int = 3
+    #: Lock-pickup inflation per waiting CE: CEs spinning on the loop
+    #: index lock keep re-reading its global-memory location, slowing
+    #: the holder's RMW (the hot-spot effect of Pfister/Norton).
+    pickup_retry_factor: float = 0.05
+    #: Barrier organisation: ``None`` uses Cedar's flat central counter
+    #: in global memory (every detaching task RMWs one location, which
+    #: serialises and becomes a hot spot when many tasks synchronise);
+    #: an integer >= 2 uses a software combining tree of that fanout
+    #: (Yew, Tzeng & Lawrie), where detaches combine within groups and
+    #: only group representatives ascend.
+    barrier_fanout: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("spin_check_cycles", "pickup_overhead_cycles",
+                     "setup_overhead_cycles", "barrier_check_cycles",
+                     "chunk_slices"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("pickup_round_trips", "setup_round_trips",
+                     "join_round_trips", "detach_round_trips",
+                     "pickup_retry_factor"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if self.barrier_fanout is not None and self.barrier_fanout < 2:
+            raise ValueError(
+                f"barrier_fanout must be >= 2 or None, got {self.barrier_fanout}"
+            )

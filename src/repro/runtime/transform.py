@@ -1,0 +1,103 @@
+"""Program transformations the paper's Section 6 proposes.
+
+The barrier-wait analysis suggests *merging several parallel loops in a
+row that do not have dependencies among them*, turning a series of
+multicluster barriers into a single one -- an optimisation that (with
+other manual work) gave a 2x improvement for FLO52 on the real machine.
+This module implements that transformation on phase lists so the claim
+can be tested on the model (see ``examples/loop_merging.py`` and
+``benchmarks/ablations/test_ablation_loop_merging.py``).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.loops import LoopConstruct, ParallelLoop, Phase
+
+__all__ = ["merge_adjacent_loops", "mergeable"]
+
+
+def mergeable(a: ParallelLoop, b: ParallelLoop) -> bool:
+    """Whether two adjacent loops can be fused into one spread loop.
+
+    The model's criterion mirrors the paper's: both must be spread
+    loops of the same construct with the same inner trip count and
+    compatible memory behaviour, and (for this conservative analysis)
+    independent -- which the phase list encodes by adjacency without an
+    intervening serial section.
+    """
+    if a.is_main_cluster_only or b.is_main_cluster_only:
+        return False
+    if a.construct is not b.construct:
+        return False
+    if a.construct is LoopConstruct.SDOALL and a.n_inner != b.n_inner:
+        return False
+    if a.mem_rate != b.mem_rate:
+        return False
+    if a.serial_fraction != b.serial_fraction:
+        return False
+    return True
+
+
+def _merge_pair(a: ParallelLoop, b: ParallelLoop) -> ParallelLoop:
+    if a.construct is LoopConstruct.XDOALL:
+        # Flat loops concatenate their iteration spaces.
+        total_a = a.n_inner * a.work_ns_per_iter
+        total_b = b.n_inner * b.work_ns_per_iter
+        n_inner = a.n_inner + b.n_inner
+        work = (total_a + total_b) // n_inner
+        words = (
+            a.n_inner * a.mem_words_per_iter + b.n_inner * b.mem_words_per_iter
+        ) // n_inner
+        return ParallelLoop(
+            construct=a.construct,
+            n_outer=1,
+            n_inner=n_inner,
+            work_ns_per_iter=work,
+            mem_words_per_iter=words,
+            mem_rate=a.mem_rate,
+            page_base=a.page_base,
+            iters_per_page=a.iters_per_page,
+            work_skew=max(a.work_skew, b.work_skew),
+            label=f"{a.label}+{b.label}",
+        )
+    # SDOALL: concatenate the outer iteration spaces (same inner shape).
+    total_outer = a.n_outer + b.n_outer
+    work = (
+        a.n_outer * a.work_ns_per_iter + b.n_outer * b.work_ns_per_iter
+    ) // total_outer
+    words = (
+        a.n_outer * a.mem_words_per_iter + b.n_outer * b.mem_words_per_iter
+    ) // total_outer
+    return ParallelLoop(
+        construct=a.construct,
+        n_outer=total_outer,
+        n_inner=a.n_inner,
+        work_ns_per_iter=work,
+        mem_words_per_iter=words,
+        mem_rate=a.mem_rate,
+        page_base=a.page_base,
+        iters_per_page=a.iters_per_page,
+        work_skew=max(a.work_skew, b.work_skew),
+        label=f"{a.label}+{b.label}",
+    )
+
+
+def merge_adjacent_loops(phases: list[Phase]) -> list[Phase]:
+    """Fuse runs of adjacent, mergeable spread loops.
+
+    Each fused run pays one setup, one post, and -- crucially -- one
+    finish barrier instead of one per loop.  Returns a new phase list;
+    the input is not modified.
+    """
+    merged: list[Phase] = []
+    for phase in phases:
+        previous = merged[-1] if merged else None
+        if (
+            isinstance(phase, ParallelLoop)
+            and isinstance(previous, ParallelLoop)
+            and mergeable(previous, phase)
+        ):
+            merged[-1] = _merge_pair(previous, phase)
+        else:
+            merged.append(phase)
+    return merged

@@ -1,0 +1,49 @@
+"""Generator-based discrete-event simulation kernel.
+
+The kernel underlies every other subsystem of the reproduction: the
+hardware model (:mod:`repro.hardware`), the Xylem OS model
+(:mod:`repro.xylem`) and the Cedar Fortran runtime model
+(:mod:`repro.runtime`) are all collections of simulation processes
+scheduled by a single :class:`Simulator`.
+"""
+
+from repro.sim.core import (
+    PENDING,
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from repro.sim.resources import (
+    Gate,
+    PriorityRequest,
+    PriorityResource,
+    Request,
+    Resource,
+    Store,
+)
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "EmptySchedule",
+    "Event",
+    "Gate",
+    "Interrupt",
+    "PENDING",
+    "PriorityRequest",
+    "PriorityResource",
+    "Process",
+    "Request",
+    "Resource",
+    "Simulator",
+    "SimulationError",
+    "Store",
+    "StopSimulation",
+    "Timeout",
+]

@@ -1,0 +1,471 @@
+"""Discrete-event simulation kernel.
+
+This module implements a small, dependency-free, generator-based
+discrete-event simulator in the style of SimPy.  Simulation *processes*
+are Python generators that ``yield`` :class:`Event` objects; the
+:class:`Simulator` resumes a process when the event it waits on is
+processed.
+
+The simulated clock is a plain integer.  Throughout this project one
+clock unit is one **nanosecond** of Cedar time, which comfortably covers
+both the 50 ns resolution of the ``cedarhpm`` monitor modelled in
+:mod:`repro.hpm` and the 170 ns CE cycle of the modelled hardware.
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator()
+>>> def hello(sim):
+...     yield sim.timeout(10)
+...     return sim.now
+>>> proc = sim.process(hello(sim))
+>>> sim.run()
+>>> sim.now
+10
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator, Iterable
+
+from repro.sim.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Event",
+    "PENDING",
+    "Process",
+    "Simulator",
+    "Timeout",
+]
+
+
+class _Pending:
+    """Sentinel for the value of an event that has not been triggered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<PENDING>"
+
+
+#: Unique sentinel object marking an untriggered event's value.
+PENDING = _Pending()
+
+#: Priority for urgent (kernel-internal) events.
+URGENT = 0
+#: Priority for normal events.
+NORMAL = 1
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event moves through three states:
+
+    * *pending* -- not yet triggered; ``triggered`` is ``False``;
+    * *triggered* -- scheduled to be processed; has a value;
+    * *processed* -- callbacks have run; ``processed`` is ``True``.
+
+    Processes wait for an event by ``yield``-ing it.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        #: Callables invoked (with this event) when the event is processed.
+        #: ``None`` once the event has been processed.
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: object = PENDING
+        self._ok = True
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the event has been scheduled for processing."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """``True`` once the callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """``True`` if the event succeeded (value is not an exception)."""
+        return self._ok
+
+    @property
+    def value(self) -> object:
+        """The value of the event, if it has been triggered."""
+        if self._value is PENDING:
+            raise SimulationError("value of untriggered event is not available")
+        return self._value
+
+    def succeed(self, value: object = None) -> "Event":
+        """Trigger the event successfully with an optional *value*."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.sim.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with *exception* as its value.
+
+        A failed event re-raises the exception inside every process
+        waiting on it.  If no process waits on it, the simulator raises
+        the exception at the end of the step (unless :meth:`defused`).
+        """
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.sim.schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it will not crash the run."""
+        self._defused = True
+
+    def __and__(self, other: "Event") -> "Condition":
+        return Condition(self.sim, Condition.all_events, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return Condition(self.sim, Condition.any_events, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers after a fixed *delay*."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: object = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        sim.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A simulation process wrapping a generator.
+
+    The process itself is an event that triggers when the generator
+    terminates; its value is the generator's return value.  Other
+    processes can therefore wait for a process to finish by yielding it.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits for (``None`` if active
+        #: or terminated).
+        self._target: Event | None = Initialize(sim, self)
+
+    @property
+    def target(self) -> Event | None:
+        """The event this process is currently waiting for."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` until the wrapped generator terminates."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: object = None) -> None:
+        """Interrupt this process, raising :class:`Interrupt` inside it."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self.name} has terminated and cannot be interrupted")
+        if self is self.sim.active_process:
+            raise SimulationError("a process is not allowed to interrupt itself")
+        event = Event(self.sim)
+        event._ok = False
+        event._defused = True
+        event._value = Interrupt(cause)
+        event.callbacks.append(self._resume)
+        self.sim.schedule(event, priority=URGENT)
+        # Unsubscribe from the event the process was waiting on.
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value of *event*."""
+        self.sim._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The event failed; re-raise inside the process.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
+            except StopIteration as stop:
+                # Process terminated normally.
+                self._target = None
+                self._ok = True
+                self._value = stop.value
+                self.sim.schedule(self)
+                break
+            except BaseException as exc:
+                # Process crashed.
+                self._target = None
+                self._ok = False
+                self._value = exc
+                self.sim.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # The event is pending or triggered-but-unprocessed:
+                # subscribe and go to sleep.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # The event was already processed: continue immediately with
+            # its value (do not go back through the event queue).
+            event = next_event
+            if not event._ok and not event._defused:
+                # Waiting on an already-failed, undefused event.
+                event._defused = True
+        self.sim._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} {'alive' if self.is_alive else 'dead'}>"
+
+
+class Condition(Event):
+    """An event that triggers when a condition over child events holds.
+
+    Use :class:`AllOf` / :class:`AnyOf` (or the ``&`` / ``|`` operators
+    on events) rather than instantiating this class directly.  The value
+    of a condition is a dict mapping each *triggered* child event to its
+    value.
+    """
+
+    __slots__ = ("_evaluate", "_events", "_count")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(sim)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("events belong to different simulators")
+
+        # Check already-processed events first, then subscribe to the rest.
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+        if not self._events and self._value is PENDING:
+            self.succeed({})
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        """Condition for :class:`AllOf`: every child has triggered."""
+        return len(events) == count
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        """Condition for :class:`AnyOf`: at least one child triggered."""
+        return count > 0 or not events
+
+    def _collect_values(self) -> dict[Event, object]:
+        return {event: event._value for event in self._events if event.callbacks is None}
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AllOf(Condition):
+    """Event that triggers once *all* of *events* have triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Event that triggers once *any* of *events* has triggered."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, Condition.any_events, events)
+
+
+class Simulator:
+    """The discrete-event simulator: clock plus event queue.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock (integer nanoseconds).
+    """
+
+    def __init__(self, initial_time: int = 0) -> None:
+        self._now = int(initial_time)
+        self._queue: list[tuple[int, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> int:
+        """Current simulated time (nanoseconds)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction helpers ------------------------------------
+
+    def event(self) -> Event:
+        """Create a new, untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: object = None) -> Timeout:
+        """Create a :class:`Timeout` triggering ``delay`` ns from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Start a new :class:`Process` running *generator*."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event triggering when all *events* have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event triggering when any of *events* has triggered."""
+        return AnyOf(self, events)
+
+    # -- scheduling and execution ---------------------------------------
+
+    def schedule(self, event: Event, priority: int = NORMAL, delay: int = 0) -> None:
+        """Schedule *event* for processing ``delay`` ns from now."""
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> int | float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`EmptySchedule` if no events remain.
+        """
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no more events scheduled") from None
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: crash the simulation.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Event | int | None = None) -> object:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None``  -- run until no events remain;
+            an ``int`` -- run until the clock reaches that time;
+            an :class:`Event` -- run until that event is processed, and
+            return its value.
+        """
+        stop_event: Event | None = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop_event = until
+                if stop_event.callbacks is None:
+                    return stop_event._value
+                stop_event.callbacks.append(self._stop_callback)
+            else:
+                at = int(until)
+                if at <= self._now:
+                    raise ValueError(f"until ({at}) must be greater than now ({self._now})")
+                stop_event = Event(self)
+                stop_event._ok = True
+                stop_event._value = None
+                stop_event.callbacks.append(self._stop_callback)
+                self.schedule(stop_event, priority=URGENT, delay=at - self._now)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            if stop_event is not None and isinstance(until, Event):
+                if stop_event.callbacks is not None:
+                    raise SimulationError(
+                        "no more events scheduled but the until-event has not triggered"
+                    ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event._value)

@@ -1,0 +1,39 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all errors raised by the simulation kernel."""
+
+
+class EmptySchedule(SimulationError):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Internal control-flow exception that ends :meth:`Simulator.run`.
+
+    Raised when the event passed as ``until`` is processed.  It carries the
+    value of that event so ``run`` can return it.
+    """
+
+    def __init__(self, value: object) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process when another process interrupts it.
+
+    The ``cause`` attribute carries the object passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0]

@@ -1,0 +1,37 @@
+"""Model of Xylem, the Cedar operating system.
+
+Implements the OS mechanisms whose overheads the paper characterizes in
+Section 5: gang-scheduled cluster execution with cross-processor
+interrupts, context switching, demand paging with sequential and
+concurrent page faults, cluster/global system calls, critical sections
+protected by kernel locks (with emergent spin time), and asynchronous
+system traps -- all feeding a per-cluster time-accounting ledger.
+"""
+
+from repro.xylem.accounting import TimeAccounting
+from repro.xylem.categories import OsActivity, TimeCategory, activity_category
+from repro.xylem.kernel import ClusterState, XylemKernel
+from repro.xylem.locks import CriticalSections, KernelLock
+from repro.xylem.params import XylemParams
+from repro.xylem.scheduler import BackgroundWorkload
+from repro.xylem.task import ClusterTask, TaskKind, XylemProcess, create_process
+from repro.xylem.vm import FaultStats, VirtualMemory
+
+__all__ = [
+    "BackgroundWorkload",
+    "ClusterState",
+    "ClusterTask",
+    "CriticalSections",
+    "FaultStats",
+    "KernelLock",
+    "OsActivity",
+    "TaskKind",
+    "TimeAccounting",
+    "TimeCategory",
+    "VirtualMemory",
+    "XylemKernel",
+    "XylemParams",
+    "XylemProcess",
+    "activity_category",
+    "create_process",
+]

@@ -1,0 +1,76 @@
+"""Time-accounting categories used throughout the OS model.
+
+Two granularities, matching the paper's two OS views:
+
+* :class:`TimeCategory` -- the coarse breakdown of cluster time
+  measured by the "Q" facility (Figure 3): user, system, interrupt and
+  kernel-lock spin time.
+* :class:`OsActivity` -- the detailed OS activities of Table 2:
+  cross-processor interrupts, context switching, concurrent and
+  sequential page faults, cluster and global critical sections,
+  cluster and global system calls, and asynchronous system traps.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["TimeCategory", "OsActivity", "activity_category"]
+
+
+class TimeCategory(enum.Enum):
+    """Coarse per-cluster time breakdown (Section 5, Figure 3)."""
+
+    #: Application code, including user-level spins and barrier waits.
+    USER = "user"
+    #: General system work: syscalls, context switches, faults, critical
+    #: sections.
+    SYSTEM = "system"
+    #: Software and cross-processor interrupt servicing.
+    INTERRUPT = "interrupt"
+    #: Kernel lock spin: waiting for shared-memory or cluster-memory locks.
+    KSPIN = "kspin"
+
+
+class OsActivity(enum.Enum):
+    """Detailed OS overhead categories (Table 2)."""
+
+    #: Servicing cross-processor interrupts.
+    CPI = "cpi"
+    #: Context switching.
+    CTX = "ctx"
+    #: Concurrent page faults (>= 2 CEs fault the same new page).
+    PGFLT_CONCURRENT = "pg flt (c)"
+    #: Sequential page faults.
+    PGFLT_SEQUENTIAL = "pg flt (s)"
+    #: Cluster critical sections / resources.
+    CRSECT_CLUSTER = "Cr Sect (clus)"
+    #: Global critical sections / resources.
+    CRSECT_GLOBAL = "Cr Sect (glbl)"
+    #: Cluster system calls.
+    SYSCALL_CLUSTER = "clus syscall"
+    #: Global system calls.
+    SYSCALL_GLOBAL = "glbl syscall"
+    #: Asynchronous system traps.
+    AST = "ast"
+
+
+#: Which coarse category each detailed activity contributes to.  The
+#: paper counts CPI servicing as interrupt time and everything else as
+#: system time; kernel-lock spin is accounted separately.
+_ACTIVITY_CATEGORY = {
+    OsActivity.CPI: TimeCategory.INTERRUPT,
+    OsActivity.CTX: TimeCategory.SYSTEM,
+    OsActivity.PGFLT_CONCURRENT: TimeCategory.SYSTEM,
+    OsActivity.PGFLT_SEQUENTIAL: TimeCategory.SYSTEM,
+    OsActivity.CRSECT_CLUSTER: TimeCategory.SYSTEM,
+    OsActivity.CRSECT_GLOBAL: TimeCategory.SYSTEM,
+    OsActivity.SYSCALL_CLUSTER: TimeCategory.SYSTEM,
+    OsActivity.SYSCALL_GLOBAL: TimeCategory.SYSTEM,
+    OsActivity.AST: TimeCategory.SYSTEM,
+}
+
+
+def activity_category(activity: OsActivity) -> TimeCategory:
+    """Coarse :class:`TimeCategory` the *activity* is accounted under."""
+    return _ACTIVITY_CATEGORY[activity]

@@ -1,0 +1,315 @@
+"""The Xylem kernel model: daemons, CPIs, syscalls and gang execution.
+
+Xylem is Cedar's Unix-derived operating system.  The pieces the paper's
+measurements exercise, and which this model implements, are:
+
+* **Gang-scheduled cluster execution** -- within a cluster all 8 CEs
+  are gang scheduled; OS service that needs a single execution thread
+  (context switches, some syscalls, concurrent page faults) gathers the
+  CEs with a cross-processor interrupt (CPI), freezing user execution
+  on that cluster for the service window.
+* **Context switching** -- in a dedicated system, context switches
+  happen when the application blocks for I/O or when the OS server
+  performs bookkeeping (Section 5.1); modelled as a per-cluster daemon.
+* **System calls** (cluster and global) and **asynchronous system
+  traps**, each with their service cost and occasional CPI.
+* **Time accounting** feeding the "Q"-style breakdown of Figure 3 and
+  the Table 2 detail.
+
+User CE processes run their compute through :meth:`XylemKernel.execute`
+so that kernel freezes stretch user work, making the completion-time
+breakdown self-consistent: cluster wall time = user + system +
+interrupt + kspin.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Generator
+
+from repro.hardware.config import CedarConfig
+from repro.hpm.events import EventType
+from repro.hpm.monitor import CedarHpm
+from repro.sim import Gate, Resource, Simulator
+from repro.xylem.accounting import TimeAccounting
+from repro.xylem.categories import OsActivity
+from repro.xylem.locks import CriticalSections
+from repro.xylem.params import XylemParams
+from repro.xylem.vm import VirtualMemory
+
+__all__ = ["ClusterState", "XylemKernel"]
+
+
+class ClusterState:
+    """Per-cluster gang-execution state: runnable gate + freeze ledger."""
+
+    def __init__(self, sim: Simulator, cluster_id: int) -> None:
+        self.sim = sim
+        self.cluster_id = cluster_id
+        self.runnable = Gate(sim, open_=True)
+        self._freeze_depth = 0
+        self._frozen_since = 0
+        self._frozen_cum_ns = 0
+
+    @property
+    def frozen(self) -> bool:
+        """Whether the cluster is currently frozen for OS service."""
+        return self._freeze_depth > 0
+
+    def freeze(self) -> None:
+        """Suspend user execution on this cluster (nestable)."""
+        if self._freeze_depth == 0:
+            self.runnable.close()
+            self._frozen_since = self.sim.now
+        self._freeze_depth += 1
+
+    def unfreeze(self) -> None:
+        """Resume user execution once every freezer has released."""
+        if self._freeze_depth <= 0:
+            raise ValueError("unfreeze() without matching freeze()")
+        self._freeze_depth -= 1
+        if self._freeze_depth == 0:
+            self._frozen_cum_ns += self.sim.now - self._frozen_since
+            self.runnable.open()
+
+    def frozen_cum_ns(self) -> int:
+        """Total frozen time so far (including a current freeze)."""
+        total = self._frozen_cum_ns
+        if self._freeze_depth > 0:
+            total += self.sim.now - self._frozen_since
+        return total
+
+
+class XylemKernel:
+    """The modelled operating system of one Cedar machine."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: CedarConfig,
+        params: XylemParams | None = None,
+        hpm: CedarHpm | None = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.params = params or XylemParams()
+        self.hpm = hpm
+        self.accounting = TimeAccounting(config)
+        self.critical_sections = CriticalSections(sim, self.accounting, config.n_clusters)
+        self.clusters = [ClusterState(sim, i) for i in range(config.n_clusters)]
+        self.vm = VirtualMemory(
+            sim,
+            self.accounting,
+            self.params,
+            critical_sections=self.critical_sections,
+            cpi_handler=self.cpi_gather,
+        )
+        self._rng = random.Random(self.params.seed)
+        self._daemons_started = False
+        self._syscall_counter = 0
+        # A cluster can only be gathered into one single-CE execution
+        # thread at a time; concurrent gather requests serialise.
+        self._gather_locks = [Resource(sim, capacity=1) for _ in range(config.n_clusters)]
+
+    # -- instrumentation ----------------------------------------------------
+
+    def _record(self, event_type: EventType, cluster_id: int) -> None:
+        if self.hpm is not None:
+            # OS events are recorded against the cluster's first CE.
+            self.hpm.record(event_type, cluster_id * self.config.ces_per_cluster)
+
+    # -- daemons -------------------------------------------------------------
+
+    def start_daemons(self) -> None:
+        """Launch the per-cluster OS-server daemons (idempotent)."""
+        if self._daemons_started:
+            return
+        self._daemons_started = True
+        for cluster_id in range(self.config.n_clusters):
+            self.sim.process(self._ctx_daemon(cluster_id), name=f"ctx-daemon-{cluster_id}")
+            self.sim.process(self._ast_daemon(cluster_id), name=f"ast-daemon-{cluster_id}")
+            self.sim.process(self._sched_daemon(cluster_id), name=f"sched-daemon-{cluster_id}")
+
+    def _jittered(self, interval_ns: int) -> int:
+        jitter = self.params.interval_jitter
+        if jitter == 0.0:
+            return interval_ns
+        factor = 1.0 + self._rng.uniform(-jitter, jitter)
+        return max(1, int(interval_ns * factor))
+
+    def _ctx_daemon(self, cluster_id: int) -> Generator:
+        """OS-server bookkeeping: periodic context switches + CPIs."""
+        params = self.params
+        while True:
+            yield self.sim.timeout(self._jittered(params.ctx_interval_ns))
+            yield self.sim.process(self.context_switch(cluster_id), name="ctx")
+
+    def _sched_daemon(self, cluster_id: int) -> Generator:
+        """Explicit resource-scheduling requests.
+
+        The paper lists resource scheduling among the CPI sources
+        (Section 5.1); gang-scheduled helpers and the OS server trade
+        cluster resources at a steady background rate, each request
+        gathering a single execution thread and touching a cluster
+        critical section (occasionally a global one).
+        """
+        params = self.params
+        count = 0
+        while True:
+            yield self.sim.timeout(self._jittered(params.sched_interval_ns))
+            self._record(EventType.SCHED_ENTER, cluster_id)
+            yield self.sim.process(self.cpi_gather(cluster_id), name="sched-cpi")
+            state = self.clusters[cluster_id]
+            state.freeze()
+            try:
+                yield self.sim.process(
+                    self.critical_sections.access_cluster(
+                        cluster_id, params.crsect_cluster_cost_ns
+                    ),
+                    name="sched-crsect",
+                )
+                count += 1
+                if count % 8 == 0:
+                    yield self.sim.process(
+                        self.critical_sections.access_global(
+                            cluster_id, params.crsect_global_cost_ns
+                        ),
+                        name="sched-gcrsect",
+                    )
+            finally:
+                state.unfreeze()
+            self._record(EventType.SCHED_EXIT, cluster_id)
+
+    def _ast_daemon(self, cluster_id: int) -> Generator:
+        """Asynchronous system traps: rare, cheap."""
+        params = self.params
+        while True:
+            yield self.sim.timeout(self._jittered(params.ast_interval_ns))
+            self._record(EventType.AST_ENTER, cluster_id)
+            state = self.clusters[cluster_id]
+            state.freeze()
+            try:
+                yield self.sim.timeout(params.ast_cost_ns)
+                self.accounting.charge(cluster_id, OsActivity.AST, params.ast_cost_ns)
+            finally:
+                state.unfreeze()
+            self._record(EventType.AST_EXIT, cluster_id)
+
+    # -- OS services ------------------------------------------------------------
+
+    def context_switch(self, cluster_id: int) -> Generator:
+        """Process: one context switch on *cluster_id*.
+
+        Gathers a single execution thread via CPI, then performs the
+        switch (register saves/restores, bookkeeping, a couple of
+        cluster critical-section accesses), freezing user work.
+        """
+        params = self.params
+        self._record(EventType.CTX_SWITCH_ENTER, cluster_id)
+        yield self.sim.process(self.cpi_gather(cluster_id), name="ctx-cpi")
+        state = self.clusters[cluster_id]
+        state.freeze()
+        try:
+            yield self.sim.timeout(params.ctx_cost_ns)
+            self.accounting.charge(cluster_id, OsActivity.CTX, params.ctx_cost_ns)
+            for _ in range(params.crsect_per_ctx):
+                yield self.sim.process(
+                    self.critical_sections.access_cluster(
+                        cluster_id, params.crsect_cluster_cost_ns
+                    ),
+                    name="ctx-crsect",
+                )
+        finally:
+            state.unfreeze()
+        self._record(EventType.CTX_SWITCH_EXIT, cluster_id)
+
+    def cpi_gather(self, cluster_id: int) -> Generator:
+        """Process: gather a single CE execution thread on a cluster.
+
+        Every CE saves/restores registers and does its accounting
+        before synchronising over the intra-cluster bus (Section 5.1);
+        the CEs do this in parallel, so the cluster is frozen for one
+        per-CE service time plus the bus synchronisation window, and
+        that wall time is what the accounting ledger records (the "Q"
+        facility measures cluster time shares).
+        """
+        params = self.params
+        state = self.clusters[cluster_id]
+        lock = self._gather_locks[cluster_id]
+        request = lock.request()
+        yield request
+        self._record(EventType.INTERRUPT_ENTER, cluster_id)
+        state.freeze()
+        try:
+            wall_ns = params.cpi_per_ce_cost_ns + params.cpi_sync_ns
+            yield self.sim.timeout(wall_ns)
+            self.accounting.charge(cluster_id, OsActivity.CPI, wall_ns)
+        finally:
+            state.unfreeze()
+            self._record(EventType.INTERRUPT_EXIT, cluster_id)
+            lock.release(request)
+
+    def cluster_syscall(self, cluster_id: int) -> Generator:
+        """Process: one cluster system call from user code."""
+        params = self.params
+        self._record(EventType.SYSCALL_ENTER, cluster_id)
+        yield self.sim.timeout(params.syscall_cluster_cost_ns)
+        self.accounting.charge(
+            cluster_id, OsActivity.SYSCALL_CLUSTER, params.syscall_cluster_cost_ns
+        )
+        self._syscall_counter += 1
+        if self._needs_syscall_cpi():
+            yield self.sim.process(self.cpi_gather(cluster_id), name="syscall-cpi")
+        self._record(EventType.SYSCALL_EXIT, cluster_id)
+
+    def _needs_syscall_cpi(self) -> bool:
+        fraction = self.params.syscall_cpi_fraction
+        if fraction <= 0.0:
+            return False
+        period = max(1, round(1.0 / fraction))
+        return self._syscall_counter % period == 0
+
+    def global_syscall(self, cluster_id: int) -> Generator:
+        """Process: one global system call (task create/start/stop...).
+
+        Global syscalls access global critical sections.
+        """
+        params = self.params
+        self._record(EventType.SYSCALL_ENTER, cluster_id)
+        yield self.sim.timeout(params.syscall_global_cost_ns)
+        self.accounting.charge(
+            cluster_id, OsActivity.SYSCALL_GLOBAL, params.syscall_global_cost_ns
+        )
+        yield self.sim.process(
+            self.critical_sections.access_global(cluster_id, params.crsect_global_cost_ns),
+            name="gsc-crsect",
+        )
+        self._record(EventType.SYSCALL_EXIT, cluster_id)
+
+    # -- gang execution -----------------------------------------------------------
+
+    def execute(self, cluster_id: int, work_ns: int) -> Generator:
+        """Process: run *work_ns* of user computation on a cluster CE.
+
+        The work is stretched by any time the cluster spends frozen for
+        OS service while it runs, so OS overhead shows up in wall-clock
+        completion time exactly once.  Returns the elapsed wall time.
+        """
+        if work_ns < 0:
+            raise ValueError(f"work_ns must be >= 0, got {work_ns}")
+        state = self.clusters[cluster_id]
+        start = self.sim.now
+        padded = 0
+        frozen_before = state.frozen_cum_ns()
+        if state.frozen:
+            yield state.runnable.wait()
+            frozen_before = state.frozen_cum_ns()
+        yield self.sim.timeout(work_ns)
+        while True:
+            stolen = state.frozen_cum_ns() - frozen_before
+            if stolen <= padded:
+                break
+            extra = stolen - padded
+            padded = stolen
+            yield self.sim.timeout(extra)
+        return self.sim.now - start

@@ -1,0 +1,121 @@
+"""Service-time and rate parameters of the Xylem OS model.
+
+The *mechanisms* (who triggers what, and what each event does) are
+implemented in :mod:`repro.xylem.kernel`; this module holds the
+per-event service times and daemon rates.  Defaults are calibrated so
+that the modelled 4-cluster Cedar lands in the neighbourhood of the
+paper's Table 2 (see ``tests/core/test_calibration.py`` and
+EXPERIMENTS.md); they are deliberately exposed so users can explore
+other operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["XylemParams"]
+
+
+@dataclass(frozen=True)
+class XylemParams:
+    """Tunable costs and rates of the OS model (times in nanoseconds)."""
+
+    # -- context switching (bookkeeping in a dedicated system) ----------
+    #: Mean interval between OS-server bookkeeping context switches on a
+    #: cluster.  The paper attributes ctx to I/O blocking and OS-server
+    #: bookkeeping; in a dedicated setting this is a background rate.
+    ctx_interval_ns: int = 350_000_000
+    #: Register save/restore plus switch bookkeeping per context switch.
+    ctx_cost_ns: int = 1_500_000
+
+    # -- resource scheduling ---------------------------------------------
+    #: Mean interval between explicit resource-scheduling requests on a
+    #: cluster (each gathers the CEs with a CPI, Section 5.1).
+    sched_interval_ns: int = 30_000_000
+
+    # -- cross-processor interrupts -------------------------------------
+    #: Save/restore + accounting performed by *each* CE when a CPI
+    #: gathers a single execution thread (Section 5.1 explains why this
+    #: is large despite the fast intra-cluster bus).
+    cpi_per_ce_cost_ns: int = 180_000
+    #: Bus-level synchronisation window to gather the CEs.
+    cpi_sync_ns: int = 30_000
+
+    # -- page faults ------------------------------------------------------
+    #: Service time of a sequential (single-CE) page fault.
+    pgflt_sequential_cost_ns: int = 900_000
+    #: Service time charged to the CE that services a concurrent page
+    #: fault; concurrent faults are more expensive than sequential ones.
+    pgflt_concurrent_cost_ns: int = 1_300_000
+    #: Trap + wait bookkeeping charged to each *additional* CE that
+    #: joins an in-flight fault (it traps, finds the fault in progress,
+    #: and waits).
+    pgflt_join_cost_ns: int = 250_000
+    #: Joiners beyond this count are charged only a light trap.
+    pgflt_join_charge_cap: int = 3
+    #: Light trap + re-check cost for late fault joiners.
+    pgflt_trap_light_ns: int = 40_000
+    #: Fraction of concurrent faults that require a CPI gather.
+    pgflt_cpi_fraction: float = 0.6
+    #: Write-back cost when a dirty page is evicted under memory
+    #: pressure (only reachable with a bounded resident set).
+    page_writeback_cost_ns: int = 400_000
+
+    # -- critical sections -------------------------------------------------
+    #: Time inside a cluster critical section (cluster-memory lock held).
+    crsect_cluster_cost_ns: int = 140_000
+    #: Time inside a global critical section (global-memory lock held).
+    crsect_global_cost_ns: int = 220_000
+    #: Cluster critical sections accessed per page fault.
+    crsect_per_fault: int = 2
+    #: Cluster critical sections accessed per context switch.
+    crsect_per_ctx: int = 2
+
+    # -- system calls -------------------------------------------------------
+    #: Service time of a cluster system call.
+    syscall_cluster_cost_ns: int = 350_000
+    #: Service time of a global system call.
+    syscall_global_cost_ns: int = 1_200_000
+    #: Fraction of cluster syscalls that trigger a CPI gather.
+    syscall_cpi_fraction: float = 0.10
+
+    # -- asynchronous system traps -----------------------------------------
+    #: Mean interval between ASTs on a cluster.
+    ast_interval_ns: int = 2_000_000_000
+    #: Service time of one AST.
+    ast_cost_ns: int = 90_000
+
+    # -- misc ---------------------------------------------------------------
+    #: RNG seed for the jittered daemon intervals.
+    seed: int = 1994
+    #: Relative jitter applied to daemon intervals (0 = deterministic).
+    interval_jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        positive = (
+            "ctx_interval_ns",
+            "ctx_cost_ns",
+            "sched_interval_ns",
+            "cpi_per_ce_cost_ns",
+            "cpi_sync_ns",
+            "pgflt_sequential_cost_ns",
+            "pgflt_concurrent_cost_ns",
+            "pgflt_join_cost_ns",
+            "pgflt_trap_light_ns",
+            "page_writeback_cost_ns",
+            "crsect_cluster_cost_ns",
+            "crsect_global_cost_ns",
+            "syscall_cluster_cost_ns",
+            "syscall_global_cost_ns",
+            "ast_interval_ns",
+            "ast_cost_ns",
+        )
+        for name in positive:
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        for name in ("pgflt_cpi_fraction", "syscall_cpi_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if not 0.0 <= self.interval_jitter < 1.0:
+            raise ValueError(f"interval_jitter must be in [0, 1), got {self.interval_jitter}")

@@ -1,0 +1,152 @@
+"""Unit tests for the application-model machinery."""
+
+import pytest
+
+from repro.apps import AppModel, LoopShape, PageSpace, loop_timing, synthetic_app
+from repro.hardware import CedarConfig
+from repro.runtime import LoopConstruct, ParallelLoop, SerialPhase
+
+
+def test_loop_timing_splits_to_target():
+    """work + stream time reproduces the calibrated iteration time."""
+    config = CedarConfig()
+    for iter_ns in (500_000, 5_000_000, 30_000_000):
+        for fraction in (0.1, 0.3, 0.6):
+            work, words = loop_timing(iter_ns, fraction, mem_rate=0.5)
+            stream = ((words - 1) / 0.5 + config.min_memory_round_trip_cycles) * config.cycle_ns
+            assert work + stream == pytest.approx(iter_ns, rel=0.02)
+
+
+def test_loop_timing_zero_fraction_all_work():
+    work, words = loop_timing(1_000_000, 0.0, 0.5)
+    assert work == 1_000_000
+    assert words == 0
+
+
+def test_loop_timing_validation():
+    with pytest.raises(ValueError):
+        loop_timing(0, 0.3, 0.5)
+    with pytest.raises(ValueError):
+        loop_timing(1000, 1.0, 0.5)
+
+
+def test_page_space_sequential():
+    pages = PageSpace()
+    assert pages.allocate(10) == 0
+    assert pages.allocate(5) == 10
+    assert pages.allocated == 15
+
+
+def test_loop_shape_build():
+    shape = LoopShape(
+        construct=LoopConstruct.SDOALL,
+        n_outer=4,
+        n_inner=16,
+        iter_time_ns=1_000_000,
+        iters_per_page=8,
+        work_skew=0.3,
+    )
+    loop = shape.build(page_base=100)
+    assert isinstance(loop, ParallelLoop)
+    assert loop.page_base == 100
+    assert loop.work_skew == 0.3
+    assert shape.total_single_ce_ns == 64_000_000
+
+
+def test_loop_shape_build_without_paging():
+    shape = LoopShape(
+        construct=LoopConstruct.XDOALL, n_outer=1, n_inner=8, iter_time_ns=1_000_000
+    )
+    assert shape.build(page_base=5).page_base == -1
+
+
+def make_app(n_steps=10):
+    shape = LoopShape(
+        construct=LoopConstruct.SDOALL,
+        n_outer=4,
+        n_inner=8,
+        iter_time_ns=1_000_000,
+        iters_per_page=8,
+    )
+    fresh = LoopShape(
+        construct=LoopConstruct.SDOALL,
+        n_outer=4,
+        n_inner=8,
+        iter_time_ns=1_000_000,
+        iters_per_page=8,
+        fresh_pages_each_step=True,
+    )
+    return AppModel(
+        name="T",
+        n_steps=n_steps,
+        serial_per_step_ns=5_000_000,
+        loops_per_step=[shape, fresh],
+        init_serial_ns=100_000_000,
+        init_pages=4,
+    )
+
+
+def test_steps_at_scale_and_extrapolation():
+    app = make_app(n_steps=10)
+    assert app.steps_at_scale(1.0) == 10
+    assert app.steps_at_scale(0.2) == 2
+    assert app.steps_at_scale(0.01) == 1
+    assert app.extrapolation(0.2) == 5.0
+    with pytest.raises(ValueError):
+        app.steps_at_scale(0.0)
+    with pytest.raises(ValueError):
+        app.steps_at_scale(1.5)
+
+
+def test_phases_structure_at_full_scale():
+    app = make_app(n_steps=3)
+    phases = app.phases(1.0)
+    serial = [p for p in phases if isinstance(p, SerialPhase)]
+    loops = [p for p in phases if isinstance(p, ParallelLoop)]
+    # init + 3 per-step serial sections; 2 loops per step.
+    assert len(serial) == 4
+    assert len(loops) == 6
+
+
+def test_init_serial_scales_with_steps():
+    app = make_app(n_steps=10)
+    init_full = app.phases(1.0)[0]
+    init_scaled = app.phases(0.2)[0]
+    assert init_scaled.work_ns == pytest.approx(init_full.work_ns * 0.2, rel=0.01)
+
+
+def test_warm_loops_share_pages_across_steps():
+    app = make_app(n_steps=3)
+    loops = [p for p in app.phases(1.0) if isinstance(p, ParallelLoop)]
+    warm = loops[0::2]
+    fresh = loops[1::2]
+    assert len({loop.page_base for loop in warm}) == 1
+    assert len({loop.page_base for loop in fresh}) == 3
+
+
+def test_nominal_anchors():
+    app = make_app(n_steps=10)
+    assert app.nominal_parallel_ns() == 2 * 32 * 1_000_000 * 10
+    assert app.nominal_serial_ns() == 100_000_000 + 5_000_000 * 10
+    assert app.nominal_ct_ns() == app.nominal_parallel_ns() + app.nominal_serial_ns()
+
+
+def test_n_steps_validation():
+    with pytest.raises(ValueError):
+        AppModel("X", n_steps=0, serial_per_step_ns=0, loops_per_step=[])
+
+
+def test_synthetic_app_constructs():
+    sdo = synthetic_app(construct=LoopConstruct.SDOALL, n_outer=4, n_inner=8)
+    xdo = synthetic_app(construct=LoopConstruct.XDOALL, n_outer=4, n_inner=8)
+    sdo_loop = sdo.loops_per_step[0]
+    xdo_loop = xdo.loops_per_step[0]
+    assert sdo_loop.n_outer == 4 and sdo_loop.n_inner == 8
+    # XDOALL flattens the trip count.
+    assert xdo_loop.n_outer == 1 and xdo_loop.n_inner == 32
+
+
+def test_synthetic_app_serial_fraction():
+    app = synthetic_app(serial_fraction_of_step=0.5, loops_per_step=2)
+    per_step_parallel = sum(s.total_single_ce_ns for s in app.loops_per_step)
+    assert app.serial_per_step_ns == pytest.approx(per_step_parallel * 0.5)

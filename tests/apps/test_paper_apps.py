@@ -1,0 +1,114 @@
+"""Structural tests of the five Perfect Benchmark models.
+
+Checks that each model encodes the construct usage and calibration
+anchors the paper describes, without running full simulations.
+"""
+
+import pytest
+
+from repro.apps import PAPER_APPS, adm, arc2d, flo52, mdg, ocean
+from repro.core import reference
+from repro.runtime import LoopConstruct, ParallelLoop
+
+
+def constructs_of(app):
+    return {shape.construct for shape in app.loops_per_step}
+
+
+def test_registry_matches_reference_apps():
+    assert tuple(PAPER_APPS) == reference.APPS
+
+
+def test_flo52_uses_only_sdoall():
+    """FLO52 only uses the hierarchical construct (Section 2)."""
+    assert constructs_of(flo52()) == {LoopConstruct.SDOALL}
+
+
+def test_adm_uses_only_xdoall():
+    """ADM uses only the flat construct (Section 2)."""
+    assert constructs_of(adm()) == {LoopConstruct.XDOALL}
+
+
+def test_other_apps_use_both_constructs():
+    """ARC2D, MDG and OCEAN use both constructs (Section 2)."""
+    for builder in (arc2d, mdg, ocean):
+        constructs = constructs_of(builder())
+        assert LoopConstruct.SDOALL in constructs
+        assert LoopConstruct.XDOALL in constructs
+
+
+def test_some_apps_have_main_cluster_only_loops():
+    """The applications have a few main cluster-only loops."""
+    mc = {LoopConstruct.CLUSTER_ONLY, LoopConstruct.CDOACROSS}
+    with_mc = [name for name, b in PAPER_APPS.items() if constructs_of(b()) & mc]
+    assert with_mc  # at least some models carry them
+
+
+def test_calibration_anchor_parallel_time():
+    """Single-CE parallel time within ~10% of the paper's T1 (Table 4)."""
+    for name, builder in PAPER_APPS.items():
+        app = builder()
+        t1_paper = reference.TABLE4[name][1][0]
+        t1_model = app.nominal_parallel_ns() / 1e9
+        assert t1_model == pytest.approx(t1_paper, rel=0.10), (
+            f"{name}: model T1 {t1_model:.0f}s vs paper {t1_paper:.0f}s"
+        )
+
+
+def test_calibration_anchor_completion_time():
+    """Single-CE CT within ~12% of the paper's Table 1 column."""
+    for name, builder in PAPER_APPS.items():
+        app = builder()
+        ct_paper = reference.TABLE1[name][1][0]
+        ct_model = app.nominal_ct_ns() / 1e9
+        assert ct_model == pytest.approx(ct_paper, rel=0.12), (
+            f"{name}: model CT1 {ct_model:.0f}s vs paper {ct_paper:.0f}s"
+        )
+
+
+def test_mdg_loops_divide_evenly():
+    """MDG's near-linear speedup needs evenly-dividing trip counts."""
+    for shape in mdg().loops_per_step:
+        if shape.construct is LoopConstruct.SDOALL:
+            assert shape.n_outer % 4 == 0
+            assert shape.n_inner % 8 == 0
+
+
+def test_flo52_loops_divide_unevenly():
+    """FLO52's poor concurrency comes from awkward trip counts."""
+    awkward = [
+        shape
+        for shape in flo52().loops_per_step
+        if shape.n_outer % 4 != 0 or shape.n_inner % 8 != 0
+    ]
+    assert awkward
+
+
+def test_flo52_is_most_memory_intensive():
+    def mean_fraction(app):
+        shapes = app.loops_per_step
+        return sum(s.mem_fraction for s in shapes) / len(shapes)
+
+    fractions = {name: mean_fraction(b()) for name, b in PAPER_APPS.items()}
+    assert max(fractions, key=fractions.get) == "FLO52"
+
+
+def test_adm_iterations_are_fine_grained():
+    """ADM's xdoall saturation needs sub-millisecond iterations."""
+    for shape in adm().loops_per_step:
+        assert shape.iter_time_ns < 1_000_000
+
+
+def test_every_app_has_some_paged_loop():
+    for name, builder in PAPER_APPS.items():
+        shapes = builder().loops_per_step
+        assert any(s.iters_per_page > 0 for s in shapes), name
+
+
+def test_phases_materialise_at_all_scales():
+    for name, builder in PAPER_APPS.items():
+        app = builder()
+        for scale in (1.0, 0.1, 0.01):
+            phases = app.phases(scale)
+            assert phases
+            assert any(isinstance(p, ParallelLoop) for p in phases)

@@ -1,0 +1,84 @@
+"""Calibration regression tests: the 4-cluster runs stay in-band.
+
+These are deliberately looser than the benchmark assertions (which run
+at a larger workload scale); their job is to catch parameter drift that
+would silently break the reproduction, directly in the unit-test suite.
+"""
+
+import pytest
+
+from repro.apps import PAPER_APPS
+from repro.core import contention_overhead, ct_breakdown, run_application
+from repro.core import reference
+from repro.xylem.categories import OsActivity, TimeCategory
+
+SCALE = 0.01
+
+
+@pytest.fixture(scope="module")
+def runs32():
+    return {
+        app: run_application(PAPER_APPS[app](), 32, scale=SCALE)
+        for app in ("FLO52", "MDG")
+    }
+
+
+@pytest.fixture(scope="module")
+def runs1():
+    return {
+        app: run_application(PAPER_APPS[app](), 1, scale=SCALE)
+        for app in ("FLO52", "MDG")
+    }
+
+
+def test_completion_times_in_band(runs32):
+    for app, result in runs32.items():
+        paper_ct = reference.TABLE1[app][32][0]
+        assert result.ct_seconds == pytest.approx(paper_ct, rel=0.35), app
+
+
+def test_os_overhead_band(runs32):
+    """OS overhead on the full machine: a noticeable, bounded share."""
+    for app, result in runs32.items():
+        total = sum(
+            result.accounting.activity_total_ns(a) for a in OsActivity
+        )
+        fraction = result.fraction_of_ct(total)
+        assert 0.03 < fraction < 0.30, f"{app}: OS {fraction:.1%}"
+
+
+def test_kspin_negligible(runs32):
+    for app, result in runs32.items():
+        kspin = sum(
+            result.accounting.category_ns(c, TimeCategory.KSPIN)
+            for c in range(4)
+        )
+        assert result.fraction_of_ct(kspin) < 0.01, app
+
+
+def test_dominant_os_categories(runs32):
+    """CPI + ctx + faults + cluster crsects carry the OS overhead."""
+    dominant = (
+        OsActivity.CPI,
+        OsActivity.CTX,
+        OsActivity.PGFLT_CONCURRENT,
+        OsActivity.PGFLT_SEQUENTIAL,
+        OsActivity.CRSECT_CLUSTER,
+    )
+    for app, result in runs32.items():
+        total = sum(result.accounting.activity_total_ns(a) for a in OsActivity)
+        share = sum(result.accounting.activity_total_ns(a) for a in dominant)
+        assert share > 0.8 * total, app
+
+
+def test_contention_positive_at_full_machine(runs32, runs1):
+    for app in runs32:
+        row = contention_overhead(runs32[app], runs1[app])
+        assert row.ov_cont_pct > 2.0, app
+
+
+def test_q_identity_holds(runs32):
+    for app, result in runs32.items():
+        for cluster in range(4):
+            breakdown = ct_breakdown(result, cluster)
+            assert sum(breakdown.values()) == result.ct_ns

@@ -1,0 +1,98 @@
+"""Tests for figure rendering and the closed-form predictor."""
+
+import pytest
+
+from repro.apps import PAPER_APPS, flo52, synthetic_app
+from repro.core import run_application
+from repro.core.figures import render_ct_bars, render_user_bars, stacked_bar
+from repro.core.model import predict_completion_time
+
+
+def test_stacked_bar_full():
+    bar = stacked_bar([("a", 0.5), ("b", 0.5)], width=10)
+    assert bar == "aaaaabbbbb"
+
+
+def test_stacked_bar_partial_padded():
+    bar = stacked_bar([("a", 0.25)], width=8)
+    assert bar == "aa      "
+    assert len(bar) == 8
+
+
+def test_stacked_bar_clips_overflow():
+    bar = stacked_bar([("a", 0.9), ("b", 0.9)], width=10)
+    assert len(bar) == 10
+    assert bar.count("a") == 9
+    assert bar.count("b") == 1
+
+
+def test_stacked_bar_clamps_bad_fractions():
+    bar = stacked_bar([("a", -1.0), ("b", 2.0)], width=4)
+    assert bar == "bbbb"
+
+
+def test_stacked_bar_width_validation():
+    with pytest.raises(ValueError):
+        stacked_bar([("a", 1.0)], width=0)
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    app = synthetic_app(n_steps=1, loops_per_step=2, n_outer=8, n_inner=16,
+                        iter_time_ns=1_000_000)
+    return {n: run_application(app, n, scale=1.0) for n in (1, 32)}
+
+
+def test_render_ct_bars(small_results):
+    text = render_ct_bars(small_results)
+    lines = text.split("\n")
+    assert len(lines) == 3  # header + 2 configs
+    assert "1p" in lines[1]
+    assert " 32p" in lines[2]
+    # Bars are uniform width.
+    assert len(lines[1]) == len(lines[2])
+    # User time dominates.
+    assert lines[2].count(".") > 30
+
+
+def test_render_user_bars(small_results):
+    text = render_user_bars(small_results[32])
+    lines = text.split("\n")
+    assert len(lines) == 5  # header + main + 3 helpers
+    assert lines[1].startswith("Main")
+    # Helpers show wait glyphs; main does not.
+    assert "W" in lines[2]
+    assert "W" not in lines[1].replace("Main", "")
+
+
+def test_predictor_decomposition_positive():
+    prediction = predict_completion_time(flo52(), 32)
+    assert prediction.serial_s > 0
+    assert prediction.parallel_s > 0
+    assert prediction.contention_s >= 0
+    assert prediction.total_s == pytest.approx(
+        prediction.serial_s
+        + prediction.parallel_s
+        + prediction.contention_s
+        + prediction.os_s
+    )
+
+
+def test_predictor_monotone_in_processors():
+    for name, builder in PAPER_APPS.items():
+        app = builder()
+        totals = [predict_completion_time(app, n).total_s for n in (1, 8, 32)]
+        assert totals[0] > totals[1] > totals[2], (name, totals)
+
+
+@pytest.mark.parametrize("app_name", list(PAPER_APPS))
+@pytest.mark.parametrize("n_proc", [1, 8, 32])
+def test_predictor_tracks_simulation(app_name, n_proc):
+    """The closed form lands within ~35% of the full simulation."""
+    app = PAPER_APPS[app_name]()
+    predicted = predict_completion_time(app, n_proc).total_s
+    simulated = run_application(app, n_proc, scale=0.01).ct_seconds
+    assert predicted == pytest.approx(simulated, rel=0.35), (
+        f"{app_name}@{n_proc}p: predicted {predicted:.0f}s vs "
+        f"simulated {simulated:.0f}s"
+    )

@@ -1,0 +1,177 @@
+"""Tests of the paper's methodology on small end-to-end runs.
+
+Uses the synthetic workload generator at tiny scales so each test runs
+in well under a second while still exercising the full stack.
+"""
+
+import pytest
+
+from repro.apps import synthetic_app
+from repro.core import (
+    contention_overhead,
+    ct_breakdown,
+    loop_regions,
+    parallel_fraction,
+    parallel_loop_concurrency,
+    run_application,
+    t1_split_ns,
+    tp_actual_ns,
+    total_parallel_loop_concurrency,
+    user_breakdown,
+)
+from repro.core.speedup import speedup_table
+from repro.runtime import LoopConstruct
+from repro.xylem.categories import TimeCategory
+
+
+@pytest.fixture(scope="module")
+def small_app():
+    return synthetic_app(
+        n_steps=2,
+        loops_per_step=2,
+        n_outer=8,
+        n_inner=16,
+        iter_time_ns=2_000_000,
+        mem_fraction=0.3,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(small_app):
+    return {
+        n: run_application(small_app, n, scale=1.0) for n in (1, 8, 32)
+    }
+
+
+def test_ct_breakdown_partitions_wall_time(results):
+    for result in results.values():
+        for cluster in range(result.config.n_clusters):
+            breakdown = ct_breakdown(result, cluster)
+            assert sum(breakdown.values()) == result.ct_ns
+            assert all(v >= 0 for v in breakdown.values())
+
+
+def test_user_breakdown_components_bounded(results):
+    result = results[32]
+    for task in range(4):
+        b = user_breakdown(result, task)
+        for value in b.as_dict().values():
+            assert 0 <= value <= result.ct_ns * 1.01
+
+
+def test_main_task_has_serial_helpers_do_not(results):
+    result = results[32]
+    assert user_breakdown(result, 0).serial_ns > 0
+    for task in (1, 2, 3):
+        b = user_breakdown(result, task)
+        assert b.serial_ns == 0
+        assert b.helper_wait_ns > 0
+
+
+def test_loop_regions_within_run(results):
+    result = results[32]
+    for task in range(4):
+        for start, end in loop_regions(result, task):
+            assert 0 <= start < end <= result.ct_ns
+
+
+def test_main_has_one_region_per_spread_loop(results):
+    result = results[32]
+    # 2 steps x 2 loops = 4 spread loops.
+    assert len(loop_regions(result, 0)) == 4
+
+
+def test_parallel_fraction_in_unit_range(results):
+    for result in results.values():
+        for task in range(result.config.n_clusters):
+            assert 0.0 <= parallel_fraction(result, task) <= 1.0
+
+
+def test_parallel_loop_concurrency_bounds(results):
+    for n, result in results.items():
+        for task in range(result.config.n_clusters):
+            par = parallel_loop_concurrency(result, task)
+            assert 1.0 <= par <= result.config.ces_per_cluster
+
+
+def test_total_concurrency_sums_clusters(results):
+    result = results[32]
+    total = total_parallel_loop_concurrency(result)
+    parts = [parallel_loop_concurrency(result, t) for t in range(4)]
+    assert total == pytest.approx(sum(parts))
+
+
+def test_tp_actual_close_to_ct_when_loop_dominated(results):
+    """The synthetic app is almost all loops, so Tp ~ CT at 1 proc."""
+    base = results[1]
+    assert tp_actual_ns(base) > 0.8 * base.ct_ns
+
+
+def test_t1_split_requires_single_processor(results):
+    with pytest.raises(ValueError):
+        t1_split_ns(results[32])
+
+
+def test_t1_split_no_mc_loops(results):
+    t1_mc, t1_sx = t1_split_ns(results[1])
+    assert t1_mc == 0.0
+    assert t1_sx > 0
+
+
+def test_contention_overhead_row(results):
+    row = contention_overhead(results[32], results[1])
+    assert row.tp_ideal_ns > 0
+    assert row.tp_actual_ns > 0
+    assert -10.0 < row.ov_cont_pct < 60.0
+
+
+def test_contention_overhead_rejects_mismatches(results, small_app):
+    other = run_application(
+        synthetic_app(name="OTHER", n_steps=1, loops_per_step=1), 1, scale=1.0
+    )
+    with pytest.raises(ValueError):
+        contention_overhead(results[32], other)
+
+
+def test_contention_overhead_rejects_scale_mismatch(small_app, results):
+    base_half = run_application(small_app, 1, scale=0.5)
+    with pytest.raises(ValueError):
+        contention_overhead(results[32], base_half)
+
+
+def test_speedup_table_baseline_required(results):
+    with pytest.raises(ValueError):
+        speedup_table({32: results[32]})
+
+
+def test_speedup_table_rows(results):
+    rows = speedup_table(results)
+    assert [r.n_processors for r in rows] == [1, 8, 32]
+    assert rows[0].speedup == pytest.approx(1.0)
+    assert rows[2].speedup > rows[1].speedup > 1.0
+
+
+def test_mc_loops_measured_when_present():
+    app = synthetic_app(
+        n_steps=1,
+        loops_per_step=1,
+        construct=LoopConstruct.CLUSTER_ONLY,
+        n_outer=1,
+        n_inner=16,
+        iter_time_ns=1_000_000,
+    )
+    r1 = run_application(app, 1, scale=1.0)
+    t1_mc, t1_sx = t1_split_ns(r1)
+    assert t1_mc > 0
+    assert t1_sx == 0
+
+
+def test_os_overhead_nonzero_but_small(results):
+    result = results[32]
+    breakdown = ct_breakdown(result, 0)
+    os_ns = (
+        breakdown[TimeCategory.SYSTEM]
+        + breakdown[TimeCategory.INTERRUPT]
+        + breakdown[TimeCategory.KSPIN]
+    )
+    assert 0 < os_ns < 0.5 * result.ct_ns

@@ -1,0 +1,80 @@
+"""Unit tests for table rendering and the transcribed paper data."""
+
+from repro.core import reference
+from repro.core.report import format_value, render_table
+
+
+def test_format_value_variants():
+    assert format_value(None) == "-"
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value(0.0) == "0"
+    assert format_value(3.14159) == "3.14"
+    assert format_value(3.14159, precision=1) == "3.1"
+    assert format_value(12345.6) == "12,346"
+    assert format_value("abc") == "abc"
+    assert format_value(7) == "7"
+
+
+def test_render_table_alignment():
+    text = render_table(["a", "bb"], [[1, 2.5], [10, 33.25]], title="T")
+    lines = text.split("\n")
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert set(lines[2]) <= {"-", "+"}
+    # All rows have the same width.
+    assert len({len(line) for line in lines[1:]}) == 1
+
+
+def test_render_table_handles_none():
+    text = render_table(["x"], [[None]])
+    assert "-" in text.split("\n")[-1]
+
+
+def test_reference_tables_cover_all_apps():
+    assert set(reference.TABLE1) == set(reference.APPS)
+    assert set(reference.TABLE4) == set(reference.APPS)
+    assert set(reference.TABLE3) == set(reference.APPS)
+    # Table 2 covers the three apps the paper details.
+    assert set(reference.TABLE2) == {"FLO52", "ARC2D", "MDG"}
+
+
+def test_reference_table1_configs_complete():
+    for app, by_config in reference.TABLE1.items():
+        assert set(by_config) == set(reference.CONFIGS)
+        # CT decreases with processors.
+        cts = [by_config[n][0] for n in reference.CONFIGS]
+        assert cts == sorted(cts, reverse=True)
+
+
+def test_reference_speedups_below_concurrency():
+    """Transcription sanity: the paper's own key observation holds."""
+    for app, by_config in reference.TABLE1.items():
+        for n, (ct, speedup, concurrency) in by_config.items():
+            assert speedup <= concurrency + 1e-9
+
+
+def test_reference_table4_internal_consistency():
+    """Ov_cont ~ (Tp_actual - Tp_ideal) / CT within rounding."""
+    for app, by_config in reference.TABLE4.items():
+        for n, (tp_act, tp_ideal, ov) in by_config.items():
+            if tp_ideal is None:
+                continue
+            ct = reference.TABLE1[app][n][0]
+            computed = (tp_act - tp_ideal) / ct * 100.0
+            assert abs(computed - ov) < 3.0, (app, n, computed, ov)
+
+
+def test_reference_table2_percentages_consistent():
+    """Seconds/CT matches the printed percentage within rounding."""
+    for app, activities in reference.TABLE2.items():
+        ct = reference.TABLE1[app][32][0]
+        for activity, (seconds, pct) in activities.items():
+            assert abs(seconds / ct * 100.0 - pct) < 0.5, (app, activity)
+
+
+def test_reference_table3_values_physical():
+    for app, by_config in reference.TABLE3.items():
+        for n, tasks in by_config.items():
+            for task, value in tasks.items():
+                assert 1.0 <= value <= 8.0

@@ -1,0 +1,165 @@
+"""Unit and property tests for the cluster cache / TLB models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cache import (
+    CacheConfig,
+    ClusterCacheModel,
+    SetAssociativeCache,
+    StreamingMissModel,
+)
+
+
+def small_config(**kwargs):
+    defaults = dict(capacity_bytes=1024, line_bytes=32, associativity=4)
+    defaults.update(kwargs)
+    return CacheConfig(**defaults)
+
+
+def test_config_defaults_are_fx8():
+    config = CacheConfig()
+    assert config.capacity_bytes == 512 * 1024
+    assert config.n_lines == 16384
+    assert config.n_sets == 4096
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(capacity_bytes=0)
+    with pytest.raises(ValueError):
+        CacheConfig(capacity_bytes=100, line_bytes=32)  # not whole lines
+    with pytest.raises(ValueError):
+        CacheConfig(associativity=0)
+    with pytest.raises(ValueError):
+        CacheConfig(capacity_bytes=96, line_bytes=32, associativity=2)
+
+
+def test_cold_miss_then_hit():
+    cache = SetAssociativeCache(small_config())
+    assert not cache.access(0)
+    assert cache.access(0)
+    assert cache.access(31)  # same line
+    assert not cache.access(32)  # next line
+    assert cache.hits == 2
+    assert cache.misses == 2
+
+
+def test_lru_eviction_within_set():
+    # 1 KB, 32 B lines, 4-way: 8 sets; addresses 256 bytes apart share
+    # a set.
+    cache = SetAssociativeCache(small_config())
+    stride = 256
+    for i in range(5):  # fill 4 ways then evict the oldest
+        cache.access(i * stride)
+    assert not cache.access(0)  # evicted: miss again
+    assert cache.access(4 * stride)  # still resident
+
+
+def test_working_set_within_capacity_all_hits_on_reuse():
+    cache = SetAssociativeCache(small_config())
+    cache.access_range(0, 1024, stride=32)
+    cache.reset_stats()
+    misses = cache.access_range(0, 1024, stride=32)
+    assert misses == 0
+    assert cache.miss_rate == 0.0
+
+
+def test_cyclic_sweep_beyond_capacity_thrashes():
+    """True LRU on a cyclic sweep > capacity misses every line."""
+    cache = SetAssociativeCache(small_config())
+    cache.access_range(0, 2048, stride=32)  # 2x capacity, cold
+    cache.reset_stats()
+    misses = cache.access_range(0, 2048, stride=32)
+    assert misses == 2048 // 32  # all lines miss again
+
+
+def test_miss_rate_zero_when_untouched():
+    assert SetAssociativeCache(small_config()).miss_rate == 0.0
+
+
+def test_streaming_model_matches_exact_cache_extremes():
+    config = small_config()
+    model = StreamingMissModel(config)
+    assert model.sweep_miss_rate(512) == 0.0       # fits
+    assert model.sweep_miss_rate(4096) == 1.0      # 4x capacity
+    assert 0.0 < model.sweep_miss_rate(1536) < 1.0  # ramp
+
+
+@given(ws=st.integers(min_value=0, max_value=10_000_000))
+@settings(max_examples=100, deadline=None)
+def test_streaming_miss_rate_bounded_and_monotone(ws):
+    model = StreamingMissModel()
+    rate = model.sweep_miss_rate(ws)
+    assert 0.0 <= rate <= 1.0
+    assert model.sweep_miss_rate(ws + 4096) >= rate - 1e-12
+
+
+def test_sweep_stall_scales_with_bytes():
+    model = StreamingMissModel(small_config())
+    small = model.sweep_stall_cycles(1024, ws_bytes=4096)
+    large = model.sweep_stall_cycles(4096, ws_bytes=4096)
+    assert large == pytest.approx(4 * small)
+
+
+def test_tlb_stalls_only_beyond_reach():
+    model = StreamingMissModel()
+    reach = model.config.tlb_entries * model.config.tlb_page_bytes
+    assert model.tlb_stall_cycles(10_000, ws_bytes=reach) == 0.0
+    assert model.tlb_stall_cycles(10_000, ws_bytes=2 * reach) > 0.0
+
+
+def test_cluster_model_accumulates():
+    model = ClusterCacheModel(small_config())
+    a = model.chunk_stall_cycles(2048, ws_bytes=4096)
+    b = model.chunk_stall_cycles(2048, ws_bytes=4096)
+    assert model.stall_cycles_total == pytest.approx(a + b)
+
+
+def test_machine_cache_stalls_disabled_by_default():
+    from repro.hardware import CedarMachine, paper_configuration
+    from repro.sim import Simulator
+
+    machine = CedarMachine(Simulator(), paper_configuration(32))
+    assert machine.cluster_caches is None
+    assert machine.cache_stall_ns(0, 100_000, 10**7) == 0
+
+
+def test_machine_cache_stalls_when_enabled():
+    from dataclasses import replace
+
+    from repro.hardware import CedarMachine, paper_configuration
+    from repro.sim import Simulator
+
+    config = replace(paper_configuration(32), model_cluster_cache=True)
+    machine = CedarMachine(Simulator(), config)
+    assert machine.cluster_caches is not None
+    stall = machine.cache_stall_ns(0, bytes_accessed=1_000_000, ws_bytes=2 * 1024 * 1024)
+    assert stall > 0
+
+
+def test_end_to_end_cache_modelling_slows_sweeps():
+    """A loop sweeping 2 MB per cluster runs slower with the cache
+    modelled -- the overhead the paper chose not to characterize."""
+    from dataclasses import replace
+
+    from repro.apps import LoopShape, synthetic_app
+    from repro.core import run_phases
+    from repro.hardware import paper_configuration
+    from repro.runtime import LoopConstruct
+
+    app = synthetic_app(
+        construct=LoopConstruct.SDOALL, n_steps=2, loops_per_step=2,
+        n_outer=8, n_inner=32, iter_time_ns=1_000_000,
+    )
+    app.loops_per_step = [
+        type(s)(**{**s.__dict__, "cluster_ws_bytes": 2 * 1024 * 1024})
+        for s in app.loops_per_step
+    ]
+    phases = app.phases(1.0)
+    plain = run_phases(phases, 32, config=paper_configuration(32))
+    cached = run_phases(
+        phases, 32, config=replace(paper_configuration(32), model_cluster_cache=True)
+    )
+    assert cached.ct_ns > plain.ct_ns

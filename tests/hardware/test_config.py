@@ -1,0 +1,93 @@
+"""Unit tests for the Cedar machine configuration."""
+
+import pytest
+
+from repro.hardware import PAPER_PROCESSOR_COUNTS, CedarConfig, paper_configuration
+
+
+def test_default_is_full_cedar():
+    config = CedarConfig()
+    assert config.n_clusters == 4
+    assert config.ces_per_cluster == 8
+    assert config.n_processors == 32
+    assert config.n_memory_modules == 32
+
+
+def test_paper_configurations_cluster_layout():
+    """1/4/8 procs use one cluster; 16 two; 32 four (Table 1 footnote)."""
+    expected = {1: (1, 1), 4: (1, 4), 8: (1, 8), 16: (2, 8), 32: (4, 8)}
+    for n_proc, (n_clusters, ces) in expected.items():
+        config = paper_configuration(n_proc)
+        assert config.n_clusters == n_clusters
+        assert config.ces_per_cluster == ces
+        assert config.n_processors == n_proc
+
+
+def test_paper_configuration_rejects_unknown_count():
+    with pytest.raises(ValueError):
+        paper_configuration(12)
+
+
+def test_all_paper_configs_share_memory_and_network():
+    """Same network and global memory across configs (Section 3.2)."""
+    latencies = set()
+    for n in PAPER_PROCESSOR_COUNTS:
+        config = paper_configuration(n)
+        assert config.n_memory_modules == 32
+        latencies.add(config.min_memory_round_trip_cycles)
+    assert len(latencies) == 1
+
+
+def test_with_processors_rejects_partial_clusters():
+    with pytest.raises(ValueError):
+        CedarConfig().with_processors(12)
+
+
+def test_with_processors_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        CedarConfig().with_processors(0)
+
+
+def test_module_interleaving_is_double_word():
+    config = CedarConfig()
+    assert config.module_for_address(0) == 0
+    assert config.module_for_address(7) == 0
+    assert config.module_for_address(8) == 1
+    assert config.module_for_address(8 * 32) == 0
+
+
+def test_cycle_time_conversions_round_trip():
+    config = CedarConfig()
+    assert config.cycles_to_ns(1) == 170
+    assert config.ns_to_cycles(340) == 2.0
+    assert config.seconds_to_ns(1.5) == 1_500_000_000
+
+
+def test_network_stage_count_is_two_for_cedar():
+    config = CedarConfig()
+    assert config._network_stages() == 2
+
+
+def test_min_round_trip_composition():
+    config = CedarConfig()
+    expected = 2 * config.gi_cycles + 2 * 2 * config.link_cycles + config.memory_service_cycles
+    assert config.min_memory_round_trip_cycles == expected
+
+
+def test_invalid_configs_rejected():
+    with pytest.raises(ValueError):
+        CedarConfig(n_clusters=0)
+    with pytest.raises(ValueError):
+        CedarConfig(ces_per_cluster=0)
+    with pytest.raises(ValueError):
+        CedarConfig(n_memory_modules=-1)
+    with pytest.raises(ValueError):
+        CedarConfig(switch_radix=1)
+    with pytest.raises(ValueError):
+        CedarConfig(cycle_ns=0)
+
+
+def test_config_is_frozen():
+    config = CedarConfig()
+    with pytest.raises(Exception):
+        config.n_clusters = 2  # type: ignore[misc]

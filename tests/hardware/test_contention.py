@@ -1,0 +1,165 @@
+"""Unit and property tests for the analytic contention model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import CedarConfig, ContentionModel, LoadTracker
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def model():
+    return ContentionModel(CedarConfig())
+
+
+def test_no_requesters_means_min_latency(model):
+    est = model.estimate(0, 0.5)
+    assert est.round_trip_cycles == model.config.min_memory_round_trip_cycles
+    assert est.bottleneck_utilisation == 0.0
+
+
+def test_zero_rate_means_min_latency(model):
+    est = model.estimate(8, 0.0)
+    assert est.round_trip_cycles == model.config.min_memory_round_trip_cycles
+
+
+def test_single_requester_low_rate_near_min(model):
+    est = model.estimate(1, 0.05)
+    assert est.round_trip_cycles < model.config.min_memory_round_trip_cycles * 1.2
+    assert not est.throttled
+
+
+def test_latency_grows_with_requesters(model):
+    previous = 0.0
+    for k in (1, 4, 8, 16, 32):
+        est = model.estimate(k, 0.3)
+        assert est.round_trip_cycles >= previous
+        previous = est.round_trip_cycles
+
+
+def test_saturation_throttles_throughput(model):
+    """32 CEs at full rate exceed bank bandwidth: 32 > 32/4 = 8 req/cyc."""
+    est = model.estimate(32, 1.0)
+    assert est.throttled
+    assert est.achieved_rate < 1.0
+    # Aggregate achieved rate cannot exceed bank capacity m/s = 8.
+    assert est.achieved_rate * 32 <= 8.0 / ContentionModel.MAX_UTILISATION + 1e-6
+
+
+def test_unsaturated_traffic_not_throttled(model):
+    est = model.estimate(4, 0.2)
+    assert not est.throttled
+
+
+def test_vector_time_monotone_in_words(model):
+    t8 = model.vector_time_cycles(8, 4, 0.3)
+    t64 = model.vector_time_cycles(64, 4, 0.3)
+    assert t64 > t8
+
+
+def test_vector_time_rejects_nonpositive(model):
+    with pytest.raises(ValueError):
+        model.vector_time_cycles(0, 4, 0.3)
+
+
+def test_slowdown_at_one_requester_is_unity(model):
+    assert model.slowdown(64, 1, 0.3) == pytest.approx(1.0)
+
+
+def test_slowdown_grows_with_requesters(model):
+    s8 = model.slowdown(64, 8, 0.5)
+    s32 = model.slowdown(64, 32, 0.5)
+    assert s32 > s8 > 1.0
+
+
+def test_hot_spot_collapses_bandwidth(model):
+    """Pfister/Norton: a small hot fraction caps total bandwidth near
+    the single hot bank's capacity."""
+    uniform = model.hot_spot_bandwidth(32, 0.5, hot_fraction=0.0)
+    hot = model.hot_spot_bandwidth(32, 0.5, hot_fraction=0.10)
+    assert hot < uniform
+    # With 10% hot traffic the hot bank (capacity 1/4 req/cyc) caps
+    # total bandwidth around (1/4)/0.10 = 2.5 req/cyc.
+    assert hot <= 2.5 / ContentionModel.MAX_UTILISATION + 1e-6
+
+
+def test_estimate_validates_arguments(model):
+    with pytest.raises(ValueError):
+        model.estimate(-1, 0.5)
+    with pytest.raises(ValueError):
+        model.estimate(1, -0.1)
+    with pytest.raises(ValueError):
+        model.estimate(1, 0.5, hot_fraction=1.5)
+
+
+@given(
+    k=st.integers(min_value=1, max_value=32),
+    rate=st.floats(min_value=0.01, max_value=1.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_estimate_invariants(k, rate):
+    """Achieved <= offered; latency >= min; utilisation capped."""
+    model = ContentionModel(CedarConfig())
+    est = model.estimate(k, rate)
+    assert est.achieved_rate <= rate + 1e-12
+    assert est.round_trip_cycles >= model.config.min_memory_round_trip_cycles
+    assert est.bottleneck_utilisation <= ContentionModel.MAX_UTILISATION + 1e-9
+
+
+@given(
+    k1=st.integers(min_value=1, max_value=31),
+    rate=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_latency_monotone_in_load(k1, rate):
+    """Below saturation latency grows with load; once throttled the
+    achieved per-CE rate decreases instead."""
+    model = ContentionModel(CedarConfig())
+    a = model.estimate(k1, rate)
+    b = model.estimate(k1 + 1, rate)
+    if not a.throttled and not b.throttled:
+        assert b.round_trip_cycles >= a.round_trip_cycles - 1e-9
+    else:
+        assert b.achieved_rate <= a.achieved_rate + 1e-9
+
+
+def test_load_tracker_counts():
+    sim = Simulator()
+    tracker = LoadTracker(sim)
+    assert tracker.active == 0
+    tracker.enter()
+    tracker.enter()
+    assert tracker.active == 2
+    tracker.exit()
+    assert tracker.active == 1
+
+
+def test_load_tracker_underflow_rejected():
+    sim = Simulator()
+    tracker = LoadTracker(sim)
+    with pytest.raises(ValueError):
+        tracker.exit()
+
+
+def test_load_tracker_time_weighted_mean():
+    sim = Simulator()
+    tracker = LoadTracker(sim)
+
+    def proc(sim):
+        tracker.enter()  # 1 active during [0, 100)
+        yield sim.timeout(100)
+        tracker.enter()  # 2 active during [100, 200)
+        yield sim.timeout(100)
+        tracker.exit()
+        tracker.exit()
+
+    sim.process(proc(sim))
+    sim.run()
+    assert tracker.time_weighted_mean() == pytest.approx(1.5)
+
+
+def test_load_tracker_mean_zero_at_time_zero():
+    sim = Simulator()
+    tracker = LoadTracker(sim)
+    assert tracker.time_weighted_mean() == 0.0

@@ -1,0 +1,89 @@
+"""Unit tests for the packet-level global memory system."""
+
+import pytest
+
+from repro.hardware import CedarConfig, GlobalMemorySystem
+from repro.sim import Simulator
+
+
+def make_memory(**config_kwargs):
+    sim = Simulator()
+    config = CedarConfig(**config_kwargs)
+    return sim, GlobalMemorySystem(sim, config)
+
+
+def test_single_request_min_latency():
+    sim, gm = make_memory()
+    done = gm.request(ce_id=0, address=0)
+    sim.run(until=done)
+    assert sim.now == gm.min_round_trip_ns
+    assert gm.stats.completions == 1
+
+
+def test_min_round_trip_matches_config():
+    sim, gm = make_memory()
+    assert gm.min_round_trip_ns == gm.config.cycles_to_ns(
+        gm.config.min_memory_round_trip_cycles
+    )
+
+
+def test_requests_to_same_module_serialise():
+    sim, gm = make_memory()
+    d1 = gm.request(0, address=0)
+    d2 = gm.request(1, address=8 * 32)  # same module 0
+    sim.run(until=sim.all_of([d1, d2]))
+    assert sim.now > gm.min_round_trip_ns
+
+
+def test_requests_to_different_modules_from_different_groups_overlap():
+    sim, gm = make_memory()
+    d1 = gm.request(0, address=0)        # module 0
+    d2 = gm.request(8, address=9 * 8)    # module 9, different stage-0 switch
+    sim.run(until=sim.all_of([d1, d2]))
+    assert sim.now == gm.min_round_trip_ns
+
+
+def test_vector_access_pipelines():
+    """A 16-word stream takes far less than 16 serial round trips."""
+    sim, gm = make_memory()
+    proc = sim.process(gm.vector_access(0, base_address=0, n_words=16))
+    elapsed = sim.run(until=proc)
+    assert elapsed < 16 * gm.min_round_trip_ns
+    assert elapsed >= gm.min_round_trip_ns
+    assert gm.stats.completions == 16
+
+
+def test_vector_access_rejects_nonpositive():
+    sim, gm = make_memory()
+    with pytest.raises(ValueError):
+        list(gm.vector_access(0, 0, 0))
+
+
+def test_mean_round_trip_tracked():
+    sim, gm = make_memory()
+    done = gm.request(0, 0)
+    sim.run(until=done)
+    assert gm.stats.mean_round_trip_ns == gm.min_round_trip_ns
+
+
+def test_contention_grows_with_streaming_ces():
+    """More streaming CEs -> longer per-CE stream time (the paper's
+    contention mechanism)."""
+
+    def stream_time(n_ces):
+        sim, gm = make_memory()
+        procs = [
+            sim.process(gm.vector_access(ce, base_address=ce * 1024, n_words=32))
+            for ce in range(n_ces)
+        ]
+        sim.run(until=sim.all_of(procs))
+        return sim.now
+
+    alone = stream_time(1)
+    crowd = stream_time(16)
+    assert crowd > alone * 1.5
+
+
+def test_module_for_address_delegates_to_config():
+    sim, gm = make_memory()
+    assert gm.module_for_address(16) == gm.config.module_for_address(16)

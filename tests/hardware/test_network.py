@@ -1,0 +1,172 @@
+"""Unit and property tests for the packet-level delta network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.network import DeltaNetwork, Packet
+from repro.sim import Simulator
+
+
+def make_network(n_in=32, n_out=32, **kwargs):
+    sim = Simulator()
+    net = DeltaNetwork(sim, n_inputs=n_in, n_outputs=n_out, **kwargs)
+    return sim, net
+
+
+def test_cedar_network_has_two_stages():
+    _, net = make_network()
+    assert net.n_stages == 2
+
+
+def test_single_crossbar_when_small():
+    _, net = make_network(n_in=8, n_out=8)
+    assert net.n_stages == 1
+
+
+def test_route_reaches_destination():
+    _, net = make_network()
+    # Final hop key must identify the destination uniquely.
+    for dest in range(32):
+        hops = net.route(0, dest)
+        stage, switch, port = hops[-1]
+        assert switch * net._fanouts[-1] + port == dest
+
+
+def test_route_unique_path_per_pair():
+    _, net = make_network()
+    assert net.route(5, 17) == net.route(5, 17)
+
+
+def test_route_stage0_switch_groups_inputs():
+    _, net = make_network()
+    assert net.route(0, 0)[0][1] == 0
+    assert net.route(7, 0)[0][1] == 0
+    assert net.route(8, 0)[0][1] == 1
+    assert net.route(31, 0)[0][1] == 3
+
+
+def test_route_rejects_out_of_range():
+    _, net = make_network()
+    with pytest.raises(ValueError):
+        net.route(-1, 0)
+    with pytest.raises(ValueError):
+        net.route(0, 32)
+
+
+@given(source=st.integers(0, 31), dest=st.integers(0, 31))
+@settings(max_examples=200, deadline=None)
+def test_route_properties(source, dest):
+    """Every (source, dest) pair has a valid 2-hop digit route."""
+    _, net = make_network()
+    hops = net.route(source, dest)
+    assert len(hops) == 2
+    for k, (stage, switch, port) in enumerate(hops):
+        assert stage == k
+        assert 0 <= port < net._fanouts[k]
+    # Same stage-0 switch for inputs in the same group of 8.
+    assert hops[0][1] == source // 8
+    # Delivered output index equals dest.
+    stage, switch, port = hops[-1]
+    assert switch * net._fanouts[-1] + port == dest
+
+
+@given(dests=st.lists(st.integers(0, 31), min_size=1, max_size=16))
+@settings(max_examples=50, deadline=None)
+def test_distinct_sources_to_distinct_dests_no_shared_final_hop(dests):
+    """Packets to different outputs never share the final output port."""
+    _, net = make_network()
+    finals = [net.route(0, d)[-1] for d in set(dests)]
+    assert len(set(finals)) == len(set(dests))
+
+
+def test_uncontended_traversal_latency():
+    sim, net = make_network()
+    packet = Packet(source=0, dest=31)
+    proc = sim.process(net.traverse(packet))
+    sim.run(until=proc)
+    assert packet.latency_ns == net.min_latency_ns()
+    assert net.stats.packets_delivered == 1
+
+
+def test_contended_port_serialises_packets():
+    """Two packets to the same destination share ports and serialise."""
+    sim, net = make_network()
+    p1 = Packet(source=0, dest=5)
+    p2 = Packet(source=1, dest=5)
+    procs = [sim.process(net.traverse(p)) for p in (p1, p2)]
+    sim.run(until=sim.all_of(procs))
+    latencies = sorted([p1.latency_ns, p2.latency_ns])
+    assert latencies[0] == net.min_latency_ns()
+    assert latencies[1] > net.min_latency_ns()
+
+
+def test_disjoint_paths_do_not_interfere():
+    """Packets from different switch groups to different outputs fly free."""
+    sim, net = make_network()
+    p1 = Packet(source=0, dest=0)
+    p2 = Packet(source=8, dest=31)
+    procs = [sim.process(net.traverse(p)) for p in (p1, p2)]
+    sim.run(until=sim.all_of(procs))
+    assert p1.latency_ns == net.min_latency_ns()
+    assert p2.latency_ns == net.min_latency_ns()
+
+
+def test_stats_accumulate():
+    # Destinations 0, 4, 8, 12 use distinct stage-0 ports (dest // 4)
+    # and distinct stage-1 switches, so the four paths are disjoint.
+    sim, net = make_network()
+    packets = [Packet(source=i, dest=4 * i) for i in range(4)]
+    procs = [sim.process(net.traverse(p)) for p in packets]
+    sim.run(until=sim.all_of(procs))
+    assert net.stats.packets_injected == 4
+    assert net.stats.packets_delivered == 4
+    assert net.stats.mean_latency_ns == net.min_latency_ns()
+
+
+def test_hot_spot_queueing_grows_latency():
+    """Many senders to one destination queue up (tree saturation seed)."""
+    sim, net = make_network()
+    packets = [Packet(source=i, dest=0) for i in range(16)]
+    procs = [sim.process(net.traverse(p)) for p in packets]
+    sim.run(until=sim.all_of(procs))
+    worst = max(p.latency_ns for p in packets)
+    # 16 packets through one final port of 2 cycles each: the last one
+    # waits for most of the others.
+    assert worst >= 10 * net.link_cycles * net.cycle_ns
+
+
+def test_invalid_construction_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        DeltaNetwork(sim, n_inputs=0, n_outputs=8)
+    with pytest.raises(ValueError):
+        DeltaNetwork(sim, n_inputs=8, n_outputs=8, radix=1)
+
+
+def test_packet_latency_before_delivery_raises():
+    packet = Packet(source=0, dest=1)
+    with pytest.raises(ValueError):
+        _ = packet.latency_ns
+
+
+@given(
+    perm_seed=st.integers(0, 2**31),
+)
+@settings(max_examples=20, deadline=None)
+def test_identity_like_permutations_complete(perm_seed):
+    """A random permutation of 32 packets is delivered exactly once
+    each, regardless of path conflicts."""
+    import random
+
+    rng = random.Random(perm_seed)
+    dests = list(range(32))
+    rng.shuffle(dests)
+    sim, net = make_network()
+    packets = [Packet(source=i, dest=dests[i]) for i in range(32)]
+    procs = [sim.process(net.traverse(p)) for p in packets]
+    sim.run(until=sim.all_of(procs))
+    assert net.stats.packets_delivered == 32
+    assert sorted(p.dest for p in packets) == list(range(32))
+    for p in packets:
+        assert p.latency_ns >= net.min_latency_ns()

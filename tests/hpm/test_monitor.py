@@ -1,0 +1,109 @@
+"""Unit tests for the cedarhpm trace monitor and event vocabulary."""
+
+import pytest
+
+from repro.hpm import OS_EVENTS, RTL_EVENTS, CedarHpm, EventType, TraceEvent
+from repro.sim import Simulator
+
+
+def test_event_vocabulary_partition():
+    """Every event is either an RTL or an OS event, never both."""
+    assert RTL_EVENTS | OS_EVENTS == frozenset(EventType)
+    assert not (RTL_EVENTS & OS_EVENTS)
+    assert EventType.LOOP_POST in RTL_EVENTS
+    assert EventType.SYSCALL_ENTER in OS_EVENTS
+
+
+def test_record_quantises_to_50ns():
+    sim = Simulator()
+    hpm = CedarHpm(sim)
+
+    def proc(sim):
+        yield sim.timeout(1234)
+        hpm.record(EventType.LOOP_POST, processor_id=3)
+
+    sim.process(proc(sim))
+    sim.run()
+    [event] = hpm.offload()
+    assert event.timestamp_ns == 1200
+    assert event.processor_id == 3
+    assert event.event_type == EventType.LOOP_POST
+
+
+def test_record_costs_no_simulated_time():
+    sim = Simulator()
+    hpm = CedarHpm(sim)
+    hpm.record(EventType.ITER_START, 0)
+    assert sim.now == 0
+
+
+def test_resolution_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CedarHpm(sim, resolution_ns=0)
+
+
+def test_buffer_capacity_drops_overflow():
+    sim = Simulator()
+    hpm = CedarHpm(sim, buffer_capacity=2)
+    assert hpm.record(EventType.ITER_START, 0) is not None
+    assert hpm.record(EventType.ITER_END, 0) is not None
+    assert hpm.record(EventType.ITER_START, 1) is None
+    assert len(hpm) == 2
+    assert hpm.dropped == 1
+
+
+def test_events_of_filters_types():
+    sim = Simulator()
+    hpm = CedarHpm(sim)
+    hpm.record(EventType.ITER_START, 0)
+    hpm.record(EventType.ITER_END, 0)
+    hpm.record(EventType.ITER_START, 1)
+    starts = list(hpm.events_of(EventType.ITER_START))
+    assert len(starts) == 2
+    assert all(e.event_type == EventType.ITER_START for e in starts)
+
+
+def test_events_on_filters_processor():
+    sim = Simulator()
+    hpm = CedarHpm(sim)
+    hpm.record(EventType.ITER_START, 0)
+    hpm.record(EventType.ITER_START, 5)
+    assert len(list(hpm.events_on(5))) == 1
+
+
+def test_events_for_task_filters_task():
+    sim = Simulator()
+    hpm = CedarHpm(sim)
+    hpm.record(EventType.LOOP_POST, 0, task_id=0)
+    hpm.record(EventType.HELPER_JOIN, 8, task_id=1)
+    assert len(list(hpm.events_for_task(1))) == 1
+
+
+def test_subscribe_sees_events():
+    sim = Simulator()
+    hpm = CedarHpm(sim)
+    seen = []
+    hpm.subscribe(seen.append)
+    hpm.record(EventType.BARRIER_ENTER, 2)
+    assert len(seen) == 1
+    assert seen[0].event_type == EventType.BARRIER_ENTER
+
+
+def test_clear_resets_buffer():
+    sim = Simulator()
+    hpm = CedarHpm(sim, buffer_capacity=1)
+    hpm.record(EventType.ITER_START, 0)
+    hpm.record(EventType.ITER_START, 0)  # dropped
+    hpm.clear()
+    assert len(hpm) == 0
+    assert hpm.dropped == 0
+
+
+def test_trace_event_equality():
+    a = TraceEvent(EventType.ITER_START, 100, 0, 1, None)
+    b = TraceEvent(EventType.ITER_START, 100, 0, 1, None)
+    c = TraceEvent(EventType.ITER_END, 100, 0, 1, None)
+    assert a == b
+    assert a != c
+    assert a.__eq__(42) is NotImplemented

@@ -1,0 +1,32 @@
+"""Robustness tests: results are stable across seeds and scales."""
+
+import pytest
+
+from repro.apps import flo52
+from repro.core import run_application
+from repro.xylem import XylemParams
+
+
+def test_results_stable_across_os_seeds():
+    """Daemon jitter seeds shift completion time only marginally."""
+    cts = []
+    for seed in (1, 1994, 42):
+        result = run_application(
+            flo52(), 32, scale=0.01, os_params=XylemParams(seed=seed)
+        )
+        cts.append(result.ct_seconds)
+    assert max(cts) < min(cts) * 1.1, cts
+
+
+def test_results_stable_across_scales():
+    """Extrapolated CT agrees between workload scales within ~15%."""
+    a = run_application(flo52(), 32, scale=0.01).ct_seconds
+    b = run_application(flo52(), 32, scale=0.03).ct_seconds
+    assert a == pytest.approx(b, rel=0.15)
+
+
+def test_no_jitter_is_fully_deterministic():
+    params = XylemParams(interval_jitter=0.0)
+    a = run_application(flo52(), 32, scale=0.01, os_params=params)
+    b = run_application(flo52(), 32, scale=0.01, os_params=params)
+    assert a.ct_ns == b.ct_ns

@@ -1,0 +1,91 @@
+"""Unit tests for loop and phase descriptors."""
+
+import pytest
+
+from repro.runtime import LoopConstruct, ParallelLoop, SerialPhase
+
+
+def make_loop(**kwargs):
+    defaults = dict(
+        construct=LoopConstruct.SDOALL,
+        n_inner=64,
+        work_ns_per_iter=1000,
+    )
+    defaults.update(kwargs)
+    return ParallelLoop(**defaults)
+
+
+def test_loop_totals():
+    loop = make_loop(n_outer=4, n_inner=16, work_ns_per_iter=10)
+    assert loop.total_iterations == 64
+    assert loop.total_work_ns == 640
+
+
+def test_cluster_only_flag():
+    assert make_loop(construct=LoopConstruct.CLUSTER_ONLY).is_main_cluster_only
+    assert make_loop(construct=LoopConstruct.CDOACROSS).is_main_cluster_only
+    assert not make_loop(construct=LoopConstruct.SDOALL).is_main_cluster_only
+    assert not make_loop(construct=LoopConstruct.XDOALL).is_main_cluster_only
+
+
+def test_cluster_only_rejects_outer_iterations():
+    with pytest.raises(ValueError):
+        make_loop(construct=LoopConstruct.CLUSTER_ONLY, n_outer=2)
+
+
+def test_loop_validation():
+    with pytest.raises(ValueError):
+        make_loop(n_inner=0)
+    with pytest.raises(ValueError):
+        make_loop(n_outer=0)
+    with pytest.raises(ValueError):
+        make_loop(work_ns_per_iter=-1)
+    with pytest.raises(ValueError):
+        make_loop(mem_words_per_iter=-1)
+    with pytest.raises(ValueError):
+        make_loop(mem_rate=0.0)
+    with pytest.raises(ValueError):
+        make_loop(mem_rate=1.5)
+    with pytest.raises(ValueError):
+        make_loop(iters_per_page=0)
+    with pytest.raises(ValueError):
+        make_loop(serial_fraction=1.1)
+
+
+def test_page_mapping_groups_iterations():
+    loop = make_loop(n_inner=16, page_base=100, iters_per_page=4)
+    assert loop.page_for_iteration(0, 0) == 100
+    assert loop.page_for_iteration(0, 3) == 100
+    assert loop.page_for_iteration(0, 4) == 101
+    assert loop.n_pages == 4
+
+
+def test_page_mapping_across_outer_iterations():
+    loop = make_loop(n_outer=2, n_inner=8, page_base=0, iters_per_page=8)
+    assert loop.page_for_iteration(0, 7) == 0
+    assert loop.page_for_iteration(1, 0) == 1
+
+
+def test_no_paging_when_disabled():
+    loop = make_loop(page_base=-1)
+    assert loop.page_for_iteration(0, 0) is None
+    assert loop.n_pages == 0
+
+
+def test_serial_phase_defaults_valid():
+    phase = SerialPhase(work_ns=1000)
+    assert phase.mem_words == 0
+    assert phase.syscalls == 0
+
+
+def test_serial_phase_validation():
+    with pytest.raises(ValueError):
+        SerialPhase(work_ns=-1)
+    with pytest.raises(ValueError):
+        SerialPhase(work_ns=0, mem_words=-1)
+    with pytest.raises(ValueError):
+        SerialPhase(work_ns=0, n_pages=-1)
+    with pytest.raises(ValueError):
+        SerialPhase(work_ns=0, syscalls=-1)
+    with pytest.raises(ValueError):
+        SerialPhase(work_ns=0, mem_rate=0.0)

@@ -1,0 +1,116 @@
+"""Unit tests for the loop-merging transformation."""
+
+import pytest
+
+from repro.runtime import (
+    LoopConstruct,
+    ParallelLoop,
+    SerialPhase,
+    merge_adjacent_loops,
+    mergeable,
+)
+
+
+def sdoall(n_outer=4, n_inner=16, work=1000, words=0, rate=0.5, label=""):
+    return ParallelLoop(
+        construct=LoopConstruct.SDOALL,
+        n_outer=n_outer,
+        n_inner=n_inner,
+        work_ns_per_iter=work,
+        mem_words_per_iter=words,
+        mem_rate=rate,
+        label=label,
+    )
+
+
+def xdoall(n_inner=64, work=1000, words=0, label=""):
+    return ParallelLoop(
+        construct=LoopConstruct.XDOALL,
+        n_inner=n_inner,
+        work_ns_per_iter=work,
+        mem_words_per_iter=words,
+        label=label,
+    )
+
+
+def test_mergeable_same_shape():
+    assert mergeable(sdoall(), sdoall())
+    assert mergeable(xdoall(), xdoall(n_inner=32))
+
+
+def test_not_mergeable_across_constructs():
+    assert not mergeable(sdoall(), xdoall())
+
+
+def test_not_mergeable_different_inner():
+    assert not mergeable(sdoall(n_inner=16), sdoall(n_inner=24))
+
+
+def test_not_mergeable_cluster_only():
+    mc = ParallelLoop(
+        construct=LoopConstruct.CLUSTER_ONLY, n_inner=8, work_ns_per_iter=100
+    )
+    assert not mergeable(mc, mc)
+
+
+def test_not_mergeable_different_rate():
+    assert not mergeable(sdoall(rate=0.5), sdoall(rate=0.6))
+
+
+def test_merge_sdoall_concatenates_outer():
+    merged = merge_adjacent_loops([sdoall(n_outer=4, label="a"), sdoall(n_outer=6, label="b")])
+    [loop] = merged
+    assert loop.n_outer == 10
+    assert loop.n_inner == 16
+    assert loop.label == "a+b"
+
+
+def test_merge_preserves_total_work():
+    a = sdoall(n_outer=4, work=1000)
+    b = sdoall(n_outer=4, work=3000)
+    [loop] = merge_adjacent_loops([a, b])
+    assert loop.n_outer * loop.n_inner * loop.work_ns_per_iter == (
+        a.total_work_ns + b.total_work_ns
+    )
+
+
+def test_merge_xdoall_concatenates_iterations():
+    [loop] = merge_adjacent_loops([xdoall(n_inner=64), xdoall(n_inner=32)])
+    assert loop.n_inner == 96
+
+
+def test_serial_phase_blocks_merging():
+    phases = [sdoall(), SerialPhase(work_ns=100), sdoall()]
+    merged = merge_adjacent_loops(phases)
+    assert len(merged) == 3
+
+
+def test_merge_runs_of_three():
+    merged = merge_adjacent_loops([sdoall(), sdoall(), sdoall()])
+    [loop] = merged
+    assert loop.n_outer == 12
+
+
+def test_input_list_unmodified():
+    phases = [sdoall(), sdoall()]
+    merge_adjacent_loops(phases)
+    assert len(phases) == 2
+
+
+def test_merged_program_reduces_barriers():
+    """End to end: the merged program executes fewer finish barriers."""
+    from repro.core import run_phases
+    from repro.hpm.events import EventType
+
+    phases = [sdoall(n_outer=8, n_inner=16, work=200_000) for _ in range(6)]
+    plain = run_phases(phases, 32)
+    fused = run_phases(merge_adjacent_loops(phases), 32)
+    barriers_plain = sum(
+        1 for e in plain.events if e.event_type == EventType.BARRIER_ENTER
+    )
+    barriers_fused = sum(
+        1 for e in fused.events if e.event_type == EventType.BARRIER_ENTER
+    )
+    assert barriers_plain == 6
+    assert barriers_fused == 1
+    assert fused.ct_ns <= plain.ct_ns

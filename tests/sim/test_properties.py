@@ -1,0 +1,160 @@
+"""Property-based tests of the discrete-event kernel's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.integers(0, 1000), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_clock_is_monotone_under_arbitrary_timeouts(delays):
+    """However timeouts interleave, observed time never goes backwards
+    and ends at the maximum delay."""
+    sim = Simulator()
+    observed = []
+
+    def waiter(delay):
+        yield sim.timeout(delay)
+        observed.append(sim.now)
+
+    for delay in delays:
+        sim.process(waiter(delay))
+    sim.run()
+    assert observed == sorted(observed)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.integers(1, 100), min_size=1, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_sequential_waits_sum(delays):
+    """A chain of timeouts takes exactly the sum of its delays."""
+    sim = Simulator()
+
+    def chain():
+        for delay in delays:
+            yield sim.timeout(delay)
+
+    proc = sim.process(chain())
+    sim.run(until=proc)
+    assert sim.now == sum(delays)
+
+
+@given(
+    capacity=st.integers(1, 8),
+    holds=st.lists(st.integers(1, 50), min_size=1, max_size=25),
+)
+@settings(max_examples=100, deadline=None)
+def test_resource_never_overcommits(capacity, holds):
+    """At no instant do more than `capacity` users hold the resource,
+    and every requester is eventually served."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=capacity)
+    served = []
+    max_seen = [0]
+
+    def user(tag, hold):
+        request = resource.request()
+        yield request
+        max_seen[0] = max(max_seen[0], resource.count)
+        assert resource.count <= capacity
+        yield sim.timeout(hold)
+        resource.release(request)
+        served.append(tag)
+
+    for tag, hold in enumerate(holds):
+        sim.process(user(tag, hold))
+    sim.run()
+    assert sorted(served) == list(range(len(holds)))
+    assert max_seen[0] <= capacity
+    assert resource.count == 0
+
+
+@given(
+    capacity=st.integers(1, 8),
+    holds=st.lists(st.integers(1, 20), min_size=2, max_size=20),
+)
+@settings(max_examples=50, deadline=None)
+def test_unit_resource_serialises_total_time(capacity, holds):
+    """With capacity 1, total elapsed time equals the sum of holds."""
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+
+    def user(hold):
+        request = resource.request()
+        yield request
+        yield sim.timeout(hold)
+        resource.release(request)
+
+    procs = [sim.process(user(h)) for h in holds]
+    sim.run(until=sim.all_of(procs))
+    assert sim.now == sum(holds)
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_store_preserves_fifo_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer():
+        for item in items:
+            yield store.put(item)
+            yield sim.timeout(1)
+
+    def consumer():
+        for _ in items:
+            value = yield store.get()
+            received.append(value)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert received == items
+
+
+@given(
+    n_processes=st.integers(1, 10),
+    n_rounds=st.integers(1, 5),
+)
+@settings(max_examples=50, deadline=None)
+def test_all_of_barrier_synchronises(n_processes, n_rounds):
+    """Repeated all_of joins: every round ends at the slowest member."""
+    sim = Simulator()
+    log = []
+
+    def worker(tag, round_no):
+        yield sim.timeout((tag + 1) * 10)
+        return tag
+
+    def coordinator():
+        for round_no in range(n_rounds):
+            procs = [sim.process(worker(t, round_no)) for t in range(n_processes)]
+            yield sim.all_of(procs)
+            log.append(sim.now)
+
+    proc = sim.process(coordinator())
+    sim.run(until=proc)
+    assert log == [n_processes * 10 * (r + 1) for r in range(n_rounds)]
+
+
+@given(seed_delays=st.lists(st.integers(0, 50), min_size=1, max_size=15))
+@settings(max_examples=50, deadline=None)
+def test_determinism(seed_delays):
+    """Two identical simulations produce identical event orders."""
+
+    def run_once():
+        sim = Simulator()
+        order = []
+
+        def waiter(tag, delay):
+            yield sim.timeout(delay)
+            order.append((tag, sim.now))
+
+        for tag, delay in enumerate(seed_delays):
+            sim.process(waiter(tag, delay))
+        sim.run()
+        return order
+
+    assert run_once() == run_once()

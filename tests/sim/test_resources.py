@@ -1,0 +1,262 @@
+"""Unit tests for simulation resources (Resource, PriorityResource, Store, Gate)."""
+
+import pytest
+
+from repro.sim import Gate, PriorityResource, Resource, Simulator, Store
+
+
+def test_resource_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Resource(sim, capacity=0)
+
+
+def test_resource_grants_up_to_capacity():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    r1 = res.request()
+    r2 = res.request()
+    r3 = res.request()
+    assert r1.triggered and r2.triggered
+    assert not r3.triggered
+    assert res.count == 2
+    assert res.queue_length == 1
+
+
+def test_resource_release_grants_waiter():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    assert not r2.triggered
+    res.release(r1)
+    assert r2.triggered
+    assert res.count == 1
+
+
+def test_resource_fifo_ordering():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def user(sim, res, tag, hold):
+        req = res.request()
+        yield req
+        order.append(tag)
+        yield sim.timeout(hold)
+        res.release(req)
+
+    for tag in range(4):
+        sim.process(user(sim, res, tag, hold=10))
+    sim.run()
+    assert order == [0, 1, 2, 3]
+    assert sim.now == 40
+
+
+def test_resource_release_queued_request_withdraws_it():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    r2 = res.request()
+    res.release(r2)  # withdraw while queued
+    assert res.queue_length == 0
+    res.release(r1)
+    assert res.count == 0
+
+
+def test_resource_release_unknown_request_is_noop():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    r1 = res.request()
+    other = Resource(sim, capacity=1).request()
+    res.release(other)  # not ours: must not disturb state
+    assert res.count == 1
+    res.release(r1)
+
+
+def test_request_context_manager_releases():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def user(sim, res, tag):
+        with res.request() as req:
+            yield req
+            log.append(tag)
+            yield sim.timeout(5)
+
+    sim.process(user(sim, res, "a"))
+    sim.process(user(sim, res, "b"))
+    sim.run()
+    assert log == ["a", "b"]
+    assert res.count == 0
+
+
+def test_resource_acquire_helper():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    times = []
+
+    def user(sim, res):
+        req = yield from res.acquire()
+        yield sim.timeout(7)
+        res.release(req)
+        times.append(sim.now)
+
+    sim.process(user(sim, res))
+    sim.process(user(sim, res))
+    sim.run()
+    assert times == [7, 14]
+
+
+def test_priority_resource_orders_by_priority():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def user(sim, res, tag, priority):
+        req = res.request(priority=priority)
+        yield req
+        order.append(tag)
+        yield sim.timeout(1)
+        res.release(req)
+
+    def spawn(sim):
+        # Occupy the resource, then queue contenders with priorities.
+        req = res.request(priority=0)
+        yield req
+        sim.process(user(sim, res, "low", 5))
+        sim.process(user(sim, res, "high", 1))
+        sim.process(user(sim, res, "mid", 3))
+        yield sim.timeout(10)
+        res.release(req)
+
+    sim.process(spawn(sim))
+    sim.run()
+    assert order == ["high", "mid", "low"]
+
+
+def test_priority_resource_fifo_within_priority():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    holder = res.request(priority=0)
+    reqs = [res.request(priority=1) for _ in range(3)]
+    res.release(holder)
+    assert reqs[0].triggered
+    assert not reqs[1].triggered
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    got = store.get()
+    assert got.triggered
+    assert got.value == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def consumer(sim, store):
+        item = yield store.get()
+        received.append((sim.now, item))
+
+    def producer(sim, store):
+        yield sim.timeout(5)
+        store.put("item")
+
+    sim.process(consumer(sim, store))
+    sim.process(producer(sim, store))
+    sim.run()
+    assert received == [(5, "item")]
+
+
+def test_store_fifo_order():
+    sim = Simulator()
+    store = Store(sim)
+    for i in range(3):
+        store.put(i)
+    assert [store.get().value for _ in range(3)] == [0, 1, 2]
+
+
+def test_store_bounded_put_blocks():
+    sim = Simulator()
+    store = Store(sim, capacity=1)
+    p1 = store.put("a")
+    p2 = store.put("b")
+    assert p1.triggered
+    assert not p2.triggered
+    got = store.get()
+    assert got.value == "a"
+    assert p2.triggered
+    assert store.get().value == "b"
+
+
+def test_store_capacity_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Store(sim, capacity=0)
+
+
+def test_store_len_and_items():
+    sim = Simulator()
+    store = Store(sim)
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+    assert store.items == [1, 2]
+
+
+def test_gate_blocks_until_open():
+    sim = Simulator()
+    gate = Gate(sim)
+    log = []
+
+    def waiter(sim, gate, tag):
+        yield gate.wait()
+        log.append((tag, sim.now))
+
+    def opener(sim, gate):
+        yield sim.timeout(8)
+        gate.open()
+
+    sim.process(waiter(sim, gate, "a"))
+    sim.process(waiter(sim, gate, "b"))
+    sim.process(opener(sim, gate))
+    sim.run()
+    assert log == [("a", 8), ("b", 8)]
+
+
+def test_gate_open_passes_value_and_reuse():
+    sim = Simulator()
+    gate = Gate(sim)
+    log = []
+
+    def waiter(sim, gate):
+        value = yield gate.wait()
+        log.append(value)
+        gate.close()
+        value = yield gate.wait()
+        log.append(value)
+
+    def opener(sim, gate):
+        yield sim.timeout(1)
+        gate.open("first")
+        yield sim.timeout(1)
+        gate.open("second")
+
+    sim.process(waiter(sim, gate))
+    sim.process(opener(sim, gate))
+    sim.run()
+    assert log == ["first", "second"]
+
+
+def test_gate_initially_open_does_not_block():
+    sim = Simulator()
+    gate = Gate(sim, open_=True)
+    assert gate.is_open
+    event = gate.wait()
+    assert event.triggered

@@ -1,0 +1,79 @@
+"""Unit tests for OS time accounting and category mapping."""
+
+import pytest
+
+from repro.hardware import paper_configuration
+from repro.xylem import OsActivity, TimeAccounting, TimeCategory, activity_category
+
+
+@pytest.fixture
+def accounting():
+    return TimeAccounting(paper_configuration(32))
+
+
+def test_cpi_is_interrupt_everything_else_system():
+    assert activity_category(OsActivity.CPI) is TimeCategory.INTERRUPT
+    for activity in OsActivity:
+        if activity is not OsActivity.CPI:
+            assert activity_category(activity) is TimeCategory.SYSTEM
+
+
+def test_charge_accumulates(accounting):
+    accounting.charge(0, OsActivity.CTX, 100)
+    accounting.charge(0, OsActivity.CTX, 50)
+    assert accounting.activity_ns(0, OsActivity.CTX) == 150
+    assert accounting.activity_count(0, OsActivity.CTX) == 2
+
+
+def test_charge_negative_rejected(accounting):
+    with pytest.raises(ValueError):
+        accounting.charge(0, OsActivity.CTX, -1)
+    with pytest.raises(ValueError):
+        accounting.charge_kspin(0, -1)
+
+
+def test_per_cluster_isolation(accounting):
+    accounting.charge(1, OsActivity.AST, 70)
+    assert accounting.activity_ns(0, OsActivity.AST) == 0
+    assert accounting.activity_ns(1, OsActivity.AST) == 70
+    assert accounting.activity_total_ns(OsActivity.AST) == 70
+
+
+def test_category_sums(accounting):
+    accounting.charge(0, OsActivity.CTX, 100)
+    accounting.charge(0, OsActivity.SYSCALL_CLUSTER, 30)
+    accounting.charge(0, OsActivity.CPI, 40)
+    accounting.charge_kspin(0, 5)
+    assert accounting.category_ns(0, TimeCategory.SYSTEM) == 130
+    assert accounting.category_ns(0, TimeCategory.INTERRUPT) == 40
+    assert accounting.category_ns(0, TimeCategory.KSPIN) == 5
+    assert accounting.os_total_ns(0) == 175
+
+
+def test_user_category_query_rejected(accounting):
+    with pytest.raises(ValueError):
+        accounting.category_ns(0, TimeCategory.USER)
+
+
+def test_breakdown_sums_to_wall_time(accounting):
+    accounting.charge(0, OsActivity.CTX, 100)
+    accounting.charge(0, OsActivity.CPI, 40)
+    accounting.charge_kspin(0, 10)
+    breakdown = accounting.breakdown(0, wall_ns=1000)
+    assert breakdown[TimeCategory.USER] == 850
+    assert sum(breakdown.values()) == 1000
+
+
+def test_breakdown_rejects_overrun(accounting):
+    accounting.charge(0, OsActivity.CTX, 2000)
+    with pytest.raises(ValueError):
+        accounting.breakdown(0, wall_ns=1000)
+
+
+def test_table2_totals(accounting):
+    accounting.charge(0, OsActivity.PGFLT_CONCURRENT, 11)
+    accounting.charge(3, OsActivity.PGFLT_CONCURRENT, 22)
+    table = accounting.table2_ns()
+    assert table[OsActivity.PGFLT_CONCURRENT] == 33
+    assert table[OsActivity.AST] == 0
+    assert set(table) == set(OsActivity)

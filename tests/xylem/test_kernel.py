@@ -1,0 +1,226 @@
+"""Unit tests for the Xylem kernel: freezes, CPIs, syscalls, daemons."""
+
+import pytest
+
+from repro.hardware import paper_configuration
+from repro.hpm import CedarHpm, EventType
+from repro.sim import Simulator
+from repro.xylem import OsActivity, TimeCategory, XylemKernel, XylemParams
+
+
+def make_kernel(n_proc=32, **param_kwargs):
+    sim = Simulator()
+    config = paper_configuration(n_proc)
+    kernel = XylemKernel(sim, config, XylemParams(**param_kwargs))
+    return sim, kernel
+
+
+def test_cluster_state_freeze_nesting():
+    sim, kernel = make_kernel()
+    state = kernel.clusters[0]
+    state.freeze()
+    state.freeze()
+    assert state.frozen
+    state.unfreeze()
+    assert state.frozen
+    state.unfreeze()
+    assert not state.frozen
+
+
+def test_unfreeze_underflow_rejected():
+    sim, kernel = make_kernel()
+    with pytest.raises(ValueError):
+        kernel.clusters[0].unfreeze()
+
+
+def test_frozen_time_accumulates():
+    sim, kernel = make_kernel()
+    state = kernel.clusters[0]
+
+    def proc(sim):
+        state.freeze()
+        yield sim.timeout(100)
+        state.unfreeze()
+        yield sim.timeout(50)
+        state.freeze()
+        yield sim.timeout(30)
+        state.unfreeze()
+
+    sim.process(proc(sim))
+    sim.run()
+    assert state.frozen_cum_ns() == 130
+
+
+def test_execute_without_os_activity_takes_exact_time():
+    sim, kernel = make_kernel()
+    proc = sim.process(kernel.execute(0, work_ns=5000))
+    elapsed = sim.run(until=proc)
+    assert elapsed == 5000
+    assert sim.now == 5000
+
+
+def test_execute_zero_work():
+    sim, kernel = make_kernel()
+    proc = sim.process(kernel.execute(0, work_ns=0))
+    sim.run(until=proc)
+    assert sim.now == 0
+
+
+def test_execute_negative_work_rejected():
+    sim, kernel = make_kernel()
+    with pytest.raises(ValueError):
+        list(kernel.execute(0, -1))
+
+
+def test_execute_stretched_by_freeze():
+    """User work is padded by exactly the frozen time during it."""
+    sim, kernel = make_kernel()
+    state = kernel.clusters[0]
+
+    def freezer(sim):
+        yield sim.timeout(100)
+        state.freeze()
+        yield sim.timeout(40)
+        state.unfreeze()
+
+    sim.process(freezer(sim))
+    proc = sim.process(kernel.execute(0, work_ns=1000))
+    elapsed = sim.run(until=proc)
+    assert elapsed == 1040
+
+
+def test_execute_waits_out_initial_freeze():
+    sim, kernel = make_kernel()
+    state = kernel.clusters[0]
+    state.freeze()
+
+    def unfreezer(sim):
+        yield sim.timeout(70)
+        state.unfreeze()
+
+    sim.process(unfreezer(sim))
+    proc = sim.process(kernel.execute(0, work_ns=100))
+    sim.run(until=proc)
+    assert sim.now == 170
+
+
+def test_execute_on_other_cluster_unaffected_by_freeze():
+    sim, kernel = make_kernel()
+    kernel.clusters[1].freeze()
+    proc = sim.process(kernel.execute(0, work_ns=100))
+    sim.run(until=proc)
+    assert sim.now == 100
+
+
+def test_cpi_gather_accounts_wall_cost():
+    sim, kernel = make_kernel(32)
+    proc = sim.process(kernel.cpi_gather(2))
+    sim.run(until=proc)
+    # The CEs save/restore in parallel: the cluster is frozen (and the
+    # ledger charged) one per-CE cost plus the bus sync window.
+    expected = kernel.params.cpi_per_ce_cost_ns + kernel.params.cpi_sync_ns
+    assert kernel.accounting.activity_ns(2, OsActivity.CPI) == expected
+    assert sim.now == expected
+
+
+def test_cpi_gather_freezes_user_work():
+    sim, kernel = make_kernel()
+
+    def os_activity(sim):
+        yield sim.timeout(10)
+        yield sim.process(kernel.cpi_gather(0))
+
+    sim.process(os_activity(sim))
+    proc = sim.process(kernel.execute(0, work_ns=1000))
+    elapsed = sim.run(until=proc)
+    freeze = kernel.params.cpi_per_ce_cost_ns + kernel.params.cpi_sync_ns
+    assert elapsed == 1000 + freeze
+
+
+def test_context_switch_charges_ctx_and_cpi():
+    sim, kernel = make_kernel()
+    proc = sim.process(kernel.context_switch(1))
+    sim.run(until=proc)
+    assert kernel.accounting.activity_ns(1, OsActivity.CTX) == kernel.params.ctx_cost_ns
+    assert kernel.accounting.activity_ns(1, OsActivity.CPI) > 0
+    assert kernel.accounting.activity_ns(1, OsActivity.CRSECT_CLUSTER) > 0
+
+
+def test_cluster_syscall_charges():
+    sim, kernel = make_kernel(syscall_cpi_fraction=0.0)
+    proc = sim.process(kernel.cluster_syscall(0))
+    sim.run(until=proc)
+    assert (
+        kernel.accounting.activity_ns(0, OsActivity.SYSCALL_CLUSTER)
+        == kernel.params.syscall_cluster_cost_ns
+    )
+    assert kernel.accounting.activity_ns(0, OsActivity.CPI) == 0
+
+
+def test_cluster_syscall_cpi_thinning():
+    """With fraction 0.5, every second syscall gathers a CPI."""
+    sim, kernel = make_kernel(syscall_cpi_fraction=0.5)
+
+    def proc(sim):
+        for _ in range(4):
+            yield sim.process(kernel.cluster_syscall(0))
+
+    sim.run(until=sim.process(proc(sim)))
+    per_gather = kernel.params.cpi_per_ce_cost_ns + kernel.params.cpi_sync_ns
+    assert kernel.accounting.activity_ns(0, OsActivity.CPI) == 2 * per_gather
+
+
+def test_global_syscall_charges_global_crsect():
+    sim, kernel = make_kernel()
+    proc = sim.process(kernel.global_syscall(0))
+    sim.run(until=proc)
+    assert (
+        kernel.accounting.activity_ns(0, OsActivity.SYSCALL_GLOBAL)
+        == kernel.params.syscall_global_cost_ns
+    )
+    assert kernel.accounting.activity_ns(0, OsActivity.CRSECT_GLOBAL) > 0
+
+
+def test_daemons_generate_background_overhead():
+    sim, kernel = make_kernel(ctx_interval_ns=1_000_000, ast_interval_ns=2_000_000)
+    kernel.start_daemons()
+    sim.run(until=20_000_000)
+    assert kernel.accounting.activity_ns(0, OsActivity.CTX) > 0
+    assert kernel.accounting.activity_ns(0, OsActivity.AST) > 0
+    # Every cluster has its own daemons.
+    assert kernel.accounting.activity_ns(3, OsActivity.CTX) > 0
+
+
+def test_start_daemons_idempotent():
+    sim, kernel = make_kernel(ctx_interval_ns=1_000_000)
+    kernel.start_daemons()
+    kernel.start_daemons()
+    sim.run(until=3_000_000)
+    # A doubled daemon would double the count; with jitter 0.25 the
+    # single daemon fires at most 4 times in 3 intervals.
+    assert kernel.accounting.activity_count(0, OsActivity.CTX) <= 4
+
+
+def test_kernel_records_hpm_events():
+    sim = Simulator()
+    config = paper_configuration(32)
+    hpm = CedarHpm(sim)
+    kernel = XylemKernel(sim, config, XylemParams(), hpm=hpm)
+    sim.run(until=sim.process(kernel.cluster_syscall(0)))
+    types = [e.event_type for e in hpm.offload()]
+    assert EventType.SYSCALL_ENTER in types
+    assert EventType.SYSCALL_EXIT in types
+
+
+def test_breakdown_consistency_under_load():
+    """OS activity fractions stay consistent: wall = user+sys+int+spin."""
+    sim, kernel = make_kernel(ctx_interval_ns=2_000_000)
+    kernel.start_daemons()
+    proc = sim.process(kernel.execute(0, work_ns=50_000_000))
+    sim.run(until=proc)
+    wall = sim.now
+    breakdown = kernel.accounting.breakdown(0, wall)
+    assert sum(breakdown.values()) == wall
+    assert breakdown[TimeCategory.SYSTEM] > 0
+    assert breakdown[TimeCategory.INTERRUPT] > 0
+    assert breakdown[TimeCategory.USER] >= 50_000_000

@@ -1,0 +1,143 @@
+"""Unit tests for the virtual-memory model (page faults)."""
+
+import pytest
+
+from repro.hardware import paper_configuration
+from repro.sim import Simulator
+from repro.xylem import OsActivity, TimeAccounting, VirtualMemory, XylemParams
+
+
+def make_vm(**param_kwargs):
+    sim = Simulator()
+    config = paper_configuration(32)
+    accounting = TimeAccounting(config)
+    params = XylemParams(**param_kwargs)
+    vm = VirtualMemory(sim, accounting, params)
+    return sim, vm, accounting
+
+
+def test_first_touch_faults_sequentially():
+    sim, vm, accounting = make_vm()
+    proc = sim.process(vm.touch(0, page=7))
+    sim.run(until=proc)
+    assert vm.is_resident(7)
+    assert vm.stats.sequential == 1
+    assert vm.stats.concurrent == 0
+    assert accounting.activity_ns(0, OsActivity.PGFLT_SEQUENTIAL) > 0
+    assert sim.now == vm.params.pgflt_sequential_cost_ns
+
+
+def test_second_touch_is_free():
+    sim, vm, accounting = make_vm()
+    sim.run(until=sim.process(vm.touch(0, page=7)))
+    before = sim.now
+    sim.run(until=sim.process(vm.touch(1, page=7)))
+    assert sim.now == before
+    assert vm.stats.sequential == 1
+
+
+def test_simultaneous_touches_become_concurrent_fault():
+    """Three CEs of one cluster touch the same new page together."""
+    sim, vm, accounting = make_vm(pgflt_cpi_fraction=0.0)
+    procs = [sim.process(vm.touch(0, page=3)) for _ in range(3)]
+    sim.run(until=sim.all_of(procs))
+    assert vm.stats.concurrent == 1
+    assert vm.stats.sequential == 0
+    assert vm.stats.joined == 2
+    # The primary pays the full concurrent cost; each joiner pays the
+    # trap-and-wait bookkeeping.
+    assert (
+        accounting.activity_ns(0, OsActivity.PGFLT_CONCURRENT)
+        == vm.params.pgflt_concurrent_cost_ns + 2 * vm.params.pgflt_join_cost_ns
+    )
+    assert accounting.activity_ns(0, OsActivity.PGFLT_SEQUENTIAL) == 0
+
+
+def test_fault_joiners_beyond_cap_pay_light_trap():
+    """Late joiners of a fault storm pay only the light trap cost."""
+    sim, vm, accounting = make_vm(pgflt_cpi_fraction=0.0)
+    procs = [sim.process(vm.touch(0, page=9)) for _ in range(8)]
+    sim.run(until=sim.all_of(procs))
+    params = vm.params
+    cap_joiners = params.pgflt_join_charge_cap - 1  # participants 2..cap
+    light_joiners = 7 - cap_joiners
+    expected = (
+        params.pgflt_concurrent_cost_ns
+        + cap_joiners * params.pgflt_join_cost_ns
+        + light_joiners * params.pgflt_trap_light_ns
+    )
+    assert accounting.activity_ns(0, OsActivity.PGFLT_CONCURRENT) == expected
+
+
+def test_concurrent_fault_waiters_resume_after_resolution():
+    sim, vm, _ = make_vm(pgflt_cpi_fraction=0.0)
+    done_times = []
+
+    def toucher(sim, vm, ce):
+        yield sim.process(vm.touch(0, page=5))
+        done_times.append(sim.now)
+
+    sim.process(toucher(sim, vm, 0))
+    sim.process(toucher(sim, vm, 1))
+    sim.run()
+    assert len(done_times) == 2
+    assert done_times[0] == done_times[1]
+    assert vm.is_resident(5)
+
+
+def test_faults_on_different_pages_are_independent():
+    sim, vm, _ = make_vm()
+    procs = [sim.process(vm.touch(0, page=p)) for p in range(4)]
+    sim.run(until=sim.all_of(procs))
+    assert vm.stats.sequential == 4
+    assert vm.stats.concurrent == 0
+    assert vm.resident_pages == 4
+
+
+def test_cpi_handler_called_on_concurrent_fault():
+    sim = Simulator()
+    config = paper_configuration(32)
+    accounting = TimeAccounting(config)
+    calls = []
+
+    def fake_cpi(cluster_id):
+        calls.append(cluster_id)
+        yield sim.timeout(1)
+
+    vm = VirtualMemory(
+        sim, accounting, XylemParams(pgflt_cpi_fraction=1.0), cpi_handler=fake_cpi
+    )
+    procs = [sim.process(vm.touch(0, page=1)), sim.process(vm.touch(0, page=1))]
+    sim.run(until=sim.all_of(procs))
+    assert calls == [0]
+
+
+def test_prefault_suppresses_faults():
+    sim, vm, _ = make_vm()
+    vm.prefault(range(10))
+    proc = sim.process(vm.touch(0, page=5))
+    sim.run(until=proc)
+    assert sim.now == 0
+    assert vm.stats.sequential == 0
+
+
+def test_touch_many_touches_all():
+    sim, vm, _ = make_vm()
+    proc = sim.process(vm.touch_many(0, [1, 2, 3]))
+    sim.run(until=proc)
+    assert vm.resident_pages == 3
+
+
+def test_fault_accesses_critical_sections_when_wired():
+    sim = Simulator()
+    config = paper_configuration(32)
+    accounting = TimeAccounting(config)
+    from repro.xylem.locks import CriticalSections
+
+    params = XylemParams()
+    cs = CriticalSections(sim, accounting, config.n_clusters)
+    vm = VirtualMemory(sim, accounting, params, critical_sections=cs)
+    proc = sim.process(vm.touch(0, page=1))
+    sim.run(until=proc)
+    expected = params.crsect_per_fault * params.crsect_cluster_cost_ns
+    assert accounting.activity_ns(0, OsActivity.CRSECT_CLUSTER) == expected

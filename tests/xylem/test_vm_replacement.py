@@ -1,0 +1,80 @@
+"""Tests for page replacement under memory pressure."""
+
+import pytest
+
+from repro.hardware import paper_configuration
+from repro.sim import Simulator
+from repro.xylem import TimeAccounting, VirtualMemory, XylemParams
+
+
+def make_vm(max_pages=None):
+    sim = Simulator()
+    accounting = TimeAccounting(paper_configuration(32))
+    vm = VirtualMemory(
+        sim, accounting, XylemParams(), max_resident_pages=max_pages
+    )
+    return sim, vm
+
+
+def touch_all(sim, vm, pages):
+    proc = sim.process(vm.touch_many(0, pages))
+    sim.run(until=proc)
+
+
+def test_unbounded_by_default():
+    sim, vm = make_vm()
+    touch_all(sim, vm, range(100))
+    assert vm.resident_pages == 100
+    assert vm.stats.evictions == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        make_vm(max_pages=0)
+
+
+def test_eviction_caps_resident_set():
+    sim, vm = make_vm(max_pages=10)
+    touch_all(sim, vm, range(25))
+    assert vm.resident_pages == 10
+    assert vm.stats.evictions == 15
+
+
+def test_fifo_eviction_order():
+    sim, vm = make_vm(max_pages=4)
+    touch_all(sim, vm, [0, 1, 2, 3, 4])
+    assert not vm.is_resident(0)  # oldest evicted
+    assert vm.is_resident(4)
+
+
+def test_evicted_page_faults_again():
+    sim, vm = make_vm(max_pages=4)
+    touch_all(sim, vm, [0, 1, 2, 3, 4])
+    faults_before = vm.stats.sequential
+    touch_all(sim, vm, [0])  # was evicted: new fault
+    assert vm.stats.sequential == faults_before + 1
+
+
+def test_cyclic_thrash_faults_every_round():
+    """A cyclic sweep over 2x the resident limit faults every touch."""
+    sim, vm = make_vm(max_pages=8)
+    touch_all(sim, vm, range(16))
+    before = vm.stats.sequential
+    touch_all(sim, vm, range(16))
+    assert vm.stats.sequential == before + 16
+
+
+def test_writeback_charged_on_eviction():
+    sim, vm = make_vm(max_pages=2)
+    from repro.xylem import OsActivity
+
+    touch_all(sim, vm, range(5))
+    seq_ns = vm.accounting.activity_ns(0, OsActivity.PGFLT_SEQUENTIAL)
+    expected = 5 * vm.params.pgflt_sequential_cost_ns + 3 * vm.params.page_writeback_cost_ns
+    assert seq_ns == expected
+
+
+def test_prefault_respects_limit():
+    sim, vm = make_vm(max_pages=4)
+    vm.prefault(range(10))
+    assert vm.resident_pages == 4
