@@ -8,7 +8,16 @@ Run as ``python -m repro.cli <command>``:
   print its Table 1/3/4 columns.
 * ``tables`` -- run everything and print Tables 1-4 and Figure 3.
 * ``trace APP N_PROC -o FILE`` -- run and off-load the cedarhpm trace
-  buffer to a JSON-lines file.
+  buffer to a JSON-lines file whose first line is a ``{"meta": ...}``
+  header recording the machine configuration, seed and application.
+* ``stats APP N_PROC -o FILE`` -- run and write the JSON run report
+  (config, seed, git revision, wall time, full metrics snapshot).
+* ``profile APP N_PROC`` -- run with the kernel profiler attached and
+  print the top simulation processes by host wall time and by
+  simulated time.
+
+``run``, ``sweep`` and ``tables`` additionally accept ``--stats FILE``
+to write the run report(s) of the runs they perform.
 """
 
 from __future__ import annotations
@@ -34,6 +43,11 @@ from repro.core.experiments import (
     table4,
 )
 from repro.hpm import save_trace, trace_summary
+from repro.obs import (
+    Observability,
+    build_run_report,
+    save_report,
+)
 from repro.xylem.categories import TimeCategory
 
 __all__ = ["main"]
@@ -46,9 +60,21 @@ def _app_builder(name: str):
     return PAPER_APPS[key]
 
 
+def _write_stats(results, path) -> None:
+    """Write the run report(s) for one result or a list of them."""
+    if isinstance(results, list):
+        save_report([build_run_report(r) for r in results], path)
+        print(f"wrote {len(results)} run reports to {path}")
+    else:
+        save_report(build_run_report(results), path)
+        print(f"wrote run report to {path}")
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     builder = _app_builder(args.app)
     result = run_application(builder(), args.processors, scale=args.scale)
+    if args.stats:
+        _write_stats(result, args.stats)
     print(f"{result.app_name} on {args.processors} processors (scale {args.scale})")
     print(f"completion time: {result.ct_seconds:.1f} s (extrapolated)")
     print("\ncompletion-time breakdown (main cluster):")
@@ -76,6 +102,8 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         _, text = build(wrapped)
         print(text)
         print()
+    if args.stats:
+        _write_stats([results[n] for n in sorted(results)], args.stats)
 
 
 def _cmd_tables(args: argparse.Namespace) -> None:
@@ -91,17 +119,59 @@ def _cmd_tables(args: argparse.Namespace) -> None:
         _, text = build(payload)
         print(text)
         print()
+    if args.stats:
+        reports = [
+            sweep[app][n] for app in sorted(sweep) for n in sorted(sweep[app])
+        ]
+        _write_stats(reports, args.stats)
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
+    import dataclasses
+
     builder = _app_builder(args.app)
     result = run_application(builder(), args.processors, scale=args.scale)
-    count = save_trace(result.events, args.output)
+    header = {
+        "app": result.app_name,
+        "n_processors": result.config.n_processors,
+        "scale": result.scale,
+        "seed": result.kernel.params.seed,
+        "ct_ns": result.ct_ns,
+        "config": dataclasses.asdict(result.config),
+    }
+    count = save_trace(result.events, args.output, header=header)
     summary = trace_summary(result.events)
     print(f"wrote {count} events to {args.output}")
     print(f"span: {summary['span_ns'] / 1e6:.1f} ms simulated")
     for name, value in sorted(summary["by_type"].items()):
         print(f"  {name:20s} {value}")
+
+
+def _cmd_stats(args: argparse.Namespace) -> None:
+    builder = _app_builder(args.app)
+    obs = Observability()
+    result = run_application(builder(), args.processors, scale=args.scale, obs=obs)
+    report = build_run_report(result, obs.registry)
+    save_report(report, args.output)
+    print(f"wrote run report to {args.output}")
+    print(
+        f"{result.app_name} on {args.processors} processors: "
+        f"CT {result.ct_seconds:.1f} s extrapolated, "
+        f"{result.wall_s:.2f} s host wall time, "
+        f"{len(report['metrics'])} metrics"
+    )
+
+
+def _cmd_profile(args: argparse.Namespace) -> None:
+    builder = _app_builder(args.app)
+    obs = Observability(profile=True)
+    result = run_application(builder(), args.processors, scale=args.scale, obs=obs)
+    print(
+        f"{result.app_name} on {args.processors} processors: "
+        f"{result.wall_s:.2f} s host wall time, "
+        f"{result.ct_ns / 1e6:.1f} ms simulated"
+    )
+    print(obs.profiler.report(args.top))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,15 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("app")
     run.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
     run.add_argument("--scale", type=float, default=0.02)
+    run.add_argument("--stats", metavar="FILE", help="also write the JSON run report")
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="run one application on all configurations")
     sweep.add_argument("app")
     sweep.add_argument("--scale", type=float, default=0.02)
+    sweep.add_argument(
+        "--stats", metavar="FILE", help="also write the JSON run reports"
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     tables = sub.add_parser("tables", help="regenerate Tables 1-4 and Figure 3")
     tables.add_argument("--scale", type=float, default=0.02)
+    tables.add_argument(
+        "--stats", metavar="FILE", help="also write the JSON run reports"
+    )
     tables.set_defaults(func=_cmd_tables)
 
     trace = sub.add_parser("trace", help="off-load a run's event trace to a file")
@@ -133,6 +210,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("-o", "--output", default="trace.jsonl")
     trace.add_argument("--scale", type=float, default=0.02)
     trace.set_defaults(func=_cmd_trace)
+
+    stats = sub.add_parser("stats", help="run and write the JSON run report")
+    stats.add_argument("app")
+    stats.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
+    stats.add_argument("-o", "--output", default="stats.json")
+    stats.add_argument("--scale", type=float, default=0.02)
+    stats.set_defaults(func=_cmd_stats)
+
+    profile = sub.add_parser(
+        "profile", help="run with the kernel profiler and print hot processes"
+    )
+    profile.add_argument("app")
+    profile.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
+    profile.add_argument("-k", "--top", type=int, default=10)
+    profile.add_argument("--scale", type=float, default=0.02)
+    profile.set_defaults(func=_cmd_profile)
     return parser
 
 

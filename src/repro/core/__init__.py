@@ -7,7 +7,13 @@ concurrency equation and the contention-overhead estimator (Section 7),
 plus the paper's published numbers for comparison.
 """
 
-from repro.core.breakdown import UserTimeBreakdown, ct_breakdown, user_breakdown
+from repro.core.breakdown import (
+    MemoryDecomposition,
+    UserTimeBreakdown,
+    ct_breakdown,
+    memory_decomposition,
+    user_breakdown,
+)
 from repro.core.concurrency import (
     average_concurrency,
     loop_regions,
@@ -38,6 +44,7 @@ __all__ = [
     "DEFAULT_SCALE",
     "Interval",
     "IntervalKind",
+    "MemoryDecomposition",
     "PredictedTime",
     "RunResult",
     "SpeedupRow",
@@ -48,6 +55,7 @@ __all__ = [
     "extract_intervals",
     "intervals_of",
     "loop_regions",
+    "memory_decomposition",
     "parallel_fraction",
     "parallel_loop_concurrency",
     "predict_completion_time",

@@ -20,7 +20,14 @@ from repro.core.trace_analysis import Interval, IntervalKind, extract_intervals
 from repro.runtime.loops import LoopConstruct
 from repro.xylem.categories import TimeCategory
 
-__all__ = ["UserTimeBreakdown", "ct_breakdown", "user_breakdown", "task_ids"]
+__all__ = [
+    "MemoryDecomposition",
+    "UserTimeBreakdown",
+    "ct_breakdown",
+    "memory_decomposition",
+    "user_breakdown",
+    "task_ids",
+]
 
 _MC_CONSTRUCTS = {LoopConstruct.CLUSTER_ONLY.value, LoopConstruct.CDOACROSS.value}
 
@@ -110,6 +117,60 @@ class UserTimeBreakdown:
             "barrier_wait": self.barrier_ns,
             "helper_wait": self.helper_wait_ns,
         }
+
+
+@dataclass(frozen=True)
+class MemoryDecomposition:
+    """Section 7's split of global-memory time into ideal and stall.
+
+    All values are simulated nanoseconds summed over every burst a
+    cluster's CEs streamed: ``busy_ns`` is the wall time spent
+    streaming, ``ideal_ns`` what the same bursts would have taken with
+    a single requester, and ``stall_ns`` their difference -- the time
+    attributable to network and bank contention.
+    """
+
+    busy_ns: list[int]
+    ideal_ns: list[int]
+    stall_ns: list[int]
+
+    @property
+    def total_busy_ns(self) -> int:
+        """Machine-wide streaming time."""
+        return sum(self.busy_ns)
+
+    @property
+    def total_ideal_ns(self) -> int:
+        """Machine-wide uncontended streaming time."""
+        return sum(self.ideal_ns)
+
+    @property
+    def total_stall_ns(self) -> int:
+        """Machine-wide contention stall time."""
+        return sum(self.stall_ns)
+
+    @property
+    def stall_fraction(self) -> float:
+        """Stall time as a fraction of streaming time."""
+        if self.total_busy_ns == 0:
+            return 0.0
+        return self.total_stall_ns / self.total_busy_ns
+
+
+def memory_decomposition(result: RunResult) -> MemoryDecomposition:
+    """Per-cluster busy/ideal/stall split of global-memory streaming.
+
+    Reads the machine's always-on :class:`~repro.hardware.machine.MemoryLedger`,
+    the same source the ``repro.obs`` metrics collector uses for its
+    ``memory.cluster*`` series, so the two views agree by construction.
+    """
+    ledger = result.machine.mem_ledger
+    n = result.config.n_clusters
+    return MemoryDecomposition(
+        busy_ns=list(ledger.busy_ns),
+        ideal_ns=list(ledger.ideal_ns),
+        stall_ns=[ledger.stall_ns(c) for c in range(n)],
+    )
 
 
 def user_breakdown(result: RunResult, task_id: int) -> UserTimeBreakdown:

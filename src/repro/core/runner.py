@@ -10,6 +10,8 @@ everything the analysis modules need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 from repro.apps.base import AppModel
 from repro.hardware.config import CedarConfig, paper_configuration
@@ -26,6 +28,9 @@ from repro.xylem.accounting import TimeAccounting
 from repro.xylem.kernel import XylemKernel
 from repro.xylem.params import XylemParams
 from repro.xylem.vm import FaultStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.instrument import Observability
 
 __all__ = ["RunResult", "run_application", "run_phases"]
 
@@ -54,6 +59,10 @@ class RunResult:
     machine: CedarMachine
     kernel: XylemKernel
     runtime: CedarFortranRuntime
+    #: The cedarhpm monitor itself (buffer capacity, drop counts).
+    hpm: CedarHpm | None = None
+    #: Host wall-clock seconds spent inside the event loop.
+    wall_s: float = 0.0
 
     #: Lazily-filled cache used by the analysis helpers.
     _cache: dict = field(default_factory=dict, repr=False)
@@ -89,9 +98,16 @@ def run_phases(
     os_params: XylemParams | None = None,
     rt_params: RuntimeParams | None = None,
     statfx_interval_ns: int = 200_000,
+    obs: "Observability | None" = None,
 ) -> RunResult:
-    """Run an explicit phase list on a configuration (low-level entry)."""
-    sim = Simulator()
+    """Run an explicit phase list on a configuration (low-level entry).
+
+    Pass an :class:`~repro.obs.instrument.Observability` as *obs* to
+    attach kernel trace sinks for the run and have its metrics registry
+    populated from the result.  With ``obs=None`` (the default) the
+    event loop stays on its sink-free fast path.
+    """
+    sim = Simulator(trace_sink=obs.sink if obs is not None else None)
     cfg = config if config is not None else paper_configuration(n_processors)
     machine = CedarMachine(sim, cfg)
     hpm = CedarHpm(sim)
@@ -103,8 +119,10 @@ def run_phases(
         sim, machine, kernel, hpm=hpm, board=board, params=rt_params
     )
     main = runtime.run_program(phases)
+    wall_begin = perf_counter()
     ct_ns = sim.run(until=main)
-    return RunResult(
+    wall_s = perf_counter() - wall_begin
+    result = RunResult(
         app_name=app_name,
         config=cfg,
         scale=scale,
@@ -118,7 +136,12 @@ def run_phases(
         machine=machine,
         kernel=kernel,
         runtime=runtime,
+        hpm=hpm,
+        wall_s=wall_s,
     )
+    if obs is not None:
+        obs.collect(result)
+    return result
 
 
 def run_application(
@@ -129,6 +152,7 @@ def run_application(
     os_params: XylemParams | None = None,
     rt_params: RuntimeParams | None = None,
     statfx_interval_ns: int = 200_000,
+    obs: "Observability | None" = None,
 ) -> RunResult:
     """Run an application model at *scale* on a paper configuration.
 
@@ -151,4 +175,5 @@ def run_application(
         os_params=os_params,
         rt_params=rt_params,
         statfx_interval_ns=statfx_interval_ns,
+        obs=obs,
     )

@@ -297,6 +297,10 @@ class LoadTracker:
         self._last_change_ns = 0
         self._weighted_sum = 0.0
         self._per_cluster = [0] * n_clusters
+        #: Most CEs ever streaming simultaneously (machine-wide).
+        self.high_water = 0
+        #: Per-cluster streaming-CE high-water marks.
+        self.cluster_high_water = [0] * n_clusters
 
     @property
     def active(self) -> int:
@@ -330,6 +334,10 @@ class LoadTracker:
         self._active += 1
         self._rate_sum += rate
         self._per_cluster[cluster_id] += 1
+        if self._active > self.high_water:
+            self.high_water = self._active
+        if self._per_cluster[cluster_id] > self.cluster_high_water[cluster_id]:
+            self.cluster_high_water[cluster_id] = self._per_cluster[cluster_id]
 
     def exit(self, rate: float = 0.5, cluster_id: int = 0) -> None:
         """Deregister a streaming CE (pass the enter arguments back)."""

@@ -23,7 +23,53 @@ from repro.hardware.contention import ContentionModel, LoadTracker
 from repro.hardware.memory import GlobalMemorySystem
 from repro.sim import Simulator
 
-__all__ = ["CedarMachine"]
+__all__ = ["CedarMachine", "MemoryLedger"]
+
+
+class MemoryLedger:
+    """Always-on counters of analytic-path global-memory activity.
+
+    Filled in by :meth:`CedarMachine.memory_burst` and
+    :meth:`CedarMachine.global_round_trip_ns`; read by the ``repro.obs``
+    metrics collector and by :func:`repro.core.breakdown.memory_decomposition`,
+    so the registry's ``memory.*`` figures and the breakdown's
+    contention decomposition come from one ledger and stay consistent.
+    """
+
+    __slots__ = (
+        "busy_ns",
+        "ideal_ns",
+        "bursts",
+        "words",
+        "scalar_round_trips",
+        "scalar_round_trip_ns",
+    )
+
+    def __init__(self, n_clusters: int) -> None:
+        #: Per-cluster wall time CEs spent streaming global memory.
+        self.busy_ns = [0] * n_clusters
+        #: Per-cluster time the same bursts would take uncontended.
+        self.ideal_ns = [0] * n_clusters
+        #: Per-cluster burst and word counts.
+        self.bursts = [0] * n_clusters
+        self.words = [0] * n_clusters
+        #: Scalar (synchronisation) round trips priced machine-wide.
+        self.scalar_round_trips = 0
+        self.scalar_round_trip_ns = 0
+
+    def stall_ns(self, cluster_id: int) -> int:
+        """Contention stall on one cluster: busy minus ideal time."""
+        return max(0, self.busy_ns[cluster_id] - self.ideal_ns[cluster_id])
+
+    @property
+    def total_busy_ns(self) -> int:
+        """Machine-wide burst busy time."""
+        return sum(self.busy_ns)
+
+    @property
+    def total_stall_ns(self) -> int:
+        """Machine-wide contention stall time."""
+        return sum(self.stall_ns(c) for c in range(len(self.busy_ns)))
 
 
 class CedarMachine:
@@ -51,6 +97,8 @@ class CedarMachine:
         self.clusters = [Cluster(sim, config, i) for i in range(config.n_clusters)]
         self.contention = ContentionModel(config)
         self.load = LoadTracker(sim, n_clusters=config.n_clusters)
+        self.mem_ledger = MemoryLedger(config.n_clusters)
+        self._ideal_cache: dict[tuple[int, float], int] = {}
         self._memory: GlobalMemorySystem | None = None
         if packet_level_memory:
             self._memory = GlobalMemorySystem(sim, config)
@@ -121,7 +169,22 @@ class CedarMachine:
                 yield self.sim.timeout(self.config.cycles_to_ns(cycles))
         finally:
             self.load.exit(rate, cluster_id)
-        return self.sim.now - start
+        elapsed = self.sim.now - start
+        ledger = self.mem_ledger
+        ledger.busy_ns[cluster_id] += elapsed
+        ledger.ideal_ns[cluster_id] += self._cached_ideal_ns(n_words, rate)
+        ledger.bursts[cluster_id] += 1
+        ledger.words[cluster_id] += n_words
+        return elapsed
+
+    def _cached_ideal_ns(self, n_words: int, rate: float) -> int:
+        """Memoised :meth:`ideal_burst_ns` (loop shapes recur heavily)."""
+        key = (n_words, rate)
+        ideal = self._ideal_cache.get(key)
+        if ideal is None:
+            ideal = self.ideal_burst_ns(n_words, rate)
+            self._ideal_cache[key] = ideal
+        return ideal
 
     def cache_stall_ns(self, cluster_id: int, bytes_accessed: int, ws_bytes: int) -> int:
         """Cluster cache + TLB stall time for a chunk, if modelled.
@@ -146,7 +209,10 @@ class CedarMachine:
         cycles = self.contention.scalar_round_trip_cycles(
             self.load.active, self.load.mean_rate
         )
-        return self.config.cycles_to_ns(cycles)
+        ns = self.config.cycles_to_ns(cycles)
+        self.mem_ledger.scalar_round_trips += 1
+        self.mem_ledger.scalar_round_trip_ns += ns
+        return ns
 
     def ideal_burst_ns(self, n_words: int, rate: float) -> int:
         """Burst duration with a single requester (no contention).

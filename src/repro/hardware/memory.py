@@ -73,6 +73,13 @@ class GlobalMemorySystem:
         )
         self._modules = [Resource(sim, capacity=1) for _ in range(config.n_memory_modules)]
         self.stats = MemoryStats()
+        n_modules = config.n_memory_modules
+        #: Per-bank service (busy) time in nanoseconds.
+        self.bank_busy_ns = [0] * n_modules
+        #: Per-bank request counts.
+        self.bank_requests = [0] * n_modules
+        #: Per-bank high-water mark of queued + in-service requests.
+        self.bank_queue_high_water = [0] * n_modules
 
     def module_for_address(self, address: int) -> int:
         """Memory module serving *address* (double-word interleaved)."""
@@ -103,10 +110,16 @@ class GlobalMemorySystem:
         yield sim.process(self.forward.traverse(request), name="gm-fwd")
         # Module service: one request at a time, 4 cycles each.
         module = self._modules[module_id]
+        occupancy = module.count + module.queue_length + 1
+        if occupancy > self.bank_queue_high_water[module_id]:
+            self.bank_queue_high_water[module_id] = occupancy
         req = module.request()
         yield req
-        yield sim.timeout(config.memory_service_cycles * config.cycle_ns)
+        service_ns = config.memory_service_cycles * config.cycle_ns
+        yield sim.timeout(service_ns)
         module.release(req)
+        self.bank_busy_ns[module_id] += service_ns
+        self.bank_requests[module_id] += 1
         # Response travels back through the second network.
         response = Packet(source=module_id, dest=ce_id, payload=address)
         yield sim.process(self.backward.traverse(response), name="gm-bwd")

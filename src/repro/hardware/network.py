@@ -66,6 +66,8 @@ class NetworkStats:
     total_latency_ns: int = 0
     #: Per-(stage, port-key) count of packets forwarded.
     port_traffic: dict = field(default_factory=dict)
+    #: Per-(stage, switch, port) high-water mark of buffered packets.
+    queue_high_water: dict = field(default_factory=dict)
 
     @property
     def mean_latency_ns(self) -> float:
@@ -201,6 +203,10 @@ class DeltaNetwork:
             port = self._port(hop)
             # Wait for buffer space at this hop (backpressure point).
             yield port.buffer.put(packet)
+            depth = len(port.buffer)
+            water = self.stats.queue_high_water
+            if depth > water.get(hop, 0):
+                water[hop] = depth
             if previous_buffer is not None:
                 # The slot at the previous hop is now free.
                 previous_buffer.get()

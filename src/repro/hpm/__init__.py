@@ -13,7 +13,7 @@ from repro.hpm.activity import ActivityBoard
 from repro.hpm.events import OS_EVENTS, RTL_EVENTS, EventType, TraceEvent
 from repro.hpm.monitor import CedarHpm
 from repro.hpm.statfx import Statfx
-from repro.hpm.traces import load_trace, save_trace, trace_summary
+from repro.hpm.traces import load_trace, load_trace_meta, save_trace, trace_summary
 
 __all__ = [
     "ActivityBoard",
@@ -24,6 +24,7 @@ __all__ = [
     "Statfx",
     "TraceEvent",
     "load_trace",
+    "load_trace_meta",
     "save_trace",
     "trace_summary",
 ]

@@ -4,6 +4,11 @@ On the real system the cedarhpm trace buffers were off-loaded to a Sun
 workstation for analysis after each run (Section 4); this module is the
 equivalent: event traces can be written to and read back from a simple
 JSON-lines format, and summarised for quick inspection.
+
+A trace file may begin with a self-describing header line of the form
+``{"meta": {...}}`` carrying run provenance (machine configuration,
+seed, application); :func:`load_trace` skips it and
+:func:`load_trace_meta` retrieves it.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from pathlib import Path
 
 from repro.hpm.events import EventType, TraceEvent
 
-__all__ = ["save_trace", "load_trace", "trace_summary"]
+__all__ = ["save_trace", "load_trace", "load_trace_meta", "trace_summary"]
 
 
 def _to_record(event: TraceEvent) -> dict:
@@ -43,10 +48,20 @@ def _from_record(record: dict) -> TraceEvent:
     )
 
 
-def save_trace(events: list[TraceEvent], path: str | Path) -> int:
-    """Write events to *path* as JSON lines; returns the event count."""
+def save_trace(
+    events: list[TraceEvent], path: str | Path, header: dict | None = None
+) -> int:
+    """Write events to *path* as JSON lines; returns the event count.
+
+    When *header* is given it is written first, wrapped as
+    ``{"meta": header}``, so the file records where its events came
+    from (machine configuration, seed, application).
+    """
     path = Path(path)
     with path.open("w") as f:
+        if header is not None:
+            f.write(json.dumps({"meta": header}, separators=(",", ":")))
+            f.write("\n")
         for event in events:
             f.write(json.dumps(_to_record(event), separators=(",", ":")))
             f.write("\n")
@@ -54,14 +69,33 @@ def save_trace(events: list[TraceEvent], path: str | Path) -> int:
 
 
 def load_trace(path: str | Path) -> list[TraceEvent]:
-    """Read events back from a file written by :func:`save_trace`."""
+    """Read events back from a file written by :func:`save_trace`.
+
+    A leading ``{"meta": ...}`` header line, if present, is skipped;
+    use :func:`load_trace_meta` to read it.
+    """
     events = []
     with Path(path).open() as f:
         for line in f:
             line = line.strip()
-            if line:
-                events.append(_from_record(json.loads(line)))
+            if not line:
+                continue
+            record = json.loads(line)
+            if "meta" in record:
+                continue
+            events.append(_from_record(record))
     return events
+
+
+def load_trace_meta(path: str | Path) -> dict | None:
+    """The ``{"meta": ...}`` header of a trace file, or ``None``."""
+    with Path(path).open() as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                record = json.loads(line)
+                return record.get("meta")
+    return None
 
 
 def trace_summary(events: list[TraceEvent]) -> dict:

@@ -1,0 +1,64 @@
+"""Observability for the simulator itself.
+
+The rest of ``repro`` models Cedar's measurement apparatus (cedarhpm,
+statfx, Xylem accounting); this package instruments the *simulation*:
+a dependency-free metrics registry with hierarchical names, opt-in
+kernel trace sinks (structured event tracing, per-process profiling),
+collectors that harvest every subsystem's always-on counters after a
+run, and exporters producing a JSON run report and a Perfetto-loadable
+Chrome trace.  See ``docs/observability.md``.
+"""
+
+from repro.obs.exporters import (
+    REPORT_SCHEMA_VERSION,
+    build_run_report,
+    chrome_trace,
+    git_revision,
+    save_chrome_trace,
+    save_report,
+)
+from repro.obs.instrument import (
+    Observability,
+    collect_hpm_metrics,
+    collect_run_metrics,
+)
+from repro.obs.profile import ProcessProfiler, ProcessProfileRecord, profile_key
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timeseries,
+    validate_name,
+)
+from repro.obs.tracing import (
+    KernelTraceBuffer,
+    KernelTraceRecord,
+    MultiSink,
+    TraceSink,
+)
+
+__all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelTraceBuffer",
+    "KernelTraceRecord",
+    "MetricsRegistry",
+    "MultiSink",
+    "Observability",
+    "ProcessProfileRecord",
+    "ProcessProfiler",
+    "Timeseries",
+    "TraceSink",
+    "build_run_report",
+    "chrome_trace",
+    "collect_hpm_metrics",
+    "collect_run_metrics",
+    "git_revision",
+    "profile_key",
+    "save_chrome_trace",
+    "save_report",
+    "validate_name",
+]

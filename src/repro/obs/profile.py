@@ -1,0 +1,139 @@
+"""Per-process profiling of the simulation itself.
+
+A :class:`ProcessProfiler` is a :class:`~repro.obs.tracing.TraceSink`
+that attributes, to each *kind* of simulation process (``gm-request``,
+``cdoall-ce*``, ``ctx-daemon-*``, ...):
+
+* **host wall time** spent resuming the process's generator -- where
+  the simulation spends real CPU time, i.e. what to optimise to reach
+  the ROADMAP's "as fast as the hardware allows" goal;
+* **simulated time** the process advances the clock by (the total
+  delay of the timeouts it schedules) -- which model component
+  dominates modelled time;
+* resume and spawn counts.
+
+Process names carry instance numbers (``cdoall-ce12``); the profiler
+groups them by the name with trailing digits stripped, so the report
+has one row per component kind.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracing import TraceSink
+from repro.sim.core import Timeout
+
+__all__ = ["ProcessProfileRecord", "ProcessProfiler"]
+
+_DIGITS = "0123456789"
+
+
+def profile_key(name: str) -> str:
+    """Group key for a process name: trailing instance digits stripped."""
+    stripped = name.rstrip(_DIGITS)
+    if stripped != name:
+        stripped = stripped.rstrip("-_.")
+    return stripped or name
+
+
+class ProcessProfileRecord:
+    """Aggregated profile of one process kind."""
+
+    __slots__ = ("key", "spawns", "resumes", "wall_s", "sim_ns")
+
+    def __init__(self, key: str) -> None:
+        self.key = key
+        self.spawns = 0
+        self.resumes = 0
+        self.wall_s = 0.0
+        self.sim_ns = 0
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {
+            "process": self.key,
+            "spawns": self.spawns,
+            "resumes": self.resumes,
+            "wall_s": self.wall_s,
+            "sim_ns": self.sim_ns,
+        }
+
+
+class ProcessProfiler(TraceSink):
+    """Sink aggregating host-time and simulated-time per process kind."""
+
+    def __init__(self) -> None:
+        self.records: dict[str, ProcessProfileRecord] = {}
+        #: Host seconds spent in callbacks not owned by any process
+        #: (condition checks, stop callbacks...).
+        self.other_wall_s = 0.0
+
+    def _record(self, name: str) -> ProcessProfileRecord:
+        key = profile_key(name)
+        record = self.records.get(key)
+        if record is None:
+            record = ProcessProfileRecord(key)
+            self.records[key] = record
+        return record
+
+    # -- TraceSink protocol -------------------------------------------------
+
+    def on_process_started(self, process) -> None:
+        self._record(process.name).spawns += 1
+
+    def on_event_scheduled(self, event, when, by) -> None:
+        # A Timeout scheduled from inside a process is that process
+        # advancing simulated time.
+        if by is not None and isinstance(event, Timeout):
+            self._record(by.name).sim_ns += event.delay
+
+    def on_callback(self, event, owner, wall_s) -> None:
+        if owner is None:
+            self.other_wall_s += wall_s
+            return
+        record = self._record(owner.name)
+        record.resumes += 1
+        record.wall_s += wall_s
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def total_wall_s(self) -> float:
+        """Host seconds attributed across all process kinds."""
+        return sum(r.wall_s for r in self.records.values()) + self.other_wall_s
+
+    def top_by_wall(self, k: int = 10) -> list[ProcessProfileRecord]:
+        """The *k* process kinds costing the most host time."""
+        ranked = sorted(self.records.values(), key=lambda r: r.wall_s, reverse=True)
+        return ranked[:k]
+
+    def top_by_sim(self, k: int = 10) -> list[ProcessProfileRecord]:
+        """The *k* process kinds advancing the most simulated time."""
+        ranked = sorted(self.records.values(), key=lambda r: r.sim_ns, reverse=True)
+        return ranked[:k]
+
+    def report(self, k: int = 10) -> str:
+        """Human-readable two-part top-K table."""
+        lines = [
+            f"{'process kind':24s} {'spawns':>8s} {'resumes':>9s} {'wall ms':>9s} {'sim ms':>9s}"
+        ]
+        lines.append("top by host wall time:")
+        for record in self.top_by_wall(k):
+            lines.append(
+                f"  {record.key:22s} {record.spawns:8d} {record.resumes:9d} "
+                f"{record.wall_s * 1e3:9.2f} {record.sim_ns / 1e6:9.2f}"
+            )
+        lines.append("top by simulated time:")
+        for record in self.top_by_sim(k):
+            lines.append(
+                f"  {record.key:22s} {record.spawns:8d} {record.resumes:9d} "
+                f"{record.wall_s * 1e3:9.2f} {record.sim_ns / 1e6:9.2f}"
+            )
+        return "\n".join(lines)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable profile (sorted by wall time, descending)."""
+        ranked = sorted(self.records.values(), key=lambda r: r.wall_s, reverse=True)
+        return {
+            "other_wall_s": self.other_wall_s,
+            "processes": [r.as_dict() for r in ranked],
+        }

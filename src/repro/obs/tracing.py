@@ -1,0 +1,162 @@
+"""Structured tracing of the simulation kernel itself.
+
+:class:`TraceSink` is the observer protocol the :class:`~repro.sim.Simulator`
+dispatches to when -- and only when -- a sink is registered.  With no
+sink the kernel's hot loop performs a single ``is None`` check per
+event, so observability is strictly opt-in (measured in
+``docs/observability.md``).
+
+Two concrete sinks live here:
+
+* :class:`MultiSink` -- fan-out to several sinks;
+* :class:`KernelTraceBuffer` -- bounded structured buffer of kernel
+  occurrences (event scheduled/processed, process started/ended), the
+  raw material for debugging event-loop behaviour and for the Chrome
+  trace exporter's kernel track.
+
+The per-process profiler built on the same protocol lives in
+:mod:`repro.obs.profile`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Event, Process
+
+__all__ = ["TraceSink", "MultiSink", "KernelTraceRecord", "KernelTraceBuffer"]
+
+
+class TraceSink:
+    """Observer protocol for kernel occurrences (all methods no-op).
+
+    Subclass and override what you need; the kernel only calls these
+    when the sink is registered via ``Simulator.set_trace_sink``.
+
+    Methods
+    -------
+    on_event_scheduled(event, when, by):
+        *event* was pushed onto the queue for time *when*; *by* is the
+        :class:`~repro.sim.Process` active at scheduling time (``None``
+        when scheduled from outside any process).
+    on_callback(event, owner, wall_s):
+        One callback of *event* just ran, taking *wall_s* host seconds;
+        *owner* is the :class:`~repro.sim.Process` the callback resumed
+        (``None`` for non-process callbacks).
+    on_event_processed(event, when):
+        All callbacks of *event* have run at simulated time *when*.
+    on_process_started(process):
+        A new simulation process was created.
+    on_process_ended(process):
+        A simulation process terminated (normally or by crash).
+    """
+
+    def on_event_scheduled(
+        self, event: "Event", when: int, by: "Process | None"
+    ) -> None:
+        """Called when *event* is scheduled for time *when*."""
+
+    def on_callback(self, event: "Event", owner: "Process | None", wall_s: float) -> None:
+        """Called after each callback of a processed event has run."""
+
+    def on_event_processed(self, event: "Event", when: int) -> None:
+        """Called once all callbacks of *event* have run."""
+
+    def on_process_started(self, process: "Process") -> None:
+        """Called when a simulation process is created."""
+
+    def on_process_ended(self, process: "Process") -> None:
+        """Called when a simulation process terminates."""
+
+
+class MultiSink(TraceSink):
+    """Fan a kernel trace out to several sinks, in registration order."""
+
+    def __init__(self, sinks: list[TraceSink]) -> None:
+        self.sinks = list(sinks)
+
+    def on_event_scheduled(self, event, when, by) -> None:
+        for sink in self.sinks:
+            sink.on_event_scheduled(event, when, by)
+
+    def on_callback(self, event, owner, wall_s) -> None:
+        for sink in self.sinks:
+            sink.on_callback(event, owner, wall_s)
+
+    def on_event_processed(self, event, when) -> None:
+        for sink in self.sinks:
+            sink.on_event_processed(event, when)
+
+    def on_process_started(self, process) -> None:
+        for sink in self.sinks:
+            sink.on_process_started(process)
+
+    def on_process_ended(self, process) -> None:
+        for sink in self.sinks:
+            sink.on_process_ended(process)
+
+
+class KernelTraceRecord:
+    """One structured kernel occurrence."""
+
+    __slots__ = ("kind", "t_ns", "what", "detail")
+
+    def __init__(self, kind: str, t_ns: int, what: str, detail: str = "") -> None:
+        self.kind = kind
+        self.t_ns = t_ns
+        self.what = what
+        self.detail = detail
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable form."""
+        return {"kind": self.kind, "t_ns": self.t_ns, "what": self.what, "detail": self.detail}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<KernelTraceRecord {self.kind} {self.what} @ {self.t_ns}>"
+
+
+class KernelTraceBuffer(TraceSink):
+    """Bounded buffer of kernel occurrences.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained; once full, further records are
+        dropped (and counted in :attr:`dropped`), mirroring the
+        ``cedarhpm`` buffer semantics.
+    record_scheduled:
+        Also record event-scheduled occurrences (very high volume;
+        off by default).
+    """
+
+    def __init__(self, capacity: int = 100_000, record_scheduled: bool = False) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.record_scheduled = record_scheduled
+        self.records: list[KernelTraceRecord] = []
+        self.dropped = 0
+
+    def _append(self, kind: str, t_ns: int, what: str, detail: str = "") -> None:
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(KernelTraceRecord(kind, t_ns, what, detail))
+
+    def on_event_scheduled(self, event, when, by) -> None:
+        if self.record_scheduled:
+            name = getattr(by, "name", "") if by is not None else ""
+            self._append("scheduled", when, type(event).__name__, name)
+
+    def on_event_processed(self, event, when) -> None:
+        self._append("processed", when, type(event).__name__)
+
+    def on_process_started(self, process) -> None:
+        self._append("process_started", process.sim.now, process.name)
+
+    def on_process_ended(self, process) -> None:
+        self._append("process_ended", process.sim.now, process.name)
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -38,7 +38,36 @@ from repro.sim import Event, Resource, Simulator
 from repro.xylem.kernel import XylemKernel
 from repro.xylem.task import ClusterTask, XylemProcess, create_process
 
-__all__ = ["CedarFortranRuntime"]
+__all__ = ["CedarFortranRuntime", "RuntimeStats"]
+
+
+class RuntimeStats:
+    """Always-on counters of runtime-library protocol activity.
+
+    Harvested into the ``runtime.*`` namespace of the ``repro.obs``
+    metrics registry after a run.
+    """
+
+    __slots__ = (
+        "loops_posted",
+        "helper_joins",
+        "sdoall_pickups",
+        "xdoall_pickups",
+        "barriers",
+        "serial_sections",
+        "mc_loops",
+        "detaches",
+    )
+
+    def __init__(self) -> None:
+        self.loops_posted = 0
+        self.helper_joins = 0
+        self.sdoall_pickups = 0
+        self.xdoall_pickups = 0
+        self.barriers = 0
+        self.serial_sections = 0
+        self.mc_loops = 0
+        self.detaches = 0
 
 
 class _CombiningNode:
@@ -153,6 +182,7 @@ class CedarFortranRuntime:
         self._post_event: Event = sim.event()
         self._loop_seq = 0
         self.process: XylemProcess | None = None
+        self.stats = RuntimeStats()
 
     # -- small helpers ------------------------------------------------------
 
@@ -229,6 +259,7 @@ class CedarFortranRuntime:
     def _serial(self, main: ClusterTask, phase: SerialPhase) -> Generator:
         lead = self._lead_ce(main)
         self._record(EventType.SERIAL_START, lead, main, payload=phase.label)
+        self.stats.serial_sections += 1
         for _ in range(phase.syscalls):
             yield self.sim.process(self.kernel.cluster_syscall(main.cluster_id))
         if phase.n_pages > 0 and phase.page_base >= 0:
@@ -248,6 +279,7 @@ class CedarFortranRuntime:
         lead = self._lead_ce(main)
         payload = (None, loop.construct.value, loop.label)
         self._record(EventType.MC_LOOP_START, lead, main, payload=payload)
+        self.stats.mc_loops += 1
         yield from self._run_cdoall(main, loop, outer=0, seq=None)
         self._record(EventType.MC_LOOP_END, lead, main, payload=payload)
 
@@ -273,6 +305,7 @@ class CedarFortranRuntime:
         state = _LoopState(sim, loop, seq, n_helpers=len(self.process.helper_tasks))
         yield sim.timeout(self._round_trips_ns(1.0))
         self._record(EventType.LOOP_POST, lead, main, payload=payload)
+        self.stats.loops_posted += 1
         self._broadcast(state)
 
         # The main task participates like any cluster task.
@@ -288,6 +321,7 @@ class CedarFortranRuntime:
         detect_ns += self._round_trips_ns(1.0)
         yield sim.timeout(detect_ns)
         self._record(EventType.BARRIER_EXIT, lead, main, payload=payload)
+        self.stats.barriers += 1
 
     def _helper_loop(self, task: ClusterTask, first_post: Event) -> Generator:
         sim = self.sim
@@ -307,6 +341,7 @@ class CedarFortranRuntime:
             yield sim.timeout(poll_ns + join_ns)
             payload = (state.seq, state.loop.construct.value, state.loop.label)
             self._record(EventType.HELPER_JOIN, lead, task, payload=payload)
+            self.stats.helper_joins += 1
             if state.loop.construct is LoopConstruct.XDOALL:
                 yield from self._participate_xdoall(task, state)
             else:
@@ -314,6 +349,7 @@ class CedarFortranRuntime:
             # Detach at the finish barrier.
             yield from self._detach_barrier(state, task)
             self._record(EventType.LOOP_DETACH, lead, task, payload=payload)
+            self.stats.detaches += 1
             state.detach()
 
     def _detach_barrier(self, state: _LoopState, task: ClusterTask) -> Generator:
@@ -370,6 +406,7 @@ class CedarFortranRuntime:
             yield sim.timeout(hold_ns)
             outer = state.take_outer()
             self._outer_lock.release(request)
+            self.stats.sdoall_pickups += 1
             self._record(EventType.PICKUP_EXIT, lead, task, payload=payload)
             if outer is None:
                 return
@@ -511,6 +548,7 @@ class CedarFortranRuntime:
             yield sim.timeout(hold_ns)
             index = state.take_iteration()
             self._iter_lock.release(request)
+            self.stats.xdoall_pickups += 1
             self._record(EventType.PICKUP_EXIT, ce_id, task, payload=payload)
             if index is None:
                 break

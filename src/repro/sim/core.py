@@ -29,6 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections.abc import Callable, Generator, Iterable
+from time import perf_counter
 
 from repro.sim.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
 
@@ -192,6 +193,8 @@ class Process(Event):
         #: The event this process currently waits for (``None`` if active
         #: or terminated).
         self._target: Event | None = Initialize(sim, self)
+        if sim._sink is not None:
+            sim._sink.on_process_started(self)
 
     @property
     def target(self) -> Event | None:
@@ -241,6 +244,8 @@ class Process(Event):
                 self._ok = True
                 self._value = stop.value
                 self.sim.schedule(self)
+                if self.sim._sink is not None:
+                    self.sim._sink.on_process_ended(self)
                 break
             except BaseException as exc:
                 # Process crashed.
@@ -248,6 +253,8 @@ class Process(Event):
                 self._ok = False
                 self._value = exc
                 self.sim.schedule(self)
+                if self.sim._sink is not None:
+                    self.sim._sink.on_process_ended(self)
                 break
 
             if next_event.callbacks is not None:
@@ -353,18 +360,32 @@ class Simulator:
     ----------
     initial_time:
         Starting value of the simulated clock (integer nanoseconds).
+    trace_sink:
+        Optional kernel observer (see :mod:`repro.obs.tracing`).  With
+        no sink registered the event loop performs a single ``is None``
+        check per occurrence and dispatches nothing.
     """
 
-    def __init__(self, initial_time: int = 0) -> None:
+    def __init__(self, initial_time: int = 0, trace_sink=None) -> None:
         self._now = int(initial_time)
         self._queue: list[tuple[int, int, int, Event]] = []
         self._eid = itertools.count()
         self._active_process: Process | None = None
+        self._sink = trace_sink
 
     @property
     def now(self) -> int:
         """Current simulated time (nanoseconds)."""
         return self._now
+
+    @property
+    def trace_sink(self):
+        """The registered kernel observer, if any."""
+        return self._sink
+
+    def set_trace_sink(self, sink) -> None:
+        """Register (or, with ``None``, remove) the kernel observer."""
+        self._sink = sink
 
     @property
     def active_process(self) -> Process | None:
@@ -398,6 +419,8 @@ class Simulator:
     def schedule(self, event: Event, priority: int = NORMAL, delay: int = 0) -> None:
         """Schedule *event* for processing ``delay`` ns from now."""
         heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        if self._sink is not None:
+            self._sink.on_event_scheduled(event, self._now + delay, self._active_process)
 
     def peek(self) -> int | float:
         """Time of the next scheduled event (``inf`` if none)."""
@@ -418,8 +441,21 @@ class Simulator:
             raise SimulationError("event scheduled in the past")
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
-        for callback in callbacks:
-            callback(event)
+        sink = self._sink
+        if sink is None:
+            for callback in callbacks:
+                callback(event)
+        else:
+            for callback in callbacks:
+                owner = getattr(callback, "__self__", None)
+                begin = perf_counter()
+                callback(event)
+                sink.on_callback(
+                    event,
+                    owner if isinstance(owner, Process) else None,
+                    perf_counter() - begin,
+                )
+            sink.on_event_processed(event, when)
         if not event._ok and not event._defused:
             # An unhandled failure: crash the simulation.
             exc = event._value

@@ -1,0 +1,60 @@
+"""CLI tests for the observability commands and flags."""
+
+import json
+
+from repro.cli import main
+from repro.hpm import load_trace, load_trace_meta
+
+
+def test_stats_command(tmp_path, capsys):
+    out_file = tmp_path / "stats.json"
+    main(["stats", "flo52", "4", "-o", str(out_file), "--scale", "0.005"])
+    out = capsys.readouterr().out
+    assert "wrote run report" in out
+    report = json.loads(out_file.read_text())
+    assert report["app"] == "FLO52"
+    assert report["n_processors"] == 4
+    assert report["metrics"]
+    assert report["config"]["cycle_ns"] == 170
+
+
+def test_profile_command(capsys):
+    main(["profile", "flo52", "4", "--scale", "0.005", "-k", "3"])
+    out = capsys.readouterr().out
+    assert "top by host wall time" in out
+    assert "top by simulated time" in out
+    assert "memory_burst" in out
+
+
+def test_run_with_stats_flag(tmp_path, capsys):
+    out_file = tmp_path / "run-stats.json"
+    main(["run", "flo52", "4", "--scale", "0.005", "--stats", str(out_file)])
+    out = capsys.readouterr().out
+    assert "wrote run report" in out
+    report = json.loads(out_file.read_text())
+    assert report["app"] == "FLO52"
+
+
+def test_sweep_with_stats_flag(tmp_path, capsys):
+    out_file = tmp_path / "sweep-stats.json"
+    main(["sweep", "flo52", "--scale", "0.005", "--stats", str(out_file)])
+    capsys.readouterr()
+    reports = json.loads(out_file.read_text())
+    assert isinstance(reports, list)
+    assert [r["n_processors"] for r in reports] == [1, 4, 8, 16, 32]
+
+
+def test_trace_command_writes_meta_header(tmp_path, capsys):
+    out_file = tmp_path / "trace.jsonl"
+    main(["trace", "flo52", "4", "-o", str(out_file), "--scale", "0.005"])
+    capsys.readouterr()
+    first = json.loads(out_file.read_text().splitlines()[0])
+    assert "meta" in first
+    meta = load_trace_meta(out_file)
+    assert meta["app"] == "FLO52"
+    assert meta["seed"] == 1994
+    assert meta["config"]["n_memory_modules"] == 32
+    # The header must not confuse the event loader.
+    events = load_trace(out_file)
+    assert events
+    assert len(events) == len(out_file.read_text().splitlines()) - 1

@@ -1,0 +1,125 @@
+"""Tests for the kernel trace-sink protocol and its sinks."""
+
+from repro.obs import KernelTraceBuffer, MultiSink, ProcessProfiler, TraceSink
+from repro.obs.profile import profile_key
+from repro.sim import Simulator
+
+
+class CountingSink(TraceSink):
+    """Records how often each hook fires."""
+
+    def __init__(self):
+        self.scheduled = 0
+        self.callbacks = 0
+        self.processed = 0
+        self.started = 0
+        self.ended = 0
+
+    def on_event_scheduled(self, event, when, by):
+        self.scheduled += 1
+
+    def on_callback(self, event, owner, wall_s):
+        self.callbacks += 1
+
+    def on_event_processed(self, event, when):
+        self.processed += 1
+
+    def on_process_started(self, process):
+        self.started += 1
+
+    def on_process_ended(self, process):
+        self.ended += 1
+
+
+def two_step(sim):
+    yield sim.timeout(5)
+    yield sim.timeout(5)
+
+
+def test_no_sink_dispatches_no_observer_callbacks():
+    """With no sink registered the event loop must not touch observers."""
+    sink = CountingSink()
+    sim = Simulator()  # no sink
+    assert sim.trace_sink is None
+    sim.process(two_step(sim))
+    sim.run()
+    assert sink.scheduled == sink.callbacks == sink.processed == 0
+    assert sink.started == sink.ended == 0
+
+
+def test_detached_sink_sees_nothing_further():
+    sink = CountingSink()
+    sim = Simulator(trace_sink=sink)
+    sim.process(two_step(sim), name="first")
+    sim.run()
+    seen = (sink.scheduled, sink.callbacks, sink.processed, sink.started, sink.ended)
+    assert all(v > 0 for v in seen)
+    sim.set_trace_sink(None)
+    sim.process(two_step(sim), name="second")
+    sim.run()
+    after = (sink.scheduled, sink.callbacks, sink.processed, sink.started, sink.ended)
+    assert after == seen
+
+
+def test_sink_observes_process_lifecycle():
+    sink = CountingSink()
+    sim = Simulator(trace_sink=sink)
+    sim.process(two_step(sim))
+    sim.run()
+    assert sink.started == 1
+    assert sink.ended == 1
+    # Two timeouts plus process bootstrap/termination events.
+    assert sink.scheduled >= 2
+    assert sink.processed >= 2
+    assert sink.callbacks >= 2
+
+
+def test_multisink_fans_out():
+    a, b = CountingSink(), CountingSink()
+    sim = Simulator(trace_sink=MultiSink([a, b]))
+    sim.process(two_step(sim))
+    sim.run()
+    assert a.started == b.started == 1
+    assert a.callbacks == b.callbacks > 0
+
+
+def test_kernel_trace_buffer_records_and_bounds():
+    buffer = KernelTraceBuffer(capacity=3)
+    sim = Simulator(trace_sink=buffer)
+    sim.process(two_step(sim), name="worker")
+    sim.process(two_step(sim), name="worker")
+    sim.run()
+    assert len(buffer) == 3
+    assert buffer.dropped > 0
+    kinds = {r.kind for r in buffer.records}
+    assert "process_started" in kinds
+    record = buffer.records[0]
+    assert set(record.as_dict()) == {"kind", "t_ns", "what", "detail"}
+
+
+# -- profiler ---------------------------------------------------------------
+
+
+def test_profile_key_groups_instances():
+    assert profile_key("cdoall-ce12") == "cdoall-ce"
+    assert profile_key("ctx-daemon-3") == "ctx-daemon"
+    assert profile_key("statfx") == "statfx"
+    assert profile_key("42") == "42"
+
+
+def test_profiler_attributes_sim_and_wall_time():
+    profiler = ProcessProfiler()
+    sim = Simulator(trace_sink=profiler)
+    sim.process(two_step(sim), name="worker0")
+    sim.process(two_step(sim), name="worker1")
+    sim.run()
+    record = profiler.records["worker"]
+    assert record.spawns == 2
+    assert record.sim_ns == 20  # 2 processes x 2 timeouts x 5 ns
+    assert record.resumes >= 4
+    assert record.wall_s > 0
+    assert profiler.total_wall_s >= record.wall_s
+    assert profiler.top_by_sim(1)[0].key == "worker"
+    assert "worker" in profiler.report(3)
+    as_dict = profiler.as_dict()
+    assert as_dict["processes"][0]["process"] == "worker"

@@ -1,0 +1,117 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, validate_name
+from repro.obs.registry import Counter, Gauge, Histogram, Timeseries
+
+
+# -- names ------------------------------------------------------------------
+
+
+def test_valid_names_accepted():
+    for name in ("a", "a.b", "network.fwd.stage0.sw3.queue_depth", "bank17_busy"):
+        validate_name(name)
+
+
+def test_invalid_names_rejected():
+    for name in ("", "A.b", "a..b", ".a", "a.", "a b", "pg flt (c)"):
+        with pytest.raises(ValueError):
+            validate_name(name)
+
+
+# -- counters ---------------------------------------------------------------
+
+
+def test_counter_accumulates():
+    c = Counter("c")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+
+
+def test_counter_rejects_negative_increment():
+    with pytest.raises(ValueError):
+        Counter("c").inc(-1)
+
+
+# -- gauges -----------------------------------------------------------------
+
+
+def test_gauge_tracks_extremes():
+    g = Gauge("g")
+    for v in (3, 7, 2):
+        g.set(v)
+    assert g.value == 2
+    assert g.high_water == 7
+    assert g.low_water == 2
+
+
+# -- histograms -------------------------------------------------------------
+
+
+def test_histogram_buckets_and_moments():
+    h = Histogram("h", boundaries=[10, 100])
+    for v in (5, 50, 500, 7):
+        h.observe(v)
+    assert h.count == 4
+    assert h.counts == [2, 1, 1]  # <=10, <=100, overflow
+    assert h.min == 5
+    assert h.max == 500
+    assert h.mean == pytest.approx((5 + 50 + 500 + 7) / 4)
+
+
+def test_histogram_requires_boundaries():
+    with pytest.raises(ValueError):
+        Histogram("h", boundaries=[])
+
+
+# -- timeseries -------------------------------------------------------------
+
+
+def test_timeseries_decimates_but_keeps_span():
+    ts = Timeseries("t", max_samples=8)
+    for i in range(100):
+        ts.sample(i, i * i)
+    assert len(ts.samples) <= 8
+    first_t, _ = ts.samples[0]
+    last_t, _ = ts.samples[-1]
+    assert first_t == 0
+    assert last_t <= 99
+    # Retained samples stay in arrival order and uniformly strided.
+    times = [t for t, _ in ts.samples]
+    assert times == sorted(times)
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_registry_is_idempotent_per_name():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+
+
+def test_registry_rejects_kind_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+
+
+def test_registry_prefix_listing():
+    reg = MetricsRegistry()
+    reg.counter("memory.bank0.busy_ns")
+    reg.counter("memory.bank1.busy_ns")
+    reg.counter("memorize.other")
+    names = reg.names("memory")
+    assert names == ["memory.bank0.busy_ns", "memory.bank1.busy_ns"]
+
+
+def test_registry_snapshot_is_flat_and_sorted():
+    reg = MetricsRegistry()
+    reg.gauge("b").set(2)
+    reg.counter("a").inc(1)
+    snap = reg.snapshot()
+    assert list(snap) == ["a", "b"]
+    assert snap["a"] == {"kind": "counter", "value": 1}
+    assert snap["b"]["value"] == 2
