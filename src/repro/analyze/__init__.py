@@ -1,0 +1,60 @@
+"""Static and dynamic enforcement of the simulation's determinism invariants.
+
+The reproduction's claim to validity is that contention *emerges* from
+concurrent requests under a fixed seed, which requires every run to be
+bit-for-bit deterministic.  This package enforces that property twice
+over:
+
+* **statically** -- an AST lint framework (:mod:`repro.analyze.rules`,
+  :mod:`repro.analyze.engine`) with stable ``CDR``-coded rules banning
+  the classic discrete-event-simulation hazards: wall-clock reads,
+  global/unseeded RNG, float time, out-of-kernel event triggering and
+  non-generator processes.  ``cedar-repro lint [paths]`` runs it.
+* **dynamically** -- a schedule-order sanitizer
+  (:mod:`repro.analyze.sanitize`) that hashes the processed-event order
+  of a run and flags same-``(time, priority)`` tie-breaks.
+  ``cedar-repro sanitize`` runs a workload twice under one seed and
+  diffs the hashes.
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from repro.analyze.engine import (
+    LintConfig,
+    LintResult,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+from repro.analyze.findings import Finding, Suppressions, parse_suppressions
+from repro.analyze.reporters import render_json, render_text
+from repro.analyze.rules import RULE_REGISTRY, ModuleContext, Rule, all_rules
+from repro.analyze.sanitize import (
+    DeterminismSink,
+    RunDigest,
+    SanitizeReport,
+    TieBreakRecord,
+    sanitize_app,
+)
+
+__all__ = [
+    "DeterminismSink",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ModuleContext",
+    "RULE_REGISTRY",
+    "Rule",
+    "RunDigest",
+    "SanitizeReport",
+    "Suppressions",
+    "TieBreakRecord",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+    "sanitize_app",
+]

@@ -1,0 +1,149 @@
+"""Lint engine: file discovery, rule execution, suppression filtering.
+
+:func:`lint_paths` is the programmatic entry point the ``cedar-repro
+lint`` command wraps: it walks the given files/directories, parses each
+Python file once, runs every registered rule over the AST and drops
+findings silenced by ``# cdr: noqa`` directives (see
+:mod:`repro.analyze.findings`).
+
+Whitelists are part of :class:`LintConfig` rather than hard-coded in the
+rules so tests (and future callers) can lint fixture trees with the
+invariants fully enforced.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analyze.findings import Finding, parse_suppressions
+from repro.analyze.rules import ModuleContext, all_rules
+
+__all__ = ["LintConfig", "LintResult", "lint_source", "lint_file", "lint_paths"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules"})
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Whitelists and rule selection for one lint run.
+
+    Paths are package-root-relative with POSIX separators; an entry
+    ending in ``/`` whitelists a subtree, anything else a single file.
+    """
+
+    #: Modules allowed to read the host wall clock (CDR001): the kernel
+    #: times callbacks for the profiler, and observability is precisely
+    #: the place host timing belongs.
+    wallclock_allow: tuple[str, ...] = ("repro/sim/core.py", "repro/obs/")
+    #: Modules exempt from the RNG rule (CDR002).  Empty by default:
+    #: every stochastic model input must thread a seed.
+    rng_allow: tuple[str, ...] = ()
+    #: The simulation kernel: the only place allowed to trigger events
+    #: directly (CDR004) and to read the wall clock for profiling.
+    kernel_modules: tuple[str, ...] = ("repro/sim/",)
+    #: Restrict the run to these codes (``None`` = all registered).
+    select: frozenset[str] | None = None
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when no findings survived suppression."""
+        return not self.findings
+
+
+def _relpath(path: Path) -> str:
+    """Normalise *path* so whitelists match regardless of invocation dir.
+
+    The portion starting at the ``repro`` package root is used when
+    present (``/x/src/repro/sim/core.py`` -> ``repro/sim/core.py``);
+    otherwise the path is returned as-is in POSIX form, which simply
+    never matches the package whitelists (fixture trees get the full
+    rule set).
+    """
+    parts = path.as_posix().split("/")
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.as_posix()
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    relpath: str | None = None,
+) -> list[Finding]:
+    """Lint Python *source* text; returns surviving findings, sorted.
+
+    A file that does not parse produces a single ``CDR000`` finding at
+    the error location rather than crashing the run.
+    """
+    cfg = config if config is not None else LintConfig()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                code="CDR000",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        path=path,
+        relpath=relpath if relpath is not None else _relpath(Path(path)),
+        tree=tree,
+        config=cfg,
+    )
+    suppressions = parse_suppressions(source)
+    findings = [
+        finding
+        for rule in all_rules(cfg.select)
+        for finding in rule.check(ctx)
+        if not suppressions.suppressed(finding)
+    ]
+    findings.sort()
+    return findings
+
+
+def lint_file(path: Path, config: LintConfig | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, path=str(path), config=config)
+
+
+def iter_python_files(paths: list[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def lint_paths(paths: list[Path], config: LintConfig | None = None) -> LintResult:
+    """Lint every Python file under *paths*."""
+    result = LintResult()
+    for file_path in iter_python_files(paths):
+        result.findings.extend(lint_file(file_path, config=config))
+        result.files_checked += 1
+    result.findings.sort()
+    return result

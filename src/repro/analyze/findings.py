@@ -1,0 +1,117 @@
+"""Finding data model and ``# cdr: noqa`` suppression parsing.
+
+A :class:`Finding` is one determinism-invariant violation located at
+``path:line:col`` and tagged with a stable ``CDR``-prefixed rule code.
+Findings order naturally by location so reports are stable across runs
+of the linter itself.
+
+Suppressions
+------------
+Two comment forms silence findings:
+
+* trailing, on the offending line::
+
+      self._rng = random.Random(seed)  # cdr: noqa[CDR002]
+
+* file-level, on a line of its own (conventionally near the top)::
+
+      # cdr: noqa[CDR001]
+
+A bare ``# cdr: noqa`` (no bracket) suppresses every rule for the line
+or file.  Suppressions are matched against the physical line the AST
+node starts on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Suppressions", "parse_suppressions"]
+
+#: Shape of a valid rule code.
+CODE_RE = re.compile(r"^CDR\d{3}$")
+
+_NOQA_RE = re.compile(r"#\s*cdr:\s*noqa(?:\[(?P<codes>[A-Za-z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """Render in the conventional ``file:line:col: CODE message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-serialisable form."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Parsed ``# cdr: noqa`` directives of one source file."""
+
+    #: Codes suppressed for the whole file.
+    file_codes: set[str] = field(default_factory=set)
+    #: Every rule is suppressed for the whole file.
+    file_all: bool = False
+    #: Line number -> codes suppressed on that line.
+    line_codes: dict[int, set[str]] = field(default_factory=dict)
+    #: Lines on which every rule is suppressed.
+    line_all: set[int] = field(default_factory=set)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Whether *finding* is silenced by a directive."""
+        if self.file_all or finding.code in self.file_codes:
+            return True
+        if finding.line in self.line_all:
+            return True
+        return finding.code in self.line_codes.get(finding.line, set())
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.file_all or self.file_codes or self.line_all or self.line_codes
+        )
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Extract every ``# cdr: noqa`` directive from *source*.
+
+    A directive on a line that holds only a comment applies file-wide;
+    a trailing directive applies to its own line.
+    """
+    result = Suppressions()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _NOQA_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        codes = (
+            {c.strip().upper() for c in raw.split(",") if c.strip()}
+            if raw is not None
+            else None
+        )
+        file_level = text.lstrip().startswith("#")
+        if codes is None:
+            if file_level:
+                result.file_all = True
+            else:
+                result.line_all.add(lineno)
+        elif file_level:
+            result.file_codes.update(codes)
+        else:
+            result.line_codes.setdefault(lineno, set()).update(codes)
+    return result

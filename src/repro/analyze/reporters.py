@@ -1,0 +1,37 @@
+"""Render lint results for humans (text) and machines (JSON)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from repro.analyze.engine import LintResult
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(result: LintResult) -> str:
+    """Conventional compiler-style report: one ``file:line:col`` per line."""
+    lines = [finding.format() for finding in result.findings]
+    by_code = Counter(finding.code for finding in result.findings)
+    if result.findings:
+        tally = ", ".join(f"{code} x{count}" for code, count in sorted(by_code.items()))
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files_checked} "
+            f"file(s): {tally}"
+        )
+    else:
+        lines.append(f"0 findings in {result.files_checked} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON document: findings plus a per-code summary."""
+    by_code = Counter(finding.code for finding in result.findings)
+    document = {
+        "files_checked": result.files_checked,
+        "finding_count": len(result.findings),
+        "by_code": dict(sorted(by_code.items())),
+        "findings": [finding.as_dict() for finding in result.findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

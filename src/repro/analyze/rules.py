@@ -1,0 +1,453 @@
+"""AST lint rules enforcing the simulation's reproducibility invariants.
+
+The paper's methodology depends on contention *emerging* from the model
+rather than being scripted, which is only trustworthy if every run is
+bit-for-bit deterministic.  Each rule here bans one classic way a
+discrete-event simulation silently loses that property:
+
+=======  ==============================================================
+code     invariant
+=======  ==============================================================
+CDR001   no host wall-clock reads in model code (kernel + obs excepted)
+CDR002   no global / unseeded RNG: thread a seeded generator
+CDR003   no float arithmetic feeding simulated timestamps
+CDR004   no ``Event.succeed()/fail()`` / ``Simulator.schedule()``
+         outside the kernel without a stated single-trigger invariant
+CDR005   functions handed to ``sim.process()`` must be generators
+=======  ==============================================================
+
+Rules are registered in :data:`RULE_REGISTRY` keyed by code; the engine
+instantiates each rule once per file and feeds it a
+:class:`ModuleContext`.  See ``docs/static-analysis.md`` for the full
+catalogue with examples and suppression guidance.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar
+
+from repro.analyze.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analyze.engine import LintConfig
+
+__all__ = ["ModuleContext", "Rule", "RULE_REGISTRY", "register", "all_rules"]
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about the file under analysis."""
+
+    #: Display path (as given on the command line).
+    path: str
+    #: Path normalised to start at the package root (``repro/...``) when
+    #: possible, with POSIX separators; used for whitelist matching.
+    relpath: str
+    tree: ast.Module
+    config: "LintConfig"
+
+    def in_any(self, prefixes: tuple[str, ...]) -> bool:
+        """Whether this module falls under one of *prefixes*.
+
+        A prefix ending in ``/`` matches a directory subtree; any other
+        prefix must match the relpath exactly.
+        """
+        for prefix in prefixes:
+            if prefix.endswith("/"):
+                if self.relpath.startswith(prefix):
+                    return True
+            elif self.relpath == prefix:
+                return True
+        return False
+
+    def finding(self, node: ast.AST, code: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at *node*."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for one lint rule (stateless; one instance per file)."""
+
+    code: ClassVar[str] = "CDR000"
+    summary: ClassVar[str] = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``ctx.tree``."""
+        raise NotImplementedError
+        yield  # pragma: no cover - makes this a generator for typing
+
+
+#: Registry of every known rule, keyed by stable code.
+RULE_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding *cls* to :data:`RULE_REGISTRY`."""
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules(select: frozenset[str] | None = None) -> list[Rule]:
+    """Instantiate the registered rules (optionally only *select*)."""
+    codes = sorted(RULE_REGISTRY)
+    if select is not None:
+        unknown = select - set(codes)
+        if unknown:
+            raise ValueError(f"unknown rule codes: {sorted(unknown)}")
+        codes = [c for c in codes if c in select]
+    return [RULE_REGISTRY[code]() for code in codes]
+
+
+# -- shared AST helpers ------------------------------------------------------
+
+
+def import_map(tree: ast.Module) -> dict[str, str]:
+    """Map each imported local name to its dotted origin.
+
+    ``import numpy as np`` yields ``{"np": "numpy"}``;
+    ``from time import perf_counter as pc`` yields
+    ``{"pc": "time.perf_counter"}``.  Imports anywhere in the module
+    (including inside functions) are collected.
+    """
+    table: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else alias.name.split(".")[0]
+                table[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                table[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return table
+
+
+def resolve_name(func: ast.expr, imports: dict[str, str]) -> str | None:
+    """Resolve a call target to a dotted origin, following imports.
+
+    Returns ``None`` when the target is not a plain name/attribute
+    chain (e.g. a subscripted or computed callee).
+    """
+    parts: list[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    parts[0] = imports.get(parts[0], parts[0])
+    return ".".join(parts)
+
+
+def _has_yield(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether *fn* itself contains a yield (ignoring nested functions)."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # a nested definition's yields are its own
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def function_table(
+    tree: ast.Module,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    """All function/method definitions in the module, by bare name.
+
+    When a name is defined more than once the *last* definition wins;
+    rules using this table are heuristic by design and err on the side
+    of not flagging.
+    """
+    table: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            table[node.name] = node
+    return table
+
+
+# -- CDR001: wall-clock reads ------------------------------------------------
+
+_WALLCLOCK_ORIGINS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+@register
+class WallClockRule(Rule):
+    """CDR001: host wall-clock reads make runs time-dependent."""
+
+    code = "CDR001"
+    summary = "wall-clock read in simulation model code"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_any(ctx.config.wallclock_allow):
+            return
+        imports = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_name(node.func, imports)
+            if origin in _WALLCLOCK_ORIGINS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"wall-clock read `{origin}()` in model code: host time "
+                    "varies run to run; route host timing through "
+                    "repro.obs.hostclock or keep it inside the kernel/obs "
+                    "whitelist",
+                )
+
+
+# -- CDR002: global / unseeded RNG -------------------------------------------
+
+#: numpy.random attributes that construct the modern, explicitly seeded
+#: Generator machinery (allowed); everything else on numpy.random is the
+#: legacy process-global state (banned).
+_NUMPY_RNG_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+@register
+class RngRule(Rule):
+    """CDR002: stochastic behaviour must flow from one threaded seed."""
+
+    code = "CDR002"
+    summary = "global or unseeded random number generation"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_any(ctx.config.rng_allow):
+            return
+        imports = import_map(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = resolve_name(node.func, imports)
+            if origin is None:
+                continue
+            if origin in ("random.Random", "random.SystemRandom"):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"`{origin}` construction in model code: thread a seeded "
+                    "numpy Generator (np.random.default_rng(seed)) from run "
+                    "parameters, or suppress stating the seed-threading "
+                    "invariant",
+                )
+            elif origin.startswith("random."):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"call to the process-global RNG `{origin}()`: its state "
+                    "is shared across the whole process, so any import-order "
+                    "or call-order change reshuffles every stream; thread a "
+                    "seeded Generator instead",
+                )
+            elif origin.startswith("numpy.random."):
+                attr = origin.rsplit(".", 1)[1]
+                if attr not in _NUMPY_RNG_ALLOWED:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"legacy numpy global RNG `{origin}()`: use a seeded "
+                        "np.random.default_rng(seed) Generator threaded from "
+                        "run parameters",
+                    )
+
+
+# -- CDR003: float arithmetic on simulated timestamps ------------------------
+
+
+def _float_hazard(node: ast.AST) -> ast.AST | None:
+    """First float literal or true division reachable without crossing
+    a call boundary (a called function is assumed to return a proper
+    integer delay; ``int()``/``round()`` guards are calls too)."""
+    if isinstance(node, ast.Call):
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return node
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+        return node
+    for child in ast.iter_child_nodes(node):
+        hit = _float_hazard(child)
+        if hit is not None:
+            return hit
+    return None
+
+
+@register
+class FloatTimeRule(Rule):
+    """CDR003: the simulated clock is integer nanoseconds, always."""
+
+    code = "CDR003"
+    summary = "float arithmetic feeding a simulated timestamp"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in self._delay_args(node):
+                hazard = _float_hazard(arg)
+                if hazard is not None:
+                    yield ctx.finding(
+                        hazard,
+                        self.code,
+                        "float arithmetic in a scheduling delay: simulated "
+                        "time is integer nanoseconds, and float rounding "
+                        "makes event order platform-dependent; convert "
+                        "explicitly with int(...) or round(...)",
+                    )
+
+    @staticmethod
+    def _delay_args(call: ast.Call) -> list[ast.expr]:
+        """The argument expressions of *call* that become delays."""
+        func = call.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        args: list[ast.expr] = []
+        if name == "timeout":
+            if call.args:
+                args.append(call.args[0])
+        elif name == "Timeout":
+            if len(call.args) >= 2:
+                args.append(call.args[1])
+        elif name == "schedule":
+            if len(call.args) >= 3:
+                args.append(call.args[2])
+        else:
+            return []
+        for kw in call.keywords:
+            if kw.arg == "delay":
+                args.append(kw.value)
+        return args
+
+
+# -- CDR004: event triggering outside the kernel -----------------------------
+
+
+@register
+class KernelOnlyTriggerRule(Rule):
+    """CDR004: direct event triggering belongs to the kernel."""
+
+    code = "CDR004"
+    summary = "event triggered/scheduled outside the simulation kernel"
+
+    _METHODS = frozenset({"succeed", "fail", "schedule"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_any(ctx.config.kernel_modules):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in self._METHODS:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"`.{func.attr}()` outside the kernel: a double trigger "
+                    "raises at runtime and a refactor can reorder the "
+                    "schedule; prefer sim primitives (Gate, Resource, Store, "
+                    "process results) or suppress stating the single-trigger "
+                    "invariant",
+                )
+
+
+# -- CDR005: generator hygiene for sim.process -------------------------------
+
+
+@register
+class ProcessGeneratorRule(Rule):
+    """CDR005: ``sim.process()`` needs a running generator."""
+
+    code = "CDR005"
+    summary = "non-generator handed to sim.process()"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        functions = function_table(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "process"):
+                continue
+            if not node.args:
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Call):
+                name = self._bare_name(target.func)
+                fn = functions.get(name) if name else None
+                if fn is not None and not _has_yield(fn):
+                    yield ctx.finding(
+                        target,
+                        self.code,
+                        f"`{name}()` passed to sim.process() contains no "
+                        "yield: it is not a generator function, so the "
+                        "process would fail at construction",
+                    )
+            elif isinstance(target, (ast.Name, ast.Attribute)):
+                name = self._bare_name(target)
+                if name and name in functions:
+                    yield ctx.finding(
+                        target,
+                        self.code,
+                        f"function `{name}` passed to sim.process() without "
+                        "being called: pass the generator it returns "
+                        f"(`{name}(...)`), not the function object",
+                    )
+
+    @staticmethod
+    def _bare_name(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            # ``self.worker`` / ``cls.worker`` style references.
+            if node.value.id in ("self", "cls"):
+                return node.attr
+        return None

@@ -15,6 +15,12 @@ Run as ``python -m repro.cli <command>``:
 * ``profile APP N_PROC`` -- run with the kernel profiler attached and
   print the top simulation processes by host wall time and by
   simulated time.
+* ``lint [PATHS]`` -- statically check the determinism invariants
+  (``CDR`` rule codes, ``docs/static-analysis.md``); exits non-zero on
+  any finding.
+* ``sanitize --app APP --p N`` -- run a workload twice under one seed
+  and diff the processed-event schedule hashes; exits non-zero if the
+  runs diverge.
 
 ``run``, ``sweep`` and ``tables`` additionally accept ``--stats FILE``
 to write the run report(s) of the runs they perform.
@@ -24,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.apps import PAPER_APPS
 from repro.core import (
@@ -174,6 +181,39 @@ def _cmd_profile(args: argparse.Namespace) -> None:
     print(obs.profiler.report(args.top))
 
 
+def _cmd_lint(args: argparse.Namespace) -> None:
+    from repro.analyze import LintConfig, lint_paths, render_json, render_text
+
+    select = (
+        frozenset(code.strip().upper() for code in args.select.split(","))
+        if args.select
+        else None
+    )
+    config = LintConfig(select=select)
+    try:
+        result = lint_paths([Path(p) for p in args.paths], config=config)
+    except FileNotFoundError as exc:
+        raise SystemExit(str(exc)) from None
+    print(render_json(result) if args.format == "json" else render_text(result))
+    if not result.ok:
+        raise SystemExit(1)
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> None:
+    from repro.analyze import sanitize_app
+
+    report = sanitize_app(
+        args.app,
+        args.processors,
+        scale=args.scale,
+        seed=args.seed,
+        runs=args.runs,
+    )
+    print(report.format())
+    if not report.deterministic:
+        raise SystemExit(1)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -226,6 +266,31 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("-k", "--top", type=int, default=10)
     profile.add_argument("--scale", type=float, default=0.02)
     profile.set_defaults(func=_cmd_profile)
+
+    lint = sub.add_parser(
+        "lint", help="statically check the determinism invariants (CDR rules)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories to lint"
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--select", metavar="CODES", help="comma-separated rule codes to run"
+    )
+    lint.set_defaults(func=_cmd_lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run a workload twice under one seed and diff the schedule hashes",
+    )
+    sanitize.add_argument("--app", default="synthetic")
+    sanitize.add_argument(
+        "--p", "--processors", dest="processors", type=int, default=8
+    )
+    sanitize.add_argument("--scale", type=float, default=0.02)
+    sanitize.add_argument("--seed", type=int, default=1994)
+    sanitize.add_argument("--runs", type=int, default=2)
+    sanitize.set_defaults(func=_cmd_sanitize)
     return parser
 
 

@@ -10,7 +10,6 @@ everything the analysis modules need.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.apps.base import AppModel
@@ -20,6 +19,7 @@ from repro.hpm.activity import ActivityBoard
 from repro.hpm.events import TraceEvent
 from repro.hpm.monitor import CedarHpm
 from repro.hpm.statfx import Statfx
+from repro.obs.hostclock import WallTimer
 from repro.runtime.library import CedarFortranRuntime
 from repro.runtime.loops import Phase
 from repro.runtime.params import RuntimeParams
@@ -119,9 +119,10 @@ def run_phases(
         sim, machine, kernel, hpm=hpm, board=board, params=rt_params
     )
     main = runtime.run_program(phases)
-    wall_begin = perf_counter()
-    ct_ns = sim.run(until=main)
-    wall_s = perf_counter() - wall_begin
+    # Host timing is routed through repro.obs.hostclock (CDR001): wall
+    # time is reported beside the simulated clock, never mixed into it.
+    with WallTimer() as wall:
+        ct_ns = sim.run(until=main)
     result = RunResult(
         app_name=app_name,
         config=cfg,
@@ -137,7 +138,7 @@ def run_phases(
         kernel=kernel,
         runtime=runtime,
         hpm=hpm,
-        wall_s=wall_s,
+        wall_s=wall.elapsed_s,
     )
     if obs is not None:
         obs.collect(result)

@@ -17,6 +17,7 @@ from repro.obs.exporters import (
     save_chrome_trace,
     save_report,
 )
+from repro.obs.hostclock import WallTimer, host_clock_s
 from repro.obs.instrument import (
     Observability,
     collect_hpm_metrics,
@@ -52,11 +53,13 @@ __all__ = [
     "ProcessProfiler",
     "Timeseries",
     "TraceSink",
+    "WallTimer",
     "build_run_report",
     "chrome_trace",
     "collect_hpm_metrics",
     "collect_run_metrics",
     "git_revision",
+    "host_clock_s",
     "profile_key",
     "save_chrome_trace",
     "save_report",

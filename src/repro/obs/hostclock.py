@@ -1,0 +1,51 @@
+"""Host wall-clock access for code outside the simulation kernel.
+
+The determinism linter (rule ``CDR001``, see ``docs/static-analysis.md``)
+bans direct wall-clock reads in model code: host time varies run to run,
+so any model quantity derived from it breaks bit-for-bit
+reproducibility.  Host timing is an *observability* concern, and this is
+the one sanctioned place outside the kernel to obtain it.  Everything
+measured through here is reported next to -- never mixed into -- the
+simulated clock.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from types import TracebackType
+
+__all__ = ["host_clock_s", "WallTimer"]
+
+
+def host_clock_s() -> float:
+    """Monotonic host timestamp in seconds (``time.perf_counter``)."""
+    return perf_counter()
+
+
+class WallTimer:
+    """Measure the host wall-clock span of a ``with`` block.
+
+    >>> with WallTimer() as timer:
+    ...     pass
+    >>> timer.elapsed_s >= 0.0
+    True
+    """
+
+    __slots__ = ("_begin", "elapsed_s")
+
+    def __init__(self) -> None:
+        self._begin = 0.0
+        #: Seconds spent inside the block (0.0 until the block exits).
+        self.elapsed_s = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        self._begin = host_clock_s()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_value: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
+        self.elapsed_s = host_clock_s() - self._begin

@@ -59,6 +59,10 @@ class Observability:
         recording structured kernel occurrences.
     kernel_trace_capacity:
         Buffer bound for the kernel trace.
+    extra_sinks:
+        Additional :class:`~repro.obs.tracing.TraceSink` instances to
+        attach to the kernel for the run (e.g. the schedule-order
+        :class:`~repro.analyze.sanitize.DeterminismSink`).
     """
 
     def __init__(
@@ -66,12 +70,14 @@ class Observability:
         profile: bool = False,
         kernel_trace: bool = False,
         kernel_trace_capacity: int = 100_000,
+        extra_sinks: "list[TraceSink] | tuple[TraceSink, ...]" = (),
     ) -> None:
         self.registry = MetricsRegistry()
         self.profiler = ProcessProfiler() if profile else None
         self.kernel_trace = (
             KernelTraceBuffer(kernel_trace_capacity) if kernel_trace else None
         )
+        self.extra_sinks: list[TraceSink] = list(extra_sinks)
 
     @property
     def sink(self) -> TraceSink | None:
@@ -81,7 +87,11 @@ class Observability:
         path, so a metrics-only :class:`Observability` costs nothing
         during the run.
         """
-        sinks = [s for s in (self.profiler, self.kernel_trace) if s is not None]
+        sinks = [
+            s
+            for s in (self.profiler, self.kernel_trace, *self.extra_sinks)
+            if s is not None
+        ]
         if not sinks:
             return None
         if len(sinks) == 1:

@@ -46,6 +46,12 @@ class TraceSink:
         (``None`` for non-process callbacks).
     on_event_processed(event, when):
         All callbacks of *event* have run at simulated time *when*.
+    on_tie_break(when, priority, first, second):
+        The kernel popped *first* ahead of *second* although both were
+        scheduled for the same ``(when, priority)``: their relative
+        order is decided only by queue insertion order.  The audit hook
+        behind the schedule-order sanitizer
+        (:class:`repro.analyze.sanitize.DeterminismSink`).
     on_process_started(process):
         A new simulation process was created.
     on_process_ended(process):
@@ -62,6 +68,11 @@ class TraceSink:
 
     def on_event_processed(self, event: "Event", when: int) -> None:
         """Called once all callbacks of *event* have run."""
+
+    def on_tie_break(
+        self, when: int, priority: int, first: "Event", second: "Event"
+    ) -> None:
+        """Called when two same-``(time, priority)`` events tie-break."""
 
     def on_process_started(self, process: "Process") -> None:
         """Called when a simulation process is created."""
@@ -87,6 +98,10 @@ class MultiSink(TraceSink):
     def on_event_processed(self, event, when) -> None:
         for sink in self.sinks:
             sink.on_event_processed(event, when)
+
+    def on_tie_break(self, when, priority, first, second) -> None:
+        for sink in self.sinks:
+            sink.on_tie_break(when, priority, first, second)
 
     def on_process_started(self, process) -> None:
         for sink in self.sinks:

@@ -113,7 +113,9 @@ class _LoopState:
         self._tree_nodes: dict[tuple[int, int], _CombiningNode] = {}
         self._sim = sim
         if n_helpers == 0:
-            self.all_detached.succeed()
+            # Single trigger: with no helpers, detach() can never reach
+            # the expected count, so this is the only trigger site.
+            self.all_detached.succeed()  # cdr: noqa[CDR004]
 
     def tree_node(self, level: int, group: int, fanout: int) -> "_CombiningNode":
         """Lazily materialise a software-combining-tree node.
@@ -152,7 +154,9 @@ class _LoopState:
         """One helper task detached at the finish barrier."""
         self.detaches += 1
         if self.detaches == self.expected_detaches:
-            self.all_detached.succeed()
+            # Single trigger: the == guard fires exactly once and only
+            # when expected_detaches > 0 (else the constructor triggered).
+            self.all_detached.succeed()  # cdr: noqa[CDR004]
 
 
 class CedarFortranRuntime:
@@ -251,7 +255,9 @@ class CedarFortranRuntime:
     def _broadcast(self, state: _LoopState | None) -> Event:
         """Post *state* to the helpers; returns the next post event."""
         event, self._post_event = self._post_event, self.sim.event()
-        event.succeed((state, self._post_event))
+        # Single trigger: the pending post event is swapped out before
+        # being triggered, so each broadcast event fires exactly once.
+        event.succeed((state, self._post_event))  # cdr: noqa[CDR004]
         return self._post_event
 
     # -- serial sections ---------------------------------------------------------

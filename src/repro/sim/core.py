@@ -30,8 +30,12 @@ import heapq
 import itertools
 from collections.abc import Callable, Generator, Iterable
 from time import perf_counter
+from typing import TYPE_CHECKING
 
 from repro.sim.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracing import TraceSink
 
 __all__ = [
     "AllOf",
@@ -366,12 +370,14 @@ class Simulator:
         check per occurrence and dispatches nothing.
     """
 
-    def __init__(self, initial_time: int = 0, trace_sink=None) -> None:
+    def __init__(
+        self, initial_time: int = 0, trace_sink: "TraceSink | None" = None
+    ) -> None:
         self._now = int(initial_time)
         self._queue: list[tuple[int, int, int, Event]] = []
         self._eid = itertools.count()
         self._active_process: Process | None = None
-        self._sink = trace_sink
+        self._sink: "TraceSink | None" = trace_sink
 
     @property
     def now(self) -> int:
@@ -379,11 +385,11 @@ class Simulator:
         return self._now
 
     @property
-    def trace_sink(self):
+    def trace_sink(self) -> "TraceSink | None":
         """The registered kernel observer, if any."""
         return self._sink
 
-    def set_trace_sink(self, sink) -> None:
+    def set_trace_sink(self, sink: "TraceSink | None") -> None:
         """Register (or, with ``None``, remove) the kernel observer."""
         self._sink = sink
 
@@ -434,11 +440,20 @@ class Simulator:
         Raises :class:`EmptySchedule` if no events remain.
         """
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, priority, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events scheduled") from None
         if when < self._now:
             raise SimulationError("event scheduled in the past")
+        if (
+            self._sink is not None
+            and self._queue
+            and self._queue[0][0] == when
+            and self._queue[0][1] == priority
+        ):
+            # Tie-break audit: this event beat the queue head only by
+            # insertion order (same time, same priority).
+            self._sink.on_tie_break(when, priority, event, self._queue[0][3])
         self._now = when
         callbacks, event.callbacks = event.callbacks, None
         sink = self._sink

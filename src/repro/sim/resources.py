@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Generator
+from types import TracebackType
 
 from repro.sim.core import Event, Simulator
 from repro.sim.errors import SimulationError
@@ -50,7 +51,12 @@ class Request(Event):
     def __enter__(self) -> "Request":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc_value: BaseException | None,
+        traceback: TracebackType | None,
+    ) -> None:
         self.cancel()
 
     def cancel(self) -> None:

@@ -104,7 +104,11 @@ class XylemKernel:
             critical_sections=self.critical_sections,
             cpi_handler=self.cpi_gather,
         )
-        self._rng = random.Random(self.params.seed)
+        # The jitter stream is part of the calibrated operating point
+        # (EXPERIMENTS.md): swapping the RNG backend would shift every
+        # Table 1-4 value.  The instance is constructed exactly once from
+        # XylemParams.seed, so the single-seed determinism invariant holds.
+        self._rng = random.Random(self.params.seed)  # cdr: noqa[CDR002]
         self._daemons_started = False
         self._syscall_counter = 0
         # A cluster can only be gathered into one single-CE execution

@@ -14,8 +14,9 @@ CPU share taken (see ``examples/multiprogramming_study.py``).
 
 from __future__ import annotations
 
-import random
 from collections.abc import Generator
+
+import numpy as np
 
 from repro.xylem.kernel import XylemKernel
 
@@ -57,7 +58,7 @@ class BackgroundWorkload:
         self.share = share
         self.quantum_ns = quantum_ns
         self.coscheduled = coscheduled
-        self._rng = random.Random(seed)
+        self._rng = np.random.default_rng(seed)
         self._started = False
         #: Total competitor time granted, per cluster (ns).
         self.granted_ns = [0] * kernel.config.n_clusters
@@ -73,11 +74,18 @@ class BackgroundWorkload:
         if self._started:
             return
         self._started = True
-        for cluster_id in range(self.kernel.config.n_clusters):
+        n_clusters = self.kernel.config.n_clusters
+        # Independent mode draws each cluster's phase within its own
+        # period/n_clusters stratum: still seed-driven, but clusters are
+        # guaranteed pairwise-distinct phases (the drift this mode models).
+        stratum_ns = max(1, self.period_ns // n_clusters)
+        for cluster_id in range(n_clusters):
             if self.coscheduled:
                 offset = 0
             else:
-                offset = self._rng.randrange(self.period_ns)
+                offset = cluster_id * stratum_ns + int(
+                    self._rng.integers(stratum_ns)
+                )
             self.kernel.sim.process(
                 self._slice_loop(cluster_id, offset),
                 name=f"bg-load-{cluster_id}",

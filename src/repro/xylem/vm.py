@@ -139,7 +139,9 @@ class VirtualMemory:
             )
         self._admit(page)
         del self._in_flight[page]
-        fault.resolved.succeed()
+        # Single trigger: the fault is deleted from _in_flight on the
+        # previous line, so no later joiner can resolve it again.
+        fault.resolved.succeed()  # cdr: noqa[CDR004]
 
     def _admit(self, page: int) -> None:
         """Make *page* resident, evicting FIFO under memory pressure."""

@@ -1,0 +1,59 @@
+"""CLI-level tests for ``cedar-repro lint`` / ``cedar-repro sanitize``,
+and the acceptance gate: the repo's own sources lint clean."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def test_lint_src_exits_zero_on_the_repo(capsys):
+    """The repository itself carries no unsuppressed determinism findings."""
+    main(["lint", str(REPO_SRC)])
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_lint_flags_violation_and_exits_nonzero(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\nx = time.time()\n")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["lint", str(bad)])
+    assert excinfo.value.code == 1
+    out = capsys.readouterr().out
+    assert f"{bad}:3:" in out
+    assert "CDR001" in out
+
+
+def test_lint_json_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n\nx = random.random()\n")
+    with pytest.raises(SystemExit):
+        main(["lint", str(bad), "--format", "json"])
+    document = json.loads(capsys.readouterr().out)
+    assert document["by_code"] == {"CDR002": 1}
+    assert document["findings"][0]["code"] == "CDR002"
+
+
+def test_lint_select_restricts_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time, random\n\na = time.time()\nb = random.random()\n")
+    with pytest.raises(SystemExit):
+        main(["lint", str(bad), "--select", "CDR002"])
+    out = capsys.readouterr().out
+    assert "CDR002" in out
+    assert "CDR001" not in out
+
+
+def test_sanitize_reports_identical_hashes(capsys):
+    main(["sanitize", "--app", "synthetic", "--p", "4", "--scale", "0.004"])
+    out = capsys.readouterr().out
+    assert "identical" in out
+    assert "run 0: hash" in out
+    assert "run 1: hash" in out

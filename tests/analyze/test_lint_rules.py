@@ -1,0 +1,277 @@
+"""Per-rule tests for the determinism linter.
+
+Each fixture contains exactly one violation of one rule; the linter
+must report it with the right ``CDR`` code and a ``file:line`` anchor,
+and must stay silent on the compliant twin.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    RULE_REGISTRY,
+    LintConfig,
+    LintResult,
+    all_rules,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    render_json,
+    render_text,
+)
+from repro.analyze.findings import Finding
+
+# -- fixtures: one violation each -------------------------------------------
+
+VIOLATIONS = {
+    "CDR001": "import time\n\nstamp = time.time()\n",
+    "CDR002": "import random\n\nvalue = random.randint(0, 7)\n",
+    "CDR003": "def proc(sim):\n    yield sim.timeout(100 / 3)\n",
+    "CDR004": "def signal(event):\n    event.succeed(42)\n",
+    "CDR005": (
+        "def work(sim):\n"
+        "    return 3\n"
+        "\n"
+        "def main(sim):\n"
+        "    sim.process(work(sim))\n"
+    ),
+}
+
+CLEAN = {
+    "CDR001": "from repro.obs.hostclock import host_clock_s\n\nstamp = host_clock_s()\n",
+    "CDR002": "import numpy as np\n\nrng = np.random.default_rng(1994)\n",
+    "CDR003": "def proc(sim):\n    yield sim.timeout(int(100 / 3))\n",
+    "CDR004": "def signal(gate):\n    gate.open()\n",
+    "CDR005": (
+        "def work(sim):\n"
+        "    yield sim.timeout(1)\n"
+        "\n"
+        "def main(sim):\n"
+        "    sim.process(work(sim))\n"
+    ),
+}
+
+
+@pytest.mark.parametrize("code", sorted(VIOLATIONS))
+def test_each_rule_fires_with_location(code):
+    findings = lint_source(VIOLATIONS[code], path=f"fixture_{code}.py")
+    assert [f.code for f in findings] == [code]
+    finding = findings[0]
+    assert finding.line >= 1
+    assert f"fixture_{code}.py:{finding.line}" in finding.format()
+    assert finding.code in finding.format()
+
+
+@pytest.mark.parametrize("code", sorted(CLEAN))
+def test_each_rule_stays_silent_on_compliant_code(code):
+    assert lint_source(CLEAN[code], path=f"clean_{code}.py") == []
+
+
+def test_unparseable_file_reports_cdr000():
+    findings = lint_source("def broken(:\n", path="broken.py")
+    assert [f.code for f in findings] == ["CDR000"]
+    assert "does not parse" in findings[0].message
+
+
+# -- additional rule shapes ---------------------------------------------------
+
+
+def test_wallclock_resolves_import_aliases():
+    source = "from time import perf_counter as pc\n\nbegin = pc()\n"
+    assert [f.code for f in lint_source(source, path="alias.py")] == ["CDR001"]
+
+
+def test_wallclock_whitelist_applies_to_kernel_and_obs():
+    source = "from time import perf_counter\n\nbegin = perf_counter()\n"
+    for rel in ("repro/sim/core.py", "repro/obs/hostclock.py"):
+        assert lint_source(source, path=rel, relpath=rel) == []
+    assert lint_source(source, path="repro/core/x.py", relpath="repro/core/x.py")
+
+
+def test_rng_flags_unseeded_and_legacy_constructions():
+    flagged = (
+        "import random\nrng = random.Random(3)\n",
+        "import random\nrng = random.SystemRandom()\n",
+        "import numpy as np\nnp.random.seed(1)\n",
+        "import numpy as np\nx = np.random.rand(4)\n",
+        "from random import shuffle\nshuffle([1, 2])\n",
+    )
+    for source in flagged:
+        assert [f.code for f in lint_source(source, path="m.py")] == ["CDR002"], source
+    allowed = (
+        "import numpy as np\nrng = np.random.default_rng(7)\n",
+        "import numpy as np\nseq = np.random.SeedSequence(7)\n",
+    )
+    for source in allowed:
+        assert lint_source(source, path="m.py") == [], source
+
+
+def test_float_time_flags_literals_and_division_but_not_calls():
+    assert lint_source("def p(sim):\n    yield sim.timeout(1.5)\n", path="m.py")
+    assert lint_source(
+        "def p(sim, t):\n    yield sim.timeout(t / 2)\n", path="m.py"
+    )
+    # Guarded conversions and opaque helper calls are fine.
+    assert lint_source(
+        "def p(sim, t):\n    yield sim.timeout(round(t / 2))\n", path="m.py"
+    ) == []
+    assert lint_source(
+        "def p(sim, t):\n    yield sim.timeout(cost_ns(1.0))\n", path="m.py"
+    ) == []
+
+
+def test_float_time_checks_schedule_delay_keyword():
+    source = "def p(sim, ev):\n    sim.schedule(ev, delay=0.5)\n"
+    codes = {f.code for f in lint_source(source, path="m.py")}
+    assert "CDR003" in codes
+
+
+def test_kernel_only_trigger_allows_the_kernel_itself():
+    source = "def grant(req):\n    req.succeed()\n"
+    rel = "repro/sim/resources.py"
+    assert lint_source(source, path=rel, relpath=rel) == []
+    assert lint_source(source, path="repro/xylem/vm.py", relpath="repro/xylem/vm.py")
+
+
+def test_process_rule_flags_uncalled_function_reference():
+    source = (
+        "def work(sim):\n"
+        "    yield sim.timeout(1)\n"
+        "\n"
+        "def main(sim):\n"
+        "    sim.process(work)\n"
+    )
+    findings = lint_source(source, path="m.py")
+    assert [f.code for f in findings] == ["CDR005"]
+    assert "without being called" in findings[0].message
+
+
+def test_process_rule_resolves_self_methods():
+    source = (
+        "class Model:\n"
+        "    def tick(self):\n"
+        "        return 1\n"
+        "\n"
+        "    def start(self, sim):\n"
+        "        sim.process(self.tick())\n"
+    )
+    assert [f.code for f in lint_source(source, path="m.py")] == ["CDR005"]
+
+
+# -- suppression --------------------------------------------------------------
+
+
+def test_trailing_noqa_suppresses_only_its_line():
+    source = (
+        "import random\n"
+        "a = random.random()  # cdr: noqa[CDR002]\n"
+        "b = random.random()\n"
+    )
+    findings = lint_source(source, path="m.py")
+    assert [(f.code, f.line) for f in findings] == [("CDR002", 3)]
+
+
+def test_file_level_noqa_suppresses_whole_file():
+    source = (
+        "# cdr: noqa[CDR002]\n"
+        "import random\n"
+        "a = random.random()\n"
+        "b = random.random()\n"
+    )
+    assert lint_source(source, path="m.py") == []
+
+
+def test_bare_noqa_suppresses_all_codes():
+    source = "import time\n\nx = time.time()  # cdr: noqa\n"
+    assert lint_source(source, path="m.py") == []
+
+
+def test_parse_suppressions_distinguishes_levels():
+    sup = parse_suppressions(
+        "# cdr: noqa[CDR001, CDR003]\nx = 1  # cdr: noqa[CDR002]\ny = 2  # cdr: noqa\n"
+    )
+    assert sup.file_codes == {"CDR001", "CDR003"}
+    assert not sup.file_all
+    assert sup.line_codes == {2: {"CDR002"}}
+    assert sup.line_all == {3}
+
+
+def test_noqa_does_not_hide_other_codes():
+    source = "import time\n\nx = time.time()  # cdr: noqa[CDR002]\n"
+    assert [f.code for f in lint_source(source, path="m.py")] == ["CDR001"]
+
+
+# -- registry, selection, engine ---------------------------------------------
+
+
+def test_registry_has_all_five_rules_with_stable_codes():
+    assert set(RULE_REGISTRY) == {"CDR001", "CDR002", "CDR003", "CDR004", "CDR005"}
+    for code, cls in RULE_REGISTRY.items():
+        assert cls.code == code
+        assert cls.summary
+
+
+def test_select_restricts_rules():
+    rules = all_rules(frozenset({"CDR002"}))
+    assert [r.code for r in rules] == ["CDR002"]
+    with pytest.raises(ValueError):
+        all_rules(frozenset({"CDR999"}))
+
+
+def test_select_via_config():
+    source = "import time, random\n\na = time.time()\nb = random.random()\n"
+    config = LintConfig(select=frozenset({"CDR001"}))
+    findings = lint_source(source, path="m.py", config=config)
+    assert [f.code for f in findings] == ["CDR001"]
+
+
+def test_lint_paths_walks_directories(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "bad.py").write_text("import time\nx = time.time()\n")
+    (tmp_path / "pkg" / "good.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "skipme.py").write_text(
+        "import time\nx = time.time()\n"
+    )
+    result = lint_paths([tmp_path])
+    assert result.files_checked == 2
+    assert [f.code for f in result.findings] == ["CDR001"]
+    assert not result.ok
+
+
+def test_lint_paths_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        lint_paths([tmp_path / "nowhere"])
+
+
+# -- reporters ----------------------------------------------------------------
+
+
+def _result_with(*findings):
+    result = LintResult(findings=list(findings), files_checked=3)
+    return result
+
+
+def test_text_reporter_lists_findings_and_tally():
+    finding = Finding("a.py", 3, 1, "CDR001", "wall-clock read")
+    text = render_text(_result_with(finding))
+    assert "a.py:3:1: CDR001 wall-clock read" in text
+    assert "1 finding(s) in 3 file(s)" in text
+    assert "CDR001 x1" in text
+
+
+def test_text_reporter_clean_run():
+    assert "0 findings in 3 file(s)" in render_text(_result_with())
+
+
+def test_json_reporter_round_trips():
+    finding = Finding("a.py", 3, 1, "CDR002", "global RNG")
+    document = json.loads(render_json(_result_with(finding)))
+    assert document["finding_count"] == 1
+    assert document["files_checked"] == 3
+    assert document["by_code"] == {"CDR002": 1}
+    assert document["findings"][0]["path"] == "a.py"
+    assert document["findings"][0]["line"] == 3

@@ -1,0 +1,150 @@
+"""Tests for the dynamic schedule-order sanitizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import DeterminismSink, sanitize_app
+from repro.sim import Simulator
+
+
+def _workload(sim):
+    def worker(sim, delay):
+        yield sim.timeout(delay)
+        yield sim.timeout(delay * 2)
+
+    for delay in (3, 5, 7):
+        sim.process(worker(sim, delay), name=f"w{delay}")
+
+
+def test_same_program_same_hash():
+    hashes = []
+    for _ in range(2):
+        sink = DeterminismSink()
+        sim = Simulator(trace_sink=sink)
+        _workload(sim)
+        sim.run()
+        hashes.append(sink.schedule_hash)
+    assert hashes[0] == hashes[1]
+    assert len(hashes[0]) == 32  # blake2b/16 hex
+
+
+def test_different_schedule_different_hash():
+    sink_a = DeterminismSink()
+    sim = Simulator(trace_sink=sink_a)
+    _workload(sim)
+    sim.run()
+
+    sink_b = DeterminismSink()
+    sim = Simulator(trace_sink=sink_b)
+
+    def other(sim):
+        yield sim.timeout(4)
+
+    sim.process(other(sim), name="other")
+    sim.run()
+    assert sink_a.schedule_hash != sink_b.schedule_hash
+
+
+def test_injected_tie_break_ambiguity_is_detected():
+    """Two events scheduled for the same (time, priority) must be flagged."""
+    sink = DeterminismSink()
+    sim = Simulator(trace_sink=sink)
+
+    def racer(sim, name):
+        yield sim.timeout(10)  # both reach t=10 at NORMAL priority
+
+    sim.process(racer(sim, "a"), name="a")
+    sim.process(racer(sim, "b"), name="b")
+    sim.run()
+    assert sink.ambiguity_count > 0
+    assert sink.ambiguities
+    record = sink.ambiguities[0]
+    assert record.t_ns >= 0
+    assert "before" in record.format()
+
+
+def test_no_ambiguity_when_times_differ():
+    sink = DeterminismSink()
+    sim = Simulator(trace_sink=sink)
+
+    def lone(sim):
+        yield sim.timeout(5)
+        yield sim.timeout(11)
+
+    sim.process(lone(sim), name="lone")
+    sim.run()
+    # A single process never has two pending events at the same instant
+    # beyond its Initialize (which is alone at t=0).
+    assert sink.ambiguity_count == 0
+
+
+def test_first_divergence_located():
+    sink_a = DeterminismSink()
+    sim = Simulator(trace_sink=sink_a)
+    _workload(sim)
+    sim.run()
+
+    sink_b = DeterminismSink()
+    sim = Simulator(trace_sink=sink_b)
+
+    def near_workload(sim):
+        # Same first events, then diverges.
+        def worker(sim, delay):
+            yield sim.timeout(delay)
+            yield sim.timeout(delay * 3)
+
+        for delay in (3, 5, 7):
+            sim.process(worker(sim, delay), name=f"w{delay}")
+
+    near_workload(sim)
+    sim.run()
+    index = sink_a.first_divergence(sink_b)
+    assert index is not None
+    assert sink_a.order[:index] == sink_b.order[:index]
+
+
+def test_order_capacity_bounds_memory():
+    sink = DeterminismSink(order_capacity=4)
+    sim = Simulator(trace_sink=sink)
+    _workload(sim)
+    sim.run()
+    assert len(sink.order) == 4
+    assert sink.order_dropped == sink.events_processed - 4
+    with pytest.raises(ValueError):
+        DeterminismSink(order_capacity=-1)
+
+
+def test_sanitize_app_synthetic_is_deterministic():
+    report = sanitize_app("synthetic", 4, scale=0.004, seed=7, runs=2)
+    assert report.deterministic
+    assert len(report.digests) == 2
+    assert report.digests[0].schedule_hash == report.digests[1].schedule_hash
+    assert report.digests[0].ct_ns == report.digests[1].ct_ns
+    assert report.digests[0].events_processed > 0
+    text = report.format()
+    assert "identical" in text
+    assert report.digests[0].schedule_hash in text
+
+
+def test_sanitize_app_rejects_single_run_and_unknown_app():
+    with pytest.raises(ValueError):
+        sanitize_app("synthetic", 4, runs=1)
+    with pytest.raises(SystemExit):
+        sanitize_app("no-such-app", 4)
+
+
+def test_sanitize_report_flags_divergence():
+    from repro.analyze.sanitize import RunDigest, SanitizeReport
+
+    report = SanitizeReport(app="X", n_processors=4, scale=1.0, seed=1)
+    report.digests = [
+        RunDigest("aaaa", 10, 100, 0),
+        RunDigest("bbbb", 10, 100, 0),
+    ]
+    report.divergence_index = 3
+    report.divergence_tokens = ("5|Timeout|", "5|Event|")
+    assert not report.deterministic
+    text = report.format()
+    assert "DIFFER" in text
+    assert "#3" in text
