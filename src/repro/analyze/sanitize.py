@@ -230,7 +230,7 @@ def _resolve_builder(app: str) -> "Callable[..., AppModel]":
         return PAPER_APPS[key]
     if key in ("SYNTH", "SYNTHETIC"):
         return synthetic_app
-    raise SystemExit(
+    raise ValueError(
         f"unknown application {app!r}; pick from "
         f"{sorted(PAPER_APPS) + ['synthetic']}"
     )

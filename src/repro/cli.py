@@ -21,9 +21,15 @@ Run as ``python -m repro.cli <command>``:
 * ``sanitize --app APP --p N`` -- run a workload twice under one seed
   and diff the processed-event schedule hashes; exits non-zero if the
   runs diverge.
+* ``inject APP N_PROC --campaign FILE`` -- run one application under a
+  fault campaign and print the fault log plus the degraded breakdown.
+* ``campaign FILE`` -- run (or, with ``--generate``, create) a fault
+  campaign over its app/config grid with per-cell failure isolation.
 
 ``run``, ``sweep`` and ``tables`` additionally accept ``--stats FILE``
-to write the run report(s) of the runs they perform.
+to write the run report(s) of the runs they perform.  Bad inputs
+(unknown application, malformed campaign file) exit with status 2 and
+a one-line ``error:`` message.
 """
 
 from __future__ import annotations
@@ -37,13 +43,14 @@ from repro.core import (
     contention_overhead,
     ct_breakdown,
     parallel_loop_concurrency,
+    render_partial_table,
+    resilient_sweep,
     run_application,
+    save_failure_report,
     user_breakdown,
 )
 from repro.core.experiments import (
     figure3,
-    sweep_all,
-    sweep_application,
     table1,
     table2,
     table3,
@@ -55,31 +62,43 @@ from repro.obs import (
     build_run_report,
     save_report,
 )
+from repro.sim import DeadlockSuspected, RunawaySimulation
 from repro.xylem.categories import TimeCategory
+from repro.xylem.params import XylemParams
 
-__all__ = ["main"]
+__all__ = ["CLIError", "main"]
+
+
+class CLIError(Exception):
+    """Bad user input: the CLI prints one line and exits with status 2."""
 
 
 def _app_builder(name: str):
     key = name.upper()
     if key not in PAPER_APPS:
-        raise SystemExit(f"unknown application {name!r}; pick from {list(PAPER_APPS)}")
+        raise CLIError(f"unknown application {name!r}; pick from {list(PAPER_APPS)}")
     return PAPER_APPS[key]
 
 
-def _write_stats(results, path) -> None:
+def _os_params(args: argparse.Namespace) -> XylemParams:
+    return XylemParams(seed=args.seed)
+
+
+def _write_stats(results, path, registry=None) -> None:
     """Write the run report(s) for one result or a list of them."""
     if isinstance(results, list):
         save_report([build_run_report(r) for r in results], path)
         print(f"wrote {len(results)} run reports to {path}")
     else:
-        save_report(build_run_report(results), path)
+        save_report(build_run_report(results, registry), path)
         print(f"wrote run report to {path}")
 
 
 def _cmd_run(args: argparse.Namespace) -> None:
     builder = _app_builder(args.app)
-    result = run_application(builder(), args.processors, scale=args.scale)
+    result = run_application(
+        builder(), args.processors, scale=args.scale, os_params=_os_params(args)
+    )
     if args.stats:
         _write_stats(result, args.stats)
     print(f"{result.app_name} on {args.processors} processors (scale {args.scale})")
@@ -93,7 +112,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     for name, ns in b.as_dict().items():
         print(f"  {name:14s} {b.fraction(ns):7.2%}")
     if args.processors > 1:
-        base = run_application(builder(), 1, scale=args.scale)
+        base = run_application(builder(), 1, scale=args.scale, os_params=_os_params(args))
         row = contention_overhead(result, base)
         print(f"\ncontention overhead: {row.ov_cont_pct:.1f} % of CT")
         for task in range(result.config.n_clusters):
@@ -101,43 +120,68 @@ def _cmd_run(args: argparse.Namespace) -> None:
             print(f"  par_concurr {name}: {parallel_loop_concurrency(result, task):.2f}")
 
 
+def _report_failures(outcome) -> None:
+    """Print the partial table and failure lines; exit with status 1."""
+    print(render_partial_table(outcome))
+    print()
+    for failure in outcome.failures:
+        print(
+            f"FAILED {failure.app} P={failure.n_processors} after "
+            f"{failure.attempts} attempt(s): {failure.error_type}: {failure.message}"
+        )
+    raise SystemExit(1)
+
+
 def _cmd_sweep(args: argparse.Namespace) -> None:
     _app_builder(args.app)  # validate
-    results = sweep_application(args.app.upper(), scale=args.scale)
-    wrapped = {args.app.upper(): results}
-    for build in (table1, table3, table4):
-        _, text = build(wrapped)
-        print(text)
-        print()
+    app = args.app.upper()
+    outcome = resilient_sweep([app], scale=args.scale, seed=args.seed)
+    results = outcome.results[app]
+    if outcome.ok:
+        wrapped = {app: results}
+        for build in (table1, table3, table4):
+            _, text = build(wrapped)
+            print(text)
+            print()
     if args.stats:
         _write_stats([results[n] for n in sorted(results)], args.stats)
+    if not outcome.ok:
+        _report_failures(outcome)
 
 
 def _cmd_tables(args: argparse.Namespace) -> None:
-    sweep = sweep_all(scale=args.scale)
-    sweep32 = {app: by_config[32] for app, by_config in sweep.items()}
-    for build, payload in (
-        (table1, sweep),
-        (table2, {a: sweep32[a] for a in ("FLO52", "ARC2D", "MDG")}),
-        (table3, sweep),
-        (table4, sweep),
-        (figure3, sweep),
-    ):
-        _, text = build(payload)
-        print(text)
-        print()
+    from repro.core import reference
+
+    outcome = resilient_sweep(reference.APPS, scale=args.scale, seed=args.seed)
+    sweep = outcome.results
+    if outcome.ok:
+        sweep32 = {app: by_config[32] for app, by_config in sweep.items()}
+        for build, payload in (
+            (table1, sweep),
+            (table2, {a: sweep32[a] for a in ("FLO52", "ARC2D", "MDG")}),
+            (table3, sweep),
+            (table4, sweep),
+            (figure3, sweep),
+        ):
+            _, text = build(payload)
+            print(text)
+            print()
     if args.stats:
         reports = [
             sweep[app][n] for app in sorted(sweep) for n in sorted(sweep[app])
         ]
         _write_stats(reports, args.stats)
+    if not outcome.ok:
+        _report_failures(outcome)
 
 
 def _cmd_trace(args: argparse.Namespace) -> None:
     import dataclasses
 
     builder = _app_builder(args.app)
-    result = run_application(builder(), args.processors, scale=args.scale)
+    result = run_application(
+        builder(), args.processors, scale=args.scale, os_params=_os_params(args)
+    )
     header = {
         "app": result.app_name,
         "n_processors": result.config.n_processors,
@@ -157,7 +201,9 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 def _cmd_stats(args: argparse.Namespace) -> None:
     builder = _app_builder(args.app)
     obs = Observability()
-    result = run_application(builder(), args.processors, scale=args.scale, obs=obs)
+    result = run_application(
+        builder(), args.processors, scale=args.scale, obs=obs, os_params=_os_params(args)
+    )
     report = build_run_report(result, obs.registry)
     save_report(report, args.output)
     print(f"wrote run report to {args.output}")
@@ -172,7 +218,9 @@ def _cmd_stats(args: argparse.Namespace) -> None:
 def _cmd_profile(args: argparse.Namespace) -> None:
     builder = _app_builder(args.app)
     obs = Observability(profile=True)
-    result = run_application(builder(), args.processors, scale=args.scale, obs=obs)
+    result = run_application(
+        builder(), args.processors, scale=args.scale, obs=obs, os_params=_os_params(args)
+    )
     print(
         f"{result.app_name} on {args.processors} processors: "
         f"{result.wall_s:.2f} s host wall time, "
@@ -202,15 +250,118 @@ def _cmd_lint(args: argparse.Namespace) -> None:
 def _cmd_sanitize(args: argparse.Namespace) -> None:
     from repro.analyze import sanitize_app
 
-    report = sanitize_app(
-        args.app,
-        args.processors,
-        scale=args.scale,
-        seed=args.seed,
-        runs=args.runs,
-    )
+    try:
+        report = sanitize_app(
+            args.app,
+            args.processors,
+            scale=args.scale,
+            seed=args.seed,
+            runs=args.runs,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
     print(report.format())
     if not report.deterministic:
+        raise SystemExit(1)
+
+
+def _cmd_inject(args: argparse.Namespace) -> None:
+    from repro.faults import CampaignError, load_campaign, run_with_campaign
+
+    _app_builder(args.app)  # validate before the expensive run
+    try:
+        spec = load_campaign(args.campaign)
+    except CampaignError as exc:
+        raise CLIError(str(exc)) from exc
+    obs = Observability()
+    try:
+        outcome = run_with_campaign(
+            spec,
+            args.app.upper(),
+            args.processors,
+            scale=args.scale,
+            seed=args.seed,
+            obs=obs,
+            max_events=args.max_events,
+            max_sim_time=args.max_sim_time,
+        )
+    except (RunawaySimulation, DeadlockSuspected) as exc:
+        # A tripped watchdog is a *finding* about the campaign, not an
+        # operator error: report it cleanly and exit 1 (not 2).
+        print(f"aborted: {type(exc).__name__}: {exc}", file=sys.stderr)
+        raise SystemExit(1) from exc
+    result = outcome.result
+    ledger = outcome.ledger
+    print(
+        f"{result.app_name} on {args.processors} processors under campaign "
+        f"{spec.name!r} (seed {args.seed})"
+    )
+    print(f"completion time: {result.ct_seconds:.1f} s (extrapolated)")
+    print(
+        f"faults: {ledger.injected} injected, {ledger.reverted} reverted, "
+        f"{ledger.skipped} skipped"
+    )
+    for record in ledger.records:
+        when = f"t={record.applied_ns}ns" if record.applied_ns >= 0 else "not applied"
+        print(f"  {record.kind:16s} {when:>16s}  {record.note}")
+    print("\ncompletion-time breakdown (main cluster):")
+    breakdown = ct_breakdown(result, 0)
+    for category in TimeCategory:
+        print(f"  {category.value:10s} {breakdown[category] / result.ct_ns:7.2%}")
+    print("\nfaults.* metrics:")
+    for name in obs.registry.names("faults"):
+        print(f"  {name:40s} {obs.registry.value(name)}")
+    if args.stats:
+        _write_stats(result, args.stats, registry=obs.registry)
+
+
+def _cmd_campaign(args: argparse.Namespace) -> None:
+    from repro.faults import (
+        CampaignError,
+        generate_campaign,
+        load_campaign,
+        run_with_campaign,
+        save_campaign,
+    )
+
+    if args.generate:
+        seed = args.seed if args.seed is not None else 1994
+        try:
+            spec = generate_campaign(seed=seed, n_faults=args.faults)
+        except CampaignError as exc:
+            raise CLIError(str(exc)) from exc
+        save_campaign(spec, args.file)
+        print(f"wrote campaign {spec.name!r} ({len(spec.faults)} faults) to {args.file}")
+        return
+    try:
+        spec = load_campaign(args.file)
+    except CampaignError as exc:
+        raise CLIError(str(exc)) from exc
+    seed = args.seed if args.seed is not None else spec.seed
+    apps = spec.apps or ("FLO52",)
+    configs = spec.configs or (4,)
+    for app in apps:
+        _app_builder(app)
+
+    def run_cell(app: str, n_proc: int):
+        return run_with_campaign(
+            spec, app, n_proc, scale=args.scale, seed=seed
+        ).result
+
+    outcome = resilient_sweep(
+        apps, configs=configs, scale=args.scale, seed=seed, run_cell=run_cell
+    )
+    print(f"campaign {spec.name!r}: {len(spec.faults)} faults, seed {seed}")
+    print(render_partial_table(outcome))
+    if args.report:
+        save_failure_report(outcome, args.report)
+        print(f"wrote failure report to {args.report}")
+    if not outcome.ok:
+        for failure in outcome.failures:
+            print(
+                f"FAILED {failure.app} P={failure.n_processors}: "
+                f"{failure.error_type}: {failure.message}"
+            )
         raise SystemExit(1)
 
 
@@ -226,12 +377,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("app")
     run.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
     run.add_argument("--scale", type=float, default=0.02)
+    run.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
     run.add_argument("--stats", metavar="FILE", help="also write the JSON run report")
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="run one application on all configurations")
     sweep.add_argument("app")
     sweep.add_argument("--scale", type=float, default=0.02)
+    sweep.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
     sweep.add_argument(
         "--stats", metavar="FILE", help="also write the JSON run reports"
     )
@@ -239,6 +392,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     tables = sub.add_parser("tables", help="regenerate Tables 1-4 and Figure 3")
     tables.add_argument("--scale", type=float, default=0.02)
+    tables.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
     tables.add_argument(
         "--stats", metavar="FILE", help="also write the JSON run reports"
     )
@@ -249,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
     trace.add_argument("-o", "--output", default="trace.jsonl")
     trace.add_argument("--scale", type=float, default=0.02)
+    trace.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
     trace.set_defaults(func=_cmd_trace)
 
     stats = sub.add_parser("stats", help="run and write the JSON run report")
@@ -256,6 +411,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
     stats.add_argument("-o", "--output", default="stats.json")
     stats.add_argument("--scale", type=float, default=0.02)
+    stats.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
     stats.set_defaults(func=_cmd_stats)
 
     profile = sub.add_parser(
@@ -265,7 +421,50 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
     profile.add_argument("-k", "--top", type=int, default=10)
     profile.add_argument("--scale", type=float, default=0.02)
+    profile.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
     profile.set_defaults(func=_cmd_profile)
+
+    inject = sub.add_parser(
+        "inject", help="run one application under a fault campaign"
+    )
+    inject.add_argument("app")
+    inject.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
+    inject.add_argument(
+        "--campaign", metavar="FILE", required=True, help="campaign JSON file"
+    )
+    inject.add_argument("--scale", type=float, default=0.02)
+    inject.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
+    inject.add_argument(
+        "--max-events", type=int, default=None, help="runaway watchdog: event budget"
+    )
+    inject.add_argument(
+        "--max-sim-time", type=int, default=None, help="runaway watchdog: sim-time cap (ns)"
+    )
+    inject.add_argument("--stats", metavar="FILE", help="also write the JSON run report")
+    inject.set_defaults(func=_cmd_inject)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a fault campaign over its app/config grid (or --generate one)",
+    )
+    campaign.add_argument("file", help="campaign JSON file to run (or write)")
+    campaign.add_argument(
+        "--generate", action="store_true", help="generate a random campaign instead"
+    )
+    campaign.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="OS jitter seed (defaults to the campaign's own seed)",
+    )
+    campaign.add_argument(
+        "--faults", type=int, default=4, help="fault count for --generate"
+    )
+    campaign.add_argument("--scale", type=float, default=0.02)
+    campaign.add_argument(
+        "--report", metavar="FILE", help="also write the JSON failure report"
+    )
+    campaign.set_defaults(func=_cmd_campaign)
 
     lint = sub.add_parser(
         "lint", help="statically check the determinism invariants (CDR rules)"
@@ -295,10 +494,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> None:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Bad inputs raise :class:`CLIError` inside the command handlers and
+    are reported uniformly: one ``error:`` line on stderr, exit 2.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
 
 
 if __name__ == "__main__":

@@ -30,6 +30,14 @@ from repro.core.contention import (
     tp_actual_ns,
 )
 from repro.core.report import render_table
+from repro.core.resilience import (
+    CellFailure,
+    SweepOutcome,
+    failure_report,
+    render_partial_table,
+    resilient_sweep,
+    save_failure_report,
+)
 from repro.core.runner import DEFAULT_SCALE, RunResult, run_application, run_phases
 from repro.core.speedup import SpeedupRow, speedup_table
 from repro.core.trace_analysis import (
@@ -40,6 +48,7 @@ from repro.core.trace_analysis import (
 )
 
 __all__ = [
+    "CellFailure",
     "ContentionRow",
     "DEFAULT_SCALE",
     "Interval",
@@ -48,11 +57,13 @@ __all__ = [
     "PredictedTime",
     "RunResult",
     "SpeedupRow",
+    "SweepOutcome",
     "UserTimeBreakdown",
     "average_concurrency",
     "contention_overhead",
     "ct_breakdown",
     "extract_intervals",
+    "failure_report",
     "intervals_of",
     "loop_regions",
     "memory_decomposition",
@@ -60,8 +71,11 @@ __all__ = [
     "parallel_loop_concurrency",
     "predict_completion_time",
     "render_ct_bars",
+    "render_partial_table",
     "render_table",
     "render_user_bars",
+    "resilient_sweep",
+    "save_failure_report",
     "stacked_bar",
     "run_application",
     "run_phases",

@@ -1,0 +1,176 @@
+"""Resilient sweeps: isolate per-cell failures, report, keep going.
+
+A paper-scale sweep is many independent ``(app, P)`` cells; one
+misbehaving cell (a runaway simulation, a suspected deadlock, a fault
+campaign that trips a guard) should cost that cell, not the sweep.
+:func:`resilient_sweep` runs every cell under a try/except with one
+bounded same-seed retry, collects structured :class:`CellFailure`
+records, and still renders partial tables with the failed cells marked
+(:func:`render_partial_table`) plus a JSON failure report
+(:func:`failure_report`).
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.reference import CONFIGS
+from repro.core.report import render_table
+from repro.core.runner import DEFAULT_SCALE, RunResult, run_application
+from repro.xylem.params import XylemParams
+
+__all__ = [
+    "CellFailure",
+    "SweepOutcome",
+    "failure_report",
+    "render_partial_table",
+    "resilient_sweep",
+    "save_failure_report",
+]
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One sweep cell that failed all its attempts."""
+
+    app: str
+    n_processors: int
+    attempts: int
+    error_type: str
+    message: str
+
+
+@dataclass
+class SweepOutcome:
+    """Everything a resilient sweep produced, complete or not."""
+
+    scale: float
+    seed: int
+    results: dict[str, dict[int, RunResult]] = field(default_factory=dict)
+    failures: list[CellFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether every cell completed."""
+        return not self.failures
+
+    def failed_cells(self) -> set[tuple[str, int]]:
+        """The ``(app, P)`` cells that failed."""
+        return {(f.app, f.n_processors) for f in self.failures}
+
+
+def resilient_sweep(
+    apps: Iterable[str],
+    configs: Iterable[int] = CONFIGS,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 1994,
+    retries: int = 1,
+    run_cell: Callable[[str, int], RunResult] | None = None,
+    **run_kwargs,
+) -> SweepOutcome:
+    """Sweep ``apps x configs``, isolating each cell's failures.
+
+    Each cell gets ``1 + retries`` attempts under the *same* seed (the
+    model is deterministic, so a retry only helps against host-side
+    trouble -- but it distinguishes "deterministic failure" from "flaky
+    harness" in the report).  *run_cell* overrides how one cell is
+    executed (the seam the fault-campaign CLI and the tests use);
+    the default runs :func:`run_application` with ``XylemParams(seed)``.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+
+    if run_cell is None:
+        from repro.apps import PAPER_APPS
+
+        def run_cell(app: str, n_proc: int) -> RunResult:
+            kwargs = dict(run_kwargs)
+            kwargs.setdefault("os_params", XylemParams(seed=seed))
+            return run_application(PAPER_APPS[app](), n_proc, scale=scale, **kwargs)
+
+    outcome = SweepOutcome(scale=scale, seed=seed)
+    for app in apps:
+        by_config: dict[int, RunResult] = {}
+        for n_proc in configs:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    by_config[n_proc] = run_cell(app, n_proc)
+                    break
+                except Exception as exc:  # noqa: BLE001 - isolation point
+                    if attempts <= retries:
+                        continue
+                    outcome.failures.append(
+                        CellFailure(
+                            app=app,
+                            n_processors=n_proc,
+                            attempts=attempts,
+                            error_type=type(exc).__name__,
+                            message=str(exc),
+                        )
+                    )
+                    break
+        outcome.results[app] = by_config
+    return outcome
+
+
+def render_partial_table(outcome: SweepOutcome) -> str:
+    """CT/speedup table with failed cells marked ``FAILED(<ErrorType>)``."""
+    failures = {
+        (f.app, f.n_processors): f.error_type for f in outcome.failures
+    }
+    rows: list[list[object]] = []
+    for app, by_config in outcome.results.items():
+        baseline = by_config.get(1)
+        procs = sorted(
+            set(by_config) | {p for a, p in failures if a == app}
+        )
+        for n_proc in procs:
+            result = by_config.get(n_proc)
+            if result is None:
+                rows.append(
+                    [app, n_proc, f"FAILED({failures[(app, n_proc)]})", None, "failed"]
+                )
+                continue
+            speedup = (
+                baseline.ct_seconds / result.ct_seconds
+                if baseline is not None and result.ct_seconds > 0
+                else None
+            )
+            rows.append([app, n_proc, result.ct_seconds, speedup, "ok"])
+    headers = ["app", "procs", "CT (s)", "speedup", "status"]
+    title = "Sweep results"
+    if outcome.failures:
+        title += f" (partial: {len(outcome.failures)} cell(s) failed)"
+    return render_table(headers, rows, title=title)
+
+
+def failure_report(outcome: SweepOutcome) -> dict:
+    """JSON-serialisable report of a sweep's failures."""
+    cells_ok = sum(len(by_config) for by_config in outcome.results.values())
+    return {
+        "schema": "cedar-repro/failure-report/v1",
+        "scale": outcome.scale,
+        "seed": outcome.seed,
+        "cells_ok": cells_ok,
+        "cells_failed": len(outcome.failures),
+        "failures": [
+            {
+                "app": f.app,
+                "n_processors": f.n_processors,
+                "attempts": f.attempts,
+                "error_type": f.error_type,
+                "message": f.message,
+            }
+            for f in outcome.failures
+        ],
+    }
+
+
+def save_failure_report(outcome: SweepOutcome, path: str | Path) -> None:
+    """Write :func:`failure_report` as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(failure_report(outcome), indent=2) + "\n")

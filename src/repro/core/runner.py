@@ -9,6 +9,7 @@ everything the analysis modules need.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -32,7 +33,13 @@ from repro.xylem.vm import FaultStats
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.instrument import Observability
 
-__all__ = ["RunResult", "run_application", "run_phases"]
+__all__ = ["PreRunHook", "RunResult", "run_application", "run_phases"]
+
+#: Callback invoked after the stack is assembled, before the event loop
+#: starts; used by ``repro.faults`` to arm fault-injection processes.
+PreRunHook = Callable[
+    [Simulator, CedarMachine, XylemKernel, CedarFortranRuntime], None
+]
 
 #: Default workload scale: 1/50 of the full-scale step counts keeps a
 #: five-application, five-configuration sweep in the tens of seconds.
@@ -99,6 +106,9 @@ def run_phases(
     rt_params: RuntimeParams | None = None,
     statfx_interval_ns: int = 200_000,
     obs: "Observability | None" = None,
+    pre_run_hook: PreRunHook | None = None,
+    max_events: int | None = None,
+    max_sim_time: int | None = None,
 ) -> RunResult:
     """Run an explicit phase list on a configuration (low-level entry).
 
@@ -106,6 +116,12 @@ def run_phases(
     attach kernel trace sinks for the run and have its metrics registry
     populated from the result.  With ``obs=None`` (the default) the
     event loop stays on its sink-free fast path.
+
+    *pre_run_hook* is called with the assembled ``(sim, machine,
+    kernel, runtime)`` before the event loop starts -- the seam
+    ``repro.faults`` uses to arm injection processes.  *max_events* /
+    *max_sim_time* are forwarded to :meth:`Simulator.run` as a runaway
+    watchdog.
     """
     sim = Simulator(trace_sink=obs.sink if obs is not None else None)
     cfg = config if config is not None else paper_configuration(n_processors)
@@ -118,11 +134,13 @@ def run_phases(
     runtime = CedarFortranRuntime(
         sim, machine, kernel, hpm=hpm, board=board, params=rt_params
     )
+    if pre_run_hook is not None:
+        pre_run_hook(sim, machine, kernel, runtime)
     main = runtime.run_program(phases)
     # Host timing is routed through repro.obs.hostclock (CDR001): wall
     # time is reported beside the simulated clock, never mixed into it.
     with WallTimer() as wall:
-        ct_ns = sim.run(until=main)
+        ct_ns = sim.run(until=main, max_events=max_events, max_sim_time=max_sim_time)
     result = RunResult(
         app_name=app_name,
         config=cfg,
@@ -154,6 +172,9 @@ def run_application(
     rt_params: RuntimeParams | None = None,
     statfx_interval_ns: int = 200_000,
     obs: "Observability | None" = None,
+    pre_run_hook: PreRunHook | None = None,
+    max_events: int | None = None,
+    max_sim_time: int | None = None,
 ) -> RunResult:
     """Run an application model at *scale* on a paper configuration.
 
@@ -177,4 +198,7 @@ def run_application(
         rt_params=rt_params,
         statfx_interval_ns=statfx_interval_ns,
         obs=obs,
+        pre_run_hook=pre_run_hook,
+        max_events=max_events,
+        max_sim_time=max_sim_time,
     )

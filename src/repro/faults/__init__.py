@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the Cedar reproduction.
+
+The paper characterises a *healthy* Cedar; this package asks the
+complementary question -- how do the paper's overhead categories shift
+when the machine degrades?  Faults are scheduled in **sim time** from a
+seeded :class:`CampaignSpec` and applied through the model's existing
+mechanisms (slower banks, degraded switches, deconfigured CEs, inflated
+kernel locks, page-fault storms), so their cost *emerges* through the
+same contention/OS/runtime paths the paper measures rather than being
+charged directly.
+
+Entry points:
+
+* :func:`run_with_campaign` -- run one application under a campaign.
+* :func:`degraded_mode_experiment` -- the healthy-vs-degraded breakdown
+  comparison (``docs/fault-injection.md``).
+* ``cedar-repro inject`` / ``cedar-repro campaign`` -- the CLI.
+"""
+
+from repro.faults.campaign import CampaignRunOutcome, run_with_campaign
+from repro.faults.experiments import degraded_campaign, degraded_mode_experiment
+from repro.faults.injector import FaultInjectionError, FaultInjector, FaultLedger, InjectedFault
+from repro.faults.spec import (
+    FAULT_KINDS,
+    CampaignError,
+    CampaignSpec,
+    FaultEvent,
+    generate_campaign,
+    load_campaign,
+    save_campaign,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "CampaignError",
+    "CampaignRunOutcome",
+    "CampaignSpec",
+    "FaultEvent",
+    "FaultInjectionError",
+    "FaultInjector",
+    "FaultLedger",
+    "InjectedFault",
+    "degraded_campaign",
+    "degraded_mode_experiment",
+    "generate_campaign",
+    "load_campaign",
+    "run_with_campaign",
+    "save_campaign",
+]

@@ -1,0 +1,272 @@
+"""The fault injector: interprets a campaign spec against a live stack.
+
+Armed through :data:`repro.core.runner.PreRunHook`, the injector spawns
+one simulation process per scheduled fault.  Each process sleeps until
+its strike time, applies the fault through the model's public
+degradation hooks, and (for transient faults) reverts it after its
+duration.  All state changes go through the same seams the rest of the
+model uses, so degraded behaviour *emerges* -- a slow bank shows up as
+longer memory time, a dropped CE as redistributed iterations, an
+inflated lock as kernel spin.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from dataclasses import dataclass, field
+
+from repro.faults.spec import CampaignSpec, FaultEvent
+from repro.hardware.machine import CedarMachine
+from repro.obs.registry import MetricsRegistry
+from repro.runtime.library import CedarFortranRuntime
+from repro.sim import Simulator
+from repro.xylem.kernel import XylemKernel
+
+__all__ = ["FaultInjectionError", "FaultInjector", "FaultLedger", "InjectedFault"]
+
+
+class FaultInjectionError(RuntimeError):
+    """A fault could not be applied against the current stack."""
+
+
+@dataclass
+class InjectedFault:
+    """The record of one fault's lifetime during a run."""
+
+    kind: str
+    at_ns: int
+    applied_ns: int = -1
+    reverted_ns: int = -1
+    target: int | None = None
+    note: str = ""
+
+
+@dataclass
+class FaultLedger:
+    """Counters of injection activity, harvested into ``faults.*``."""
+
+    records: list[InjectedFault] = field(default_factory=list)
+    injected: int = 0
+    reverted: int = 0
+    skipped: int = 0
+    pages_invalidated: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+
+    def note_injected(self, record: InjectedFault) -> None:
+        """Record one applied fault."""
+        self.records.append(record)
+        self.injected += 1
+        self.by_kind[record.kind] = self.by_kind.get(record.kind, 0) + 1
+
+    def note_skipped(self, record: InjectedFault) -> None:
+        """Record a fault that could not apply on this run mode."""
+        self.records.append(record)
+        self.skipped += 1
+
+    def collect(self, registry: MetricsRegistry) -> None:
+        """Fold the ledger into an obs metrics registry."""
+        registry.counter("faults.injected").inc(self.injected)
+        registry.counter("faults.reverted").inc(self.reverted)
+        registry.counter("faults.skipped").inc(self.skipped)
+        for kind, count in sorted(self.by_kind.items()):
+            registry.counter(f"faults.{kind}.count").inc(count)
+        if self.pages_invalidated:
+            registry.counter("faults.pagefault.pages_invalidated").inc(
+                self.pages_invalidated
+            )
+
+
+class FaultInjector:
+    """Applies one campaign's faults to one assembled simulation stack."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: CedarMachine,
+        kernel: XylemKernel,
+        runtime: CedarFortranRuntime,
+        spec: CampaignSpec,
+    ) -> None:
+        self.sim = sim
+        self.machine = machine
+        self.kernel = kernel
+        self.runtime = runtime
+        self.spec = spec
+        self.ledger = FaultLedger()
+        self._armed = False
+        # Aggregate degradation mirrored into the analytic model.
+        self._bank_factors: dict[int, float] = {}
+        self._offline_banks: set[int] = set()
+        self._link_penalty_cycles = 0
+
+    def arm(self) -> None:
+        """Spawn one injection process per scheduled fault (idempotent)."""
+        if self._armed:
+            return
+        self._armed = True
+        for index, fault in enumerate(self.spec.faults):
+            self.sim.process(
+                self._fault_process(fault),
+                name=f"fault-{index}-{fault.kind}",
+            )
+
+    # -- the per-fault process -------------------------------------------
+
+    def _fault_process(self, fault: FaultEvent) -> Generator:
+        sim = self.sim
+        if fault.at_ns > 0:
+            yield sim.timeout(fault.at_ns)
+        record = InjectedFault(kind=fault.kind, at_ns=fault.at_ns, target=fault.target)
+        revert = self._apply(fault, record)
+        if revert is None and record.note.startswith("skipped"):
+            self.ledger.note_skipped(record)
+            return
+        record.applied_ns = sim.now
+        self.ledger.note_injected(record)
+        if fault.duration_ns is not None and revert is not None:
+            yield sim.timeout(fault.duration_ns)
+            revert()
+            record.reverted_ns = sim.now
+            self.ledger.reverted += 1
+
+    # -- application per kind --------------------------------------------
+
+    def _apply(self, fault: FaultEvent, record: InjectedFault):
+        """Apply one fault; returns a revert callable or ``None``."""
+        handler = getattr(self, f"_apply_{fault.kind}")
+        return handler(fault, record)
+
+    def _packet_memory(self):
+        """The packet-level memory system, if this run built one."""
+        return self.machine._memory
+
+    def _sync_analytic(self) -> None:
+        """Mirror aggregate bank/link degradation into the analytic model."""
+        n_modules = self.machine.config.n_memory_modules
+        online = [m for m in range(n_modules) if m not in self._offline_banks]
+        factors = [self._bank_factors.get(m, 1.0) for m in online]
+        mean_factor = sum(factors) / len(online)
+        self.machine.set_memory_degradation(
+            bank_service_factor=mean_factor,
+            worst_bank_factor=max(factors),
+            offline_modules=len(self._offline_banks),
+            link_penalty_cycles=float(self._link_penalty_cycles),
+        )
+
+    def _apply_bank_slow(self, fault: FaultEvent, record: InjectedFault):
+        target = fault.target
+        factor = fault.factor
+        assert target is not None and factor is not None
+        if target >= self.machine.config.n_memory_modules:
+            raise FaultInjectionError(
+                f"bank_slow target {target} out of range "
+                f"(machine has {self.machine.config.n_memory_modules} modules)"
+            )
+        self._bank_factors[target] = factor
+        self._sync_analytic()
+        memory = self._packet_memory()
+        if memory is not None:
+            memory.set_bank_service_multiplier(target, factor)
+        record.note = f"bank {target} service x{factor}"
+
+        def revert() -> None:
+            self._bank_factors.pop(target, None)
+            self._sync_analytic()
+            if memory is not None:
+                memory.set_bank_service_multiplier(target, 1.0)
+
+        return revert
+
+    def _apply_bank_offline(self, fault: FaultEvent, record: InjectedFault):
+        target = fault.target
+        assert target is not None
+        n_modules = self.machine.config.n_memory_modules
+        if target >= n_modules:
+            raise FaultInjectionError(f"bank_offline target {target} out of range")
+        if len(self._offline_banks) + 1 >= n_modules:
+            raise FaultInjectionError("cannot take the last online bank offline")
+        self._offline_banks.add(target)
+        self._sync_analytic()
+        memory = self._packet_memory()
+        if memory is not None:
+            memory.set_bank_offline(target, True)
+        record.note = f"bank {target} offline, traffic remapped onto survivors"
+
+        def revert() -> None:
+            self._offline_banks.discard(target)
+            self._sync_analytic()
+            if memory is not None:
+                memory.set_bank_offline(target, False)
+
+        return revert
+
+    def _apply_switch_degrade(self, fault: FaultEvent, record: InjectedFault):
+        extra_cycles = fault.extra_cycles
+        assert extra_cycles is not None
+        self._link_penalty_cycles += extra_cycles
+        self._sync_analytic()
+        memory = self._packet_memory()
+        extra_ns = self.machine.config.cycles_to_ns(extra_cycles)
+        if memory is not None:
+            memory.forward.extra_hop_ns += extra_ns
+            memory.backward.extra_hop_ns += extra_ns
+        record.note = f"+{extra_cycles} cycles per switch hop"
+
+        def revert() -> None:
+            self._link_penalty_cycles -= extra_cycles
+            self._sync_analytic()
+            if memory is not None:
+                memory.forward.extra_hop_ns -= extra_ns
+                memory.backward.extra_hop_ns -= extra_ns
+
+        return revert
+
+    def _apply_switch_stall(self, fault: FaultEvent, record: InjectedFault):
+        target = fault.target
+        assert target is not None
+        memory = self._packet_memory()
+        if memory is None:
+            # The analytic path has no individual ports to stall; the
+            # campaign remains valid for packet-level runs.
+            record.note = "skipped: switch_stall needs the packet-level memory path"
+            return None
+        if target >= memory.forward.n_outputs:
+            raise FaultInjectionError(f"switch_stall target {target} out of range")
+        # Stall the final forward-network hop feeding module `target`.
+        hop = memory.forward.route(0, target)[-1]
+        memory.forward.stall_port(*hop)
+        record.note = f"forward-network port {hop} stalled"
+
+        def revert() -> None:
+            memory.forward.release_port(*hop)
+
+        return revert
+
+    def _apply_ce_deconfig(self, fault: FaultEvent, record: InjectedFault):
+        target = fault.target
+        assert target is not None
+        self.kernel.deconfigure_ce(target)
+        record.note = f"CE {target} deconfigured (permanent)"
+        return None
+
+    def _apply_lock_inflate(self, fault: FaultEvent, record: InjectedFault):
+        factor = fault.factor
+        assert factor is not None
+        sections = self.kernel.critical_sections
+        sections.set_hold_factor(sections.hold_factor * factor)
+        record.note = f"critical-section holds x{factor}"
+
+        def revert() -> None:
+            # Divide rather than restore a snapshot so overlapping
+            # inflations compose and revert independently.
+            sections.set_hold_factor(sections.hold_factor / factor)
+
+        return revert
+
+    def _apply_pagefault_storm(self, fault: FaultEvent, record: InjectedFault):
+        fraction = fault.fraction
+        assert fraction is not None
+        dropped = self.kernel.vm.invalidate_resident(fraction)
+        self.ledger.pages_invalidated += dropped
+        record.note = f"dropped {dropped} resident pages (fraction {fraction})"
+        return None

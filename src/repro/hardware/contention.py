@@ -64,6 +64,89 @@ class ContentionModel:
     def __init__(self, config: CedarConfig) -> None:
         self.config = config
         self._stage0_switches = max(1, math.ceil(config.n_processors / config.switch_radix))
+        # Degraded-machine state (repro.faults): identity values model a
+        # healthy machine and keep every formula below unchanged.
+        self._bank_service_factor = 1.0
+        self._worst_bank_factor = 1.0
+        self._offline_modules = 0
+        self._link_penalty_cycles = 0.0
+
+    # -- degradation (fault injection) ------------------------------------
+
+    def set_degradation(
+        self,
+        bank_service_factor: float = 1.0,
+        worst_bank_factor: float = 1.0,
+        offline_modules: int = 0,
+        link_penalty_cycles: float = 0.0,
+    ) -> None:
+        """Degrade the modelled memory system (``repro.faults``).
+
+        Parameters
+        ----------
+        bank_service_factor:
+            Mean multiplier on bank service time over the *online*
+            banks (>= 1 models one or more slowed banks).
+        worst_bank_factor:
+            Multiplier of the single slowest bank.  Interleaved vector
+            streams sweep every bank, so the slowest bank is its own
+            queueing centre: when it saturates it throttles the whole
+            stream, which a mean factor alone would dilute away.
+        offline_modules:
+            Banks taken offline; their traffic is remapped over the
+            survivors, raising per-bank arrival rates.
+        link_penalty_cycles:
+            Extra CE cycles added to every switch-hop service time.
+        """
+        if bank_service_factor <= 0.0:
+            raise ValueError(
+                f"bank_service_factor must be > 0, got {bank_service_factor}"
+            )
+        if worst_bank_factor < bank_service_factor:
+            raise ValueError(
+                f"worst_bank_factor ({worst_bank_factor}) cannot be below the "
+                f"mean bank_service_factor ({bank_service_factor})"
+            )
+        if not 0 <= offline_modules < self.config.n_memory_modules:
+            raise ValueError(
+                f"offline_modules must leave at least one bank online, "
+                f"got {offline_modules} of {self.config.n_memory_modules}"
+            )
+        if link_penalty_cycles < 0.0:
+            raise ValueError(
+                f"link_penalty_cycles must be >= 0, got {link_penalty_cycles}"
+            )
+        self._bank_service_factor = bank_service_factor
+        self._worst_bank_factor = worst_bank_factor
+        self._offline_modules = offline_modules
+        self._link_penalty_cycles = link_penalty_cycles
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any degradation is currently applied."""
+        return (
+            self._bank_service_factor != 1.0
+            or self._worst_bank_factor != 1.0
+            or self._offline_modules != 0
+            or self._link_penalty_cycles != 0.0
+        )
+
+    def _online_modules(self) -> int:
+        return self.config.n_memory_modules - self._offline_modules
+
+    def _base_round_trip_cycles(self) -> float:
+        """Uncontended round trip including degradation penalties.
+
+        A slowed bank or a degraded link lengthens even a lone request:
+        the forward and return networks each add the per-hop penalty at
+        every stage, and the bank's service stretch adds directly.
+        """
+        base = float(self.config.min_memory_round_trip_cycles)
+        if self._link_penalty_cycles > 0.0:
+            base += 2 * self.config._network_stages() * self._link_penalty_cycles
+        if self._bank_service_factor != 1.0:
+            base += (self._bank_service_factor - 1.0) * self.config.memory_service_cycles
+        return base
 
     # -- queueing helpers -------------------------------------------------
 
@@ -82,14 +165,16 @@ class ContentionModel:
         hot_fraction: float = 0.0,
         cluster_requesters: int | None = None,
     ):
-        """Yield (name, arrival_rate, service_cycles) queueing centres.
+        """Yield (name, arrival_rate, service_cycles, visit_prob) centres.
 
         Arrival rates are per-centre request rates in requests/cycle for
-        *one* representative centre on the path of a tagged request.
-        ``cluster_requesters`` is the number of streaming CEs sharing
-        the tagged CE's own cluster (vector phases are synchronised
-        within a cluster); when unknown, active CEs are assumed spread
-        evenly over the clusters.
+        *one* representative centre on the path of a tagged request;
+        ``visit_prob`` is the probability the tagged request visits that
+        centre (1.0 for everything on the common path, ``1/modules`` for
+        the slowest degraded bank).  ``cluster_requesters`` is the
+        number of streaming CEs sharing the tagged CE's own cluster
+        (vector phases are synchronised within a cluster); when unknown,
+        active CEs are assumed spread evenly over the clusters.
         """
         config = self.config
         k = requesters
@@ -98,26 +183,33 @@ class ContentionModel:
             per_switch = max(1, min(cluster_requesters, config.ces_per_cluster))
         else:
             per_switch = min(k, math.ceil(k / self._stage0_switches))
-        link = float(config.link_cycles)
-        service = float(config.memory_service_cycles)
+        link = float(config.link_cycles) + self._link_penalty_cycles
+        service = float(config.memory_service_cycles) * self._bank_service_factor
+        modules = self._online_modules()
         uniform = 1.0 - hot_fraction
         # Shared cluster interface/cache channel on the way out.
         channel_service = 1.0 / config.cluster_channel_words_per_cycle
-        yield ("cluster-channel", per_switch * rate, channel_service)
+        yield ("cluster-channel", per_switch * rate, channel_service, 1.0)
         # Forward stage 0: per-switch traffic spread over radix ports.
-        yield ("fwd-stage0", per_switch * rate / config.switch_radix, link)
-        # Forward stage 1: all traffic spread over all module links.
-        yield ("fwd-stage1", total / config.n_memory_modules, link)
+        yield ("fwd-stage0", per_switch * rate / config.switch_radix, link, 1.0)
+        # Forward stage 1: all traffic spread over the online module links.
+        yield ("fwd-stage1", total / modules, link, 1.0)
         # Memory bank seen by a uniform request.
-        bank_uniform = total * uniform / config.n_memory_modules
+        bank_uniform = total * uniform / modules
         bank_hot = total * hot_fraction + bank_uniform
         if hot_fraction > 0.0:
-            yield ("bank-hot", bank_hot, service)
+            yield ("bank-hot", bank_hot, service, 1.0)
         else:
-            yield ("bank", bank_uniform, service)
+            yield ("bank", bank_uniform, service, 1.0)
+        # The slowest degraded bank: interleaved streams sweep every
+        # bank, so its saturation gates the whole stream even though a
+        # tagged request only visits it 1/modules of the time.
+        if self._worst_bank_factor > self._bank_service_factor:
+            slow_service = float(config.memory_service_cycles) * self._worst_bank_factor
+            yield ("bank-slowest", bank_uniform, slow_service, 1.0 / modules)
         # Return path mirrors the forward path.
-        yield ("bwd-stage0", total / config.n_memory_modules, link)
-        yield ("bwd-stage1", per_switch * rate / config.switch_radix, link)
+        yield ("bwd-stage0", total / modules, link, 1.0)
+        yield ("bwd-stage1", per_switch * rate / config.switch_radix, link, 1.0)
 
     # -- public API --------------------------------------------------------
 
@@ -154,13 +246,13 @@ class ContentionModel:
                 requesters=requesters,
                 offered_rate=rate,
                 achieved_rate=rate,
-                round_trip_cycles=float(self.config.min_memory_round_trip_cycles),
+                round_trip_cycles=self._base_round_trip_cycles(),
                 bottleneck_utilisation=0.0,
             )
         # Throughput throttling: scale the offered rate down until no
         # centre exceeds the utilisation cap.
         scale = 1.0
-        for _, arrival, service in self._centres(
+        for _, arrival, service, _visit in self._centres(
             requesters, rate, hot_fraction, cluster_requesters
         ):
             utilisation = arrival * service
@@ -169,13 +261,13 @@ class ContentionModel:
         achieved = rate * scale
         worst = 0.0
         wait = 0.0
-        for _, arrival, service in self._centres(
+        for _, arrival, service, visit in self._centres(
             requesters, achieved, hot_fraction, cluster_requesters
         ):
             utilisation = arrival * service
             worst = max(worst, utilisation)
-            wait += self._md1_wait(utilisation, service)
-        round_trip = self.config.min_memory_round_trip_cycles + wait
+            wait += visit * self._md1_wait(utilisation, service)
+        round_trip = self._base_round_trip_cycles() + wait
         return ContentionEstimate(
             requesters=requesters,
             offered_rate=rate,
@@ -245,13 +337,13 @@ class ContentionModel:
         can encounter.
         """
         if background_k <= 0 or background_rate <= 0.0:
-            return float(self.config.min_memory_round_trip_cycles)
+            return self._base_round_trip_cycles()
         achieved = self.stream_rate(background_k, background_rate)
         wait = 0.0
-        for _, arrival, service in self._centres(background_k, achieved):
+        for _, arrival, service, visit in self._centres(background_k, achieved):
             utilisation = min(arrival * service, 0.95)
-            wait += self._md1_wait(utilisation, service)
-        return self.config.min_memory_round_trip_cycles + wait
+            wait += visit * self._md1_wait(utilisation, service)
+        return self._base_round_trip_cycles() + wait
 
     def hot_spot_bandwidth(
         self,

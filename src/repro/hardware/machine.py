@@ -131,6 +131,29 @@ class CedarMachine:
         cluster = self.clusters[ce_id // self.config.ces_per_cluster]
         return cluster.ces[ce_id % self.config.ces_per_cluster]
 
+    # -- degradation (fault injection) -------------------------------------
+
+    def set_memory_degradation(
+        self,
+        bank_service_factor: float = 1.0,
+        worst_bank_factor: float = 1.0,
+        offline_modules: int = 0,
+        link_penalty_cycles: float = 0.0,
+    ) -> None:
+        """Degrade the analytic memory path (see ``repro.faults``).
+
+        Invalidates the memoised ideal-burst cache: the ideal time is
+        defined against the *current* (possibly degraded) machine, so
+        contention stall keeps meaning queueing delay, not the fault.
+        """
+        self.contention.set_degradation(
+            bank_service_factor=bank_service_factor,
+            worst_bank_factor=worst_bank_factor,
+            offline_modules=offline_modules,
+            link_penalty_cycles=link_penalty_cycles,
+        )
+        self._ideal_cache.clear()
+
     # -- analytic fast path ------------------------------------------------
 
     #: Segments a burst is split into so its cost tracks load changes.

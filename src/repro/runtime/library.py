@@ -34,7 +34,7 @@ from repro.hpm.events import EventType
 from repro.hpm.monitor import CedarHpm
 from repro.runtime.loops import LoopConstruct, ParallelLoop, Phase, SerialPhase
 from repro.runtime.params import RuntimeParams
-from repro.sim import Event, Resource, Simulator
+from repro.sim import DeadlockSuspected, Event, Resource, Simulator
 from repro.xylem.kernel import XylemKernel
 from repro.xylem.task import ClusterTask, XylemProcess, create_process
 
@@ -214,6 +214,28 @@ class CedarFortranRuntime:
         """Cost of *n* scalar global-memory round trips at current load."""
         return int(round(n * self.machine.global_round_trip_ns()))
 
+    def _await_pickup(self, request, lock: Resource, state: _LoopState, kind: str) -> Generator:
+        """Wait for a self-scheduling lock, honouring the pickup deadline.
+
+        On expiry the still-queued request is withdrawn (``release`` on
+        an unacquired request removes it from the wait queue) before
+        :class:`DeadlockSuspected` is raised, so the lock's queue is not
+        corrupted for the remaining contenders.
+        """
+        deadline = self.params.pickup_deadline_ns
+        if deadline is None:
+            yield request
+            return
+        yield request | self.sim.timeout(deadline)
+        if not request.triggered:
+            lock.release(request)
+            raise DeadlockSuspected(
+                where=f"{kind} pickup seq={state.seq} ({state.loop.label})",
+                waited_ns=deadline,
+                sim_time_ns=self.sim.now,
+                detail=f"{lock.queue_length} requests still queued",
+            )
+
     def _cycles_ns(self, cycles: int) -> int:
         return self.config.cycles_to_ns(cycles)
 
@@ -322,7 +344,20 @@ class CedarFortranRuntime:
 
         # Finish barrier: spin until every helper that entered detached.
         self._record(EventType.BARRIER_ENTER, lead, main, payload=payload)
-        yield state.all_detached
+        deadline = self.params.barrier_deadline_ns
+        if deadline is None:
+            yield state.all_detached
+        else:
+            yield state.all_detached | sim.timeout(deadline)
+            if not state.all_detached.triggered:
+                raise DeadlockSuspected(
+                    where=f"spread-loop barrier seq={seq} ({loop.label})",
+                    waited_ns=deadline,
+                    sim_time_ns=sim.now,
+                    detail=(
+                        f"{state.detaches}/{state.expected_detaches} helpers detached"
+                    ),
+                )
         detect_ns = self._cycles_ns(self.params.barrier_check_cycles // 2)
         detect_ns += self._round_trips_ns(1.0)
         yield sim.timeout(detect_ns)
@@ -406,7 +441,7 @@ class CedarFortranRuntime:
         while True:
             self._record(EventType.PICKUP_ENTER, lead, task, payload=payload)
             request = self._outer_lock.request()
-            yield request
+            yield from self._await_pickup(request, self._outer_lock, state, "sdoall")
             hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
             hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)
             yield sim.timeout(hold_ns)
@@ -425,7 +460,11 @@ class CedarFortranRuntime:
         sim = self.sim
         cluster = self.machine.clusters[task.cluster_id]
         yield sim.timeout(cluster.ccbus.dispatch_ns())
-        n_ces = cluster.n_ces
+        # Only configured CEs receive iterations: Xylem may have
+        # deconfigured some (fault injection), and the concurrency
+        # control bus simply dispatches over the survivors.
+        ces = [ce for ce in cluster.ces if self.kernel.ce_available(ce.ce_id)]
+        n_ces = len(ces)
         if (
             loop.construct is LoopConstruct.CDOACROSS
             and loop.dependence_distance > 0
@@ -440,7 +479,7 @@ class CedarFortranRuntime:
             hi = min(lo + chunk, loop.n_inner)
             if lo >= hi:
                 break
-            ce_id = cluster.ces[local].ce_id
+            ce_id = ces[local].ce_id
             workers.append(
                 sim.process(
                     self._cdoall_chunk(task, loop, outer, seq, ce_id, lo, hi),
@@ -523,6 +562,7 @@ class CedarFortranRuntime:
                 name=f"xdoall-ce{ce.ce_id}",
             )
             for ce in cluster.ces
+            if self.kernel.ce_available(ce.ce_id)
         ]
         yield sim.all_of(workers)
         # The cluster's CEs synchronise over the concurrency control
@@ -534,6 +574,10 @@ class CedarFortranRuntime:
         loop = state.loop
         payload = (state.seq, loop.construct.value, loop.label, 1)
         while True:
+            if not self.kernel.ce_available(ce_id):
+                # The CE was deconfigured mid-loop: it stops picking up
+                # iterations; the survivors self-schedule the rest.
+                break
             # Pick the next iteration: test&set on the global-memory
             # lock protecting the loop index.  Every CE does this
             # individually, so the requests contend in the network and
@@ -544,7 +588,7 @@ class CedarFortranRuntime:
             # per cluster (Table 3).
             self._record(EventType.PICKUP_ENTER, ce_id, task, payload=payload)
             request = self._iter_lock.request()
-            yield request
+            yield from self._await_pickup(request, self._iter_lock, state, "xdoall")
             hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
             hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)
             # CEs spinning for the lock keep hammering its module with

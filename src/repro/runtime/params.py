@@ -52,6 +52,15 @@ class RuntimeParams:
     #: (Yew, Tzeng & Lawrie), where detaches combine within groups and
     #: only group representatives ascend.
     barrier_fanout: int | None = None
+    #: Sim-time deadline (ns) for a loop's finish barrier: if the
+    #: helpers have not all detached within this window the run raises
+    #: :class:`repro.sim.DeadlockSuspected`.  ``None`` waits forever.
+    barrier_deadline_ns: int | None = None
+    #: Sim-time deadline (ns) for one self-scheduling lock pickup; on
+    #: expiry the waiting request is withdrawn and
+    #: :class:`repro.sim.DeadlockSuspected` is raised.  ``None`` waits
+    #: forever.
+    pickup_deadline_ns: int | None = None
 
     def __post_init__(self) -> None:
         for name in ("spin_check_cycles", "pickup_overhead_cycles",
@@ -68,3 +77,7 @@ class RuntimeParams:
             raise ValueError(
                 f"barrier_fanout must be >= 2 or None, got {self.barrier_fanout}"
             )
+        for name in ("barrier_deadline_ns", "pickup_deadline_ns"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None, got {value}")

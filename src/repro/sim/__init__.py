@@ -17,7 +17,14 @@ from repro.sim.core import (
     Simulator,
     Timeout,
 )
-from repro.sim.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from repro.sim.errors import (
+    DeadlockSuspected,
+    EmptySchedule,
+    Interrupt,
+    RunawaySimulation,
+    SimulationError,
+    StopSimulation,
+)
 from repro.sim.resources import (
     Gate,
     PriorityRequest,
@@ -31,6 +38,7 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "DeadlockSuspected",
     "EmptySchedule",
     "Event",
     "Gate",
@@ -41,6 +49,7 @@ __all__ = [
     "Process",
     "Request",
     "Resource",
+    "RunawaySimulation",
     "Simulator",
     "SimulationError",
     "Store",

@@ -32,7 +32,13 @@ from collections.abc import Callable, Generator, Iterable
 from time import perf_counter
 from typing import TYPE_CHECKING
 
-from repro.sim.errors import EmptySchedule, Interrupt, SimulationError, StopSimulation
+from repro.sim.errors import (
+    EmptySchedule,
+    Interrupt,
+    RunawaySimulation,
+    SimulationError,
+    StopSimulation,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.tracing import TraceSink
@@ -476,7 +482,12 @@ class Simulator:
             exc = event._value
             raise exc
 
-    def run(self, until: Event | int | None = None) -> object:
+    def run(
+        self,
+        until: Event | int | None = None,
+        max_events: int | None = None,
+        max_sim_time: int | None = None,
+    ) -> object:
         """Run the simulation.
 
         Parameters
@@ -486,7 +497,22 @@ class Simulator:
             an ``int`` -- run until the clock reaches that time;
             an :class:`Event` -- run until that event is processed, and
             return its value.
+        max_events:
+            Watchdog: raise :class:`RunawaySimulation` once this many
+            events have been processed by this call.
+        max_sim_time:
+            Watchdog: raise :class:`RunawaySimulation` once the next
+            event lies beyond this simulated time (nanoseconds).
+
+        With neither watchdog set the event loop runs on the original
+        zero-overhead path.
         """
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive, got {max_events}")
+        if max_sim_time is not None and max_sim_time < self._now:
+            raise ValueError(
+                f"max_sim_time ({max_sim_time}) must be >= now ({self._now})"
+            )
         stop_event: Event | None = None
         if until is not None:
             if isinstance(until, Event):
@@ -505,8 +531,11 @@ class Simulator:
                 self.schedule(stop_event, priority=URGENT, delay=at - self._now)
 
         try:
-            while True:
-                self.step()
+            if max_events is None and max_sim_time is None:
+                while True:
+                    self.step()
+            else:
+                self._run_watched(max_events, max_sim_time)
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:
@@ -517,6 +546,48 @@ class Simulator:
                     ) from None
             return None
 
+    def _run_watched(self, max_events: int | None, max_sim_time: int | None) -> None:
+        """Watched event loop: step until a limit trips.
+
+        Kept out of the default :meth:`run` loop so unwatched runs pay
+        nothing.  The queue head is peeked before each step so the
+        raised :class:`RunawaySimulation` can carry the last event the
+        kernel actually processed.
+        """
+        processed = 0
+        last_event: Event | None = None
+        while True:
+            if max_events is not None and processed >= max_events:
+                raise RunawaySimulation(
+                    limit=f"max_events={max_events}",
+                    events_processed=processed,
+                    sim_time_ns=self._now,
+                    last_event=last_event,
+                )
+            if (
+                max_sim_time is not None
+                and self._queue
+                and self._queue[0][0] > max_sim_time
+            ):
+                raise RunawaySimulation(
+                    limit=f"max_sim_time={max_sim_time}",
+                    events_processed=processed,
+                    sim_time_ns=self._now,
+                    last_event=last_event,
+                )
+            if self._queue:
+                last_event = self._queue[0][3]
+            self.step()
+            processed += 1
+
     @staticmethod
     def _stop_callback(event: Event) -> None:
+        if not event._ok:
+            # The until-event failed (e.g. the main process crashed):
+            # propagate the failure out of run() instead of returning
+            # the exception object as if it were the event's value.
+            event._defused = True
+            value = event._value
+            if isinstance(value, BaseException):
+                raise value
         raise StopSimulation(event._value)

@@ -30,7 +30,7 @@ from collections.abc import Generator
 from repro.hardware.config import CedarConfig
 from repro.hpm.events import EventType
 from repro.hpm.monitor import CedarHpm
-from repro.sim import Gate, Resource, Simulator
+from repro.sim import Gate, Resource, SimulationError, Simulator
 from repro.xylem.accounting import TimeAccounting
 from repro.xylem.categories import OsActivity
 from repro.xylem.locks import CriticalSections
@@ -114,6 +114,48 @@ class XylemKernel:
         # A cluster can only be gathered into one single-CE execution
         # thread at a time; concurrent gather requests serialise.
         self._gather_locks = [Resource(sim, capacity=1) for _ in range(config.n_clusters)]
+        # CEs the OS has deconfigured (fault injection); the runtime
+        # consults ce_available() when spreading / self-scheduling work.
+        self._deconfigured_ces: set[int] = set()
+
+    # -- CE configuration ---------------------------------------------------
+
+    def deconfigure_ce(self, ce_id: int) -> None:
+        """Remove one CE from the configuration (Xylem dropping a CE).
+
+        The runtime's self-scheduling loops simply stop handing the CE
+        iterations; already-running chunks finish.  Refuses to empty a
+        cluster: Xylem cannot gang-schedule a cluster with no CEs.
+        """
+        if not 0 <= ce_id < self.config.n_processors:
+            raise ValueError(f"ce_id {ce_id} out of range")
+        per = self.config.ces_per_cluster
+        cluster_id = ce_id // per
+        cluster_ces = range(cluster_id * per, (cluster_id + 1) * per)
+        survivors = [c for c in cluster_ces if c not in self._deconfigured_ces and c != ce_id]
+        if not survivors:
+            raise SimulationError(
+                f"deconfiguring CE {ce_id} would leave cluster {cluster_id} "
+                "with no configured CEs"
+            )
+        self._deconfigured_ces.add(ce_id)
+
+    def reconfigure_ce(self, ce_id: int) -> None:
+        """Return a previously deconfigured CE to service."""
+        self._deconfigured_ces.discard(ce_id)
+
+    def ce_available(self, ce_id: int) -> bool:
+        """Whether *ce_id* is configured (available for new work)."""
+        return ce_id not in self._deconfigured_ces
+
+    def available_ces(self, cluster_id: int) -> list[int]:
+        """Configured CE ids of one cluster, in id order."""
+        per = self.config.ces_per_cluster
+        return [
+            c
+            for c in range(cluster_id * per, (cluster_id + 1) * per)
+            if c not in self._deconfigured_ces
+        ]
 
     # -- instrumentation ----------------------------------------------------
 

@@ -73,19 +73,36 @@ class CriticalSections:
             KernelLock(sim, accounting, name=f"cluster-{i}") for i in range(n_clusters)
         ]
         self.global_lock = KernelLock(sim, accounting, name="global")
+        #: Hold-time inflation factor (fault injection: a slow kernel
+        #: path stretches every critical section, so kspin emerges from
+        #: the longer holds rather than being charged directly).
+        self.hold_factor = 1.0
+
+    def set_hold_factor(self, factor: float) -> None:
+        """Inflate (or restore, with 1.0) critical-section hold times."""
+        if factor <= 0.0:
+            raise ValueError(f"factor must be > 0, got {factor}")
+        self.hold_factor = factor
+
+    def _effective_hold_ns(self, hold_ns: int) -> int:
+        if self.hold_factor == 1.0:
+            return hold_ns
+        return int(round(hold_ns * self.hold_factor))
 
     def access_cluster(self, cluster_id: int, hold_ns: int) -> Generator:
         """Process: one cluster critical-section access; charges SYSTEM."""
+        hold = self._effective_hold_ns(hold_ns)
         yield self.sim.process(
-            self.cluster_locks[cluster_id].critical_section(cluster_id, hold_ns),
+            self.cluster_locks[cluster_id].critical_section(cluster_id, hold),
             name="crsect-clus",
         )
-        self.accounting.charge(cluster_id, OsActivity.CRSECT_CLUSTER, hold_ns)
+        self.accounting.charge(cluster_id, OsActivity.CRSECT_CLUSTER, hold)
 
     def access_global(self, cluster_id: int, hold_ns: int) -> Generator:
         """Process: one global critical-section access; charges SYSTEM."""
+        hold = self._effective_hold_ns(hold_ns)
         yield self.sim.process(
-            self.global_lock.critical_section(cluster_id, hold_ns),
+            self.global_lock.critical_section(cluster_id, hold),
             name="crsect-glbl",
         )
-        self.accounting.charge(cluster_id, OsActivity.CRSECT_GLOBAL, hold_ns)
+        self.accounting.charge(cluster_id, OsActivity.CRSECT_GLOBAL, hold)

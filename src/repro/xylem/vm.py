@@ -177,3 +177,23 @@ class VirtualMemory:
         """Mark pages resident without cost (e.g. program text at load)."""
         for page in pages:
             self._admit(page)
+
+    def invalidate_resident(self, fraction: float) -> int:
+        """Drop a fraction of the resident set (fault injection).
+
+        Models a page-fault storm: the dropped pages must be re-faulted
+        on next touch, so the storm's cost emerges through the normal
+        fault path.  Victims are chosen deterministically (every k-th
+        resident page, oldest first).  Returns the number dropped.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        pages = list(self._resident)
+        if fraction >= 1.0:
+            victims = pages
+        else:
+            step = max(1, int(round(1.0 / fraction)))
+            victims = pages[::step]
+        for page in victims:
+            del self._resident[page]
+        return len(victims)

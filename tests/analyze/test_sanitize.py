@@ -130,7 +130,7 @@ def test_sanitize_app_synthetic_is_deterministic():
 def test_sanitize_app_rejects_single_run_and_unknown_app():
     with pytest.raises(ValueError):
         sanitize_app("synthetic", 4, runs=1)
-    with pytest.raises(SystemExit):
+    with pytest.raises(ValueError, match="unknown application"):
         sanitize_app("no-such-app", 4)
 
 

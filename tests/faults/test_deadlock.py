@@ -1,0 +1,72 @@
+"""Deadline-based deadlock detection under adversarial fault conditions."""
+
+import pytest
+
+from repro.apps import PAPER_APPS
+from repro.core import run_application
+from repro.runtime.params import RuntimeParams
+from repro.sim import DeadlockSuspected
+from repro.xylem.params import XylemParams
+
+SCALE = 0.002
+SEED = 1994
+
+
+def _freeze_cluster_hook(cluster_id, at_ns):
+    """A pre-run hook that permanently freezes one cluster mid-run."""
+
+    def hook(sim, machine, kernel, runtime):
+        def freezer(sim):
+            yield sim.timeout(at_ns)
+            kernel.clusters[cluster_id].freeze()
+
+        sim.process(freezer(sim), name="adversarial-freezer")
+
+    return hook
+
+
+def test_frozen_cluster_trips_barrier_deadline():
+    params = RuntimeParams(
+        barrier_deadline_ns=20_000_000, pickup_deadline_ns=20_000_000
+    )
+    with pytest.raises(DeadlockSuspected) as excinfo:
+        run_application(
+            PAPER_APPS["FLO52"](),
+            16,
+            scale=SCALE,
+            os_params=XylemParams(seed=SEED),
+            rt_params=params,
+            pre_run_hook=_freeze_cluster_hook(1, at_ns=1_000_000),
+        )
+    err = excinfo.value
+    assert err.waited_ns == 20_000_000
+    assert err.sim_time_ns > 1_000_000
+    assert "deadline" in str(err) or "waited" in str(err)
+
+
+def test_generous_deadlines_do_not_fire_on_healthy_runs():
+    params = RuntimeParams(
+        barrier_deadline_ns=10_000_000_000, pickup_deadline_ns=10_000_000_000
+    )
+    result = run_application(
+        PAPER_APPS["FLO52"](),
+        16,
+        scale=SCALE,
+        os_params=XylemParams(seed=SEED),
+        rt_params=params,
+    )
+    baseline = run_application(
+        PAPER_APPS["FLO52"](),
+        16,
+        scale=SCALE,
+        os_params=XylemParams(seed=SEED),
+    )
+    # Un-tripped deadlines must not perturb the simulation at all.
+    assert result.ct_ns == baseline.ct_ns
+
+
+def test_deadline_params_validated():
+    with pytest.raises(ValueError):
+        RuntimeParams(barrier_deadline_ns=0)
+    with pytest.raises(ValueError):
+        RuntimeParams(pickup_deadline_ns=-5)

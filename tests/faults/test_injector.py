@@ -1,0 +1,171 @@
+"""Tests for fault application: costs emerge through existing mechanisms."""
+
+import pytest
+
+from repro.core import run_application
+from repro.faults import CampaignSpec, FaultEvent, FaultInjector, run_with_campaign
+from repro.hardware.config import paper_configuration
+from repro.hardware.memory import GlobalMemorySystem
+from repro.sim import SimulationError, Simulator
+from repro.xylem.kernel import XylemKernel
+from repro.xylem.params import XylemParams
+
+SCALE = 0.002
+SEED = 1994
+
+
+def _healthy(app="FLO52", n=4):
+    from repro.apps import PAPER_APPS
+
+    return run_application(
+        PAPER_APPS[app](), n, scale=SCALE, os_params=XylemParams(seed=SEED)
+    )
+
+
+def _degraded(faults, app="FLO52", n=4):
+    spec = CampaignSpec(name="t", seed=SEED, faults=tuple(faults))
+    return run_with_campaign(spec, app, n, scale=SCALE, seed=SEED)
+
+
+def test_bank_slow_raises_completion_time():
+    healthy = _healthy()
+    outcome = _degraded([FaultEvent(kind="bank_slow", at_ns=0, target=0, factor=8.0)])
+    assert outcome.ledger.injected == 1
+    assert outcome.result.ct_ns > healthy.ct_ns
+
+
+def test_switch_degrade_raises_completion_time():
+    healthy = _healthy()
+    outcome = _degraded([FaultEvent(kind="switch_degrade", at_ns=0, extra_cycles=6)])
+    assert outcome.result.ct_ns > healthy.ct_ns
+
+
+def test_transient_fault_reverts():
+    outcome = _degraded(
+        [FaultEvent(kind="bank_slow", at_ns=0, target=0, factor=8.0, duration_ns=1000)]
+    )
+    assert outcome.ledger.injected == 1
+    assert outcome.ledger.reverted == 1
+    machine = outcome.result.machine
+    assert not machine.contention.degraded
+
+
+def test_ce_deconfig_completes_with_redistribution():
+    healthy = _healthy()
+    outcome = _degraded([FaultEvent(kind="ce_deconfig", at_ns=0, target=1)])
+    result = outcome.result
+    assert not result.kernel.ce_available(1)
+    assert result.kernel.ce_available(0)
+    # The loop iterations still all ran -- redistributed over survivors.
+    assert result.ct_ns >= healthy.ct_ns
+    assert result.runtime.stats.barriers == healthy.runtime.stats.barriers
+
+
+def test_deconfigure_guard_refuses_to_empty_cluster():
+    sim = Simulator()
+    kernel = XylemKernel(sim, paper_configuration(8))
+    for ce in range(7):
+        kernel.deconfigure_ce(ce)
+    with pytest.raises(SimulationError, match="no configured CEs"):
+        kernel.deconfigure_ce(7)
+    assert kernel.available_ces(0) == [7]
+    kernel.reconfigure_ce(3)
+    assert kernel.ce_available(3)
+
+
+def test_lock_inflate_raises_system_overhead():
+    healthy = _healthy()
+    outcome = _degraded([FaultEvent(kind="lock_inflate", at_ns=0, factor=20.0)])
+    assert outcome.result.ct_ns > healthy.ct_ns
+
+
+def _warm_page_app():
+    """A workload whose loops revisit the same (warm) pages every step."""
+    from repro.apps import AppModel, LoopShape
+    from repro.runtime.loops import LoopConstruct
+
+    shape = LoopShape(
+        construct=LoopConstruct.SDOALL,
+        n_outer=4,
+        n_inner=32,
+        iter_time_ns=50_000,
+        iters_per_page=8,
+        fresh_pages_each_step=False,
+        label="warm",
+    )
+    return AppModel(
+        name="WARM", n_steps=6, serial_per_step_ns=100_000, loops_per_step=[shape]
+    )
+
+
+def _run_warm(faults=()):
+    spec = CampaignSpec(name="storm", seed=SEED, faults=tuple(faults))
+    injectors = []
+
+    def hook(sim, machine, kernel, runtime):
+        injector = FaultInjector(sim, machine, kernel, runtime, spec)
+        injector.arm()
+        injectors.append(injector)
+
+    result = run_application(
+        _warm_page_app(),
+        4,
+        scale=1.0,
+        os_params=XylemParams(seed=SEED),
+        pre_run_hook=hook,
+    )
+    return result, injectors[0]
+
+
+def test_pagefault_storm_forces_refaults():
+    healthy, _ = _run_warm()
+    strike = healthy.ct_ns // 2
+    storm, injector = _run_warm(
+        [FaultEvent(kind="pagefault_storm", at_ns=strike, fraction=1.0)]
+    )
+    assert injector.ledger.pages_invalidated > 0
+    healthy_faults = healthy.fault_stats.sequential + healthy.fault_stats.concurrent
+    storm_faults = storm.fault_stats.sequential + storm.fault_stats.concurrent
+    assert storm_faults > healthy_faults
+
+
+def test_switch_stall_skipped_on_analytic_runs():
+    outcome = _degraded(
+        [FaultEvent(kind="switch_stall", at_ns=0, target=0, duration_ns=1000)]
+    )
+    assert outcome.ledger.skipped == 1
+    assert outcome.ledger.injected == 0
+
+
+def test_packet_level_bank_offline_remaps():
+    sim = Simulator()
+    memory = GlobalMemorySystem(sim, paper_configuration(32))
+    memory.set_bank_offline(2, True)
+    assert memory.bank_offline(2)
+    remapped = memory._effective_module(2)
+    assert remapped != 2
+    assert not memory.bank_offline(remapped)
+    with pytest.raises(ValueError, match="last online"):
+        small = GlobalMemorySystem(Simulator(), paper_configuration(1))
+        for m in range(small.config.n_memory_modules):
+            small.set_bank_offline(m, True)
+
+
+def test_packet_level_switch_stall_blocks_then_releases():
+    sim = Simulator()
+    memory = GlobalMemorySystem(sim, paper_configuration(32))
+    hop = memory.forward.route(0, 0)[-1]
+    memory.forward.stall_port(*hop)
+
+    done = memory.request(ce_id=0, address=0)
+
+    def release(sim):
+        yield sim.timeout(100_000)
+        memory.forward.release_port(*hop)
+
+    sim.process(release(sim))
+    sim.run(until=done)
+    assert memory.forward.stalled_packets == 1
+    # The stall dominates the round trip: without it the trip is a few
+    # microseconds; with the 100 us stall it cannot be faster.
+    assert sim.now >= 100_000

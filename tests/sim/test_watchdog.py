@@ -1,0 +1,69 @@
+"""Tests for the Simulator.run watchdog and until-event failure propagation."""
+
+import pytest
+
+from repro.sim import RunawaySimulation, Simulator
+
+
+def _ticker(sim, period=10):
+    while True:
+        yield sim.timeout(period)
+
+
+def _finite(sim, steps=5):
+    for _ in range(steps):
+        yield sim.timeout(10)
+    return sim.now
+
+
+def test_max_events_raises_runaway():
+    sim = Simulator()
+    sim.process(_ticker(sim))
+    with pytest.raises(RunawaySimulation) as excinfo:
+        sim.run(max_events=100)
+    err = excinfo.value
+    assert err.events_processed == 100
+    assert "max_events=100" in str(err)
+    assert err.last_event is not None
+
+
+def test_max_sim_time_raises_runaway():
+    sim = Simulator()
+    sim.process(_ticker(sim, period=1000))
+    with pytest.raises(RunawaySimulation) as excinfo:
+        sim.run(max_sim_time=5000)
+    err = excinfo.value
+    assert err.sim_time_ns <= 5000
+    assert "max_sim_time=5000" in str(err)
+
+
+def test_generous_limits_do_not_interfere():
+    sim = Simulator()
+    proc = sim.process(_finite(sim))
+    value = sim.run(until=proc, max_events=10_000, max_sim_time=10_000_000)
+    assert value == 50
+    assert sim.now == 50
+
+
+def test_invalid_watchdog_arguments_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.run(max_events=0)
+    with pytest.raises(ValueError):
+        sim.run(max_sim_time=-1)
+
+
+def test_failed_until_event_propagates_exception():
+    """A crashing main process must raise out of run(), not return."""
+
+    class Boom(Exception):
+        pass
+
+    def crasher(sim):
+        yield sim.timeout(5)
+        raise Boom("the main process died")
+
+    sim = Simulator()
+    proc = sim.process(crasher(sim))
+    with pytest.raises(Boom, match="the main process died"):
+        sim.run(until=proc)
