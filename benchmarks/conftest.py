@@ -1,27 +1,53 @@
 """Shared fixtures for the benchmark harness.
 
 The full five-application, five-configuration sweep is expensive, so it
-runs once per session and every table/figure benchmark reads from it.
-The per-test ``benchmark`` fixture then times one representative
-simulation so ``pytest-benchmark`` reports a meaningful cost for each
-experiment.
+runs once per session through :func:`repro.parallel.parallel_sweep`:
+cells fan out across worker processes (``CEDAR_REPRO_JOBS``, default:
+the machine's core count, capped at 4) and land in the shared
+content-addressed result cache (``CEDAR_REPRO_CACHE``, default
+``.cedar-cache``) -- so a second benchmark session, or a ``cedar-repro
+tables --cache-dir .cedar-cache`` run, skips the simulation entirely.
+Every table/figure benchmark reads from the cached sweep; the per-test
+``benchmark`` fixture then times one representative simulation so
+``pytest-benchmark`` reports a meaningful cost for each experiment.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.core.experiments import sweep_all
+from repro.core import reference
+from repro.parallel import default_cache_dir, parallel_sweep
 
 #: Workload scale used by the benchmark sweep: a compromise between
 #: runtime and the statistical weight of rare OS events.
 BENCH_SCALE = 0.02
 
+#: Seed of the benchmark sweep (the paper-reproduction default).
+BENCH_SEED = 1994
+
+
+def _bench_jobs() -> int:
+    override = os.environ.get("CEDAR_REPRO_JOBS")
+    if override:
+        return max(1, int(override))
+    return min(4, os.cpu_count() or 1)
+
 
 @pytest.fixture(scope="session")
 def sweep():
-    """All five applications on all five configurations."""
-    return sweep_all(scale=BENCH_SCALE)
+    """All five applications on all five configurations (cached)."""
+    outcome = parallel_sweep(
+        reference.APPS,
+        scale=BENCH_SCALE,
+        seed=BENCH_SEED,
+        jobs=_bench_jobs(),
+        cache_dir=default_cache_dir(),
+    )
+    assert outcome.ok, f"benchmark sweep failed: {outcome.failures}"
+    return outcome.results
 
 
 @pytest.fixture(scope="session")

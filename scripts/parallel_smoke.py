@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""CI smoke test for parallel, cached table generation.
+
+Round-trips ``cedar-repro tables`` three ways against a fresh cache
+directory:
+
+1. serial (``--jobs 1``, no cache) -- the reference output,
+2. cold parallel (``--jobs 4 --cache-dir ...``) -- must be
+   byte-identical to serial while populating the cache,
+3. warm parallel (same command again) -- must be byte-identical *and*
+   at least 5x faster than the cold pass, proving the cache skipped
+   the simulations.
+
+Exits non-zero on any mismatch.  The scale is kept small so the cold
+pass stays in CI-friendly territory.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.obs.hostclock import WallTimer
+
+SCALE = "0.01"
+SEED = "1994"
+MIN_SPEEDUP = 5.0
+
+
+def run_tables(extra: list[str]) -> tuple[str, float]:
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "tables",
+        "--scale",
+        SCALE,
+        "--seed",
+        SEED,
+        *extra,
+    ]
+    with WallTimer() as wall:
+        out = subprocess.run(cmd, capture_output=True, text=True, check=True)
+    return out.stdout, wall.elapsed_s
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="cedar-cache-") as cache_dir:
+        assert not any(Path(cache_dir).iterdir()), "cache dir must start empty"
+        serial, serial_s = run_tables([])
+        parallel_flags = ["--jobs", "4", "--cache-dir", cache_dir]
+        cold, cold_s = run_tables(parallel_flags)
+        warm, warm_s = run_tables(parallel_flags)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(
+        f"parallel-smoke: serial {serial_s:.2f}s, cold --jobs 4 {cold_s:.2f}s, "
+        f"warm {warm_s:.2f}s (speedup {speedup:.1f}x)"
+    )
+    checks = [
+        ("serial output is non-trivial", "Table 1" in serial),
+        ("cold parallel output byte-identical to serial", cold == serial),
+        ("warm cached output byte-identical to serial", warm == serial),
+        (f"warm rerun >= {MIN_SPEEDUP:.0f}x faster than cold", speedup >= MIN_SPEEDUP),
+    ]
+    failed = [name for name, ok in checks if not ok]
+    for name in failed:
+        print(f"FAILED check: {name}", file=sys.stderr)
+    if not failed:
+        print("parallel-smoke: all checks passed")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,9 +27,13 @@ Run as ``python -m repro.cli <command>``:
   campaign over its app/config grid with per-cell failure isolation.
 
 ``run``, ``sweep`` and ``tables`` additionally accept ``--stats FILE``
-to write the run report(s) of the runs they perform.  Bad inputs
-(unknown application, malformed campaign file) exit with status 2 and
-a one-line ``error:`` message.
+to write the run report(s) of the runs they perform.  ``run``,
+``sweep``, ``tables`` and ``campaign`` accept ``--jobs N`` (fan the
+sweep cells out across N worker processes) and ``--cache-dir DIR`` (a
+content-addressed result cache: warm reruns skip simulation entirely;
+see ``docs/parallel-execution.md``).  Bad inputs (unknown application,
+malformed campaign file) exit with status 2 and a one-line ``error:``
+message.
 """
 
 from __future__ import annotations
@@ -94,11 +98,49 @@ def _write_stats(results, path, registry=None) -> None:
         print(f"wrote run report to {path}")
 
 
+def _parallel_requested(args: argparse.Namespace) -> bool:
+    return getattr(args, "jobs", 1) != 1 or getattr(args, "cache_dir", None) is not None
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     builder = _app_builder(args.app)
-    result = run_application(
-        builder(), args.processors, scale=args.scale, os_params=_os_params(args)
-    )
+    if _parallel_requested(args):
+        from repro.parallel import CellSpec, ResultCache, execute_cells
+
+        spec = CellSpec(
+            app=args.app.upper(),
+            n_processors=args.processors,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        specs = [spec]
+        if args.processors > 1:
+            specs.append(
+                CellSpec(
+                    app=args.app.upper(),
+                    n_processors=1,
+                    scale=args.scale,
+                    seed=args.seed,
+                )
+            )
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        cells, failures = execute_cells(specs, jobs=args.jobs, cache=cache)
+        if failures:
+            failure = failures[0]
+            print(
+                f"error: {failure.app} P={failure.n_processors} failed after "
+                f"{failure.attempts} attempt(s): {failure.error_type}: "
+                f"{failure.message}",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        result = cells[specs[0]]
+        base = cells[specs[1]] if args.processors > 1 else None
+    else:
+        result = run_application(
+            builder(), args.processors, scale=args.scale, os_params=_os_params(args)
+        )
+        base = None
     if args.stats:
         _write_stats(result, args.stats)
     print(f"{result.app_name} on {args.processors} processors (scale {args.scale})")
@@ -112,7 +154,10 @@ def _cmd_run(args: argparse.Namespace) -> None:
     for name, ns in b.as_dict().items():
         print(f"  {name:14s} {b.fraction(ns):7.2%}")
     if args.processors > 1:
-        base = run_application(builder(), 1, scale=args.scale, os_params=_os_params(args))
+        if base is None:
+            base = run_application(
+                builder(), 1, scale=args.scale, os_params=_os_params(args)
+            )
         row = contention_overhead(result, base)
         print(f"\ncontention overhead: {row.ov_cont_pct:.1f} % of CT")
         for task in range(result.config.n_clusters):
@@ -135,7 +180,13 @@ def _report_failures(outcome) -> None:
 def _cmd_sweep(args: argparse.Namespace) -> None:
     _app_builder(args.app)  # validate
     app = args.app.upper()
-    outcome = resilient_sweep([app], scale=args.scale, seed=args.seed)
+    outcome = resilient_sweep(
+        [app],
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     results = outcome.results[app]
     if outcome.ok:
         wrapped = {app: results}
@@ -152,7 +203,13 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
 def _cmd_tables(args: argparse.Namespace) -> None:
     from repro.core import reference
 
-    outcome = resilient_sweep(reference.APPS, scale=args.scale, seed=args.seed)
+    outcome = resilient_sweep(
+        reference.APPS,
+        scale=args.scale,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     sweep = outcome.results
     if outcome.ok:
         sweep32 = {app: by_config[32] for app, by_config in sweep.items()}
@@ -343,14 +400,26 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
     for app in apps:
         _app_builder(app)
 
-    def run_cell(app: str, n_proc: int):
-        return run_with_campaign(
-            spec, app, n_proc, scale=args.scale, seed=seed
-        ).result
+    if _parallel_requested(args):
+        outcome = resilient_sweep(
+            apps,
+            configs=configs,
+            scale=args.scale,
+            seed=seed,
+            campaign=spec,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+        )
+    else:
 
-    outcome = resilient_sweep(
-        apps, configs=configs, scale=args.scale, seed=seed, run_cell=run_cell
-    )
+        def run_cell(app: str, n_proc: int):
+            return run_with_campaign(
+                spec, app, n_proc, scale=args.scale, seed=seed
+            ).result
+
+        outcome = resilient_sweep(
+            apps, configs=configs, scale=args.scale, seed=seed, run_cell=run_cell
+        )
     print(f"campaign {spec.name!r}: {len(spec.faults)} faults, seed {seed}")
     print(render_partial_table(outcome))
     if args.report:
@@ -373,12 +442,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_parallel_flags(command) -> None:
+        command.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for the sweep cells (1 = in-process)",
+        )
+        command.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            default=None,
+            help="content-addressed result cache; warm reruns skip simulation",
+        )
+
     run = sub.add_parser("run", help="run one application on one configuration")
     run.add_argument("app")
     run.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
     run.add_argument("--scale", type=float, default=0.02)
     run.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
     run.add_argument("--stats", metavar="FILE", help="also write the JSON run report")
+    add_parallel_flags(run)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="run one application on all configurations")
@@ -388,6 +473,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--stats", metavar="FILE", help="also write the JSON run reports"
     )
+    add_parallel_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     tables = sub.add_parser("tables", help="regenerate Tables 1-4 and Figure 3")
@@ -396,6 +482,7 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument(
         "--stats", metavar="FILE", help="also write the JSON run reports"
     )
+    add_parallel_flags(tables)
     tables.set_defaults(func=_cmd_tables)
 
     trace = sub.add_parser("trace", help="off-load a run's event trace to a file")
@@ -464,6 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--report", metavar="FILE", help="also write the JSON failure report"
     )
+    add_parallel_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     lint = sub.add_parser(

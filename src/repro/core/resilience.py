@@ -69,6 +69,10 @@ def resilient_sweep(
     seed: int = 1994,
     retries: int = 1,
     run_cell: Callable[[str, int], RunResult] | None = None,
+    jobs: int = 1,
+    cache_dir: str | Path | None = None,
+    campaign=None,
+    metrics=None,
     **run_kwargs,
 ) -> SweepOutcome:
     """Sweep ``apps x configs``, isolating each cell's failures.
@@ -79,9 +83,43 @@ def resilient_sweep(
     harness" in the report).  *run_cell* overrides how one cell is
     executed (the seam the fault-campaign CLI and the tests use);
     the default runs :func:`run_application` with ``XylemParams(seed)``.
+
+    With ``jobs > 1``, a *cache_dir*, or a *campaign* the sweep is
+    delegated to :func:`repro.parallel.parallel_sweep`: cells fan out
+    across worker processes and/or are served from the content-addressed
+    result cache, with the same per-cell isolation and retry semantics
+    (results are then detached snapshots).  The *run_cell* seam is
+    serial-only -- closures don't cross process boundaries.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+
+    if jobs != 1 or cache_dir is not None or campaign is not None:
+        if run_cell is not None:
+            raise ValueError(
+                "run_cell is a serial-only seam; use CellSpec/execute_cells "
+                "for custom parallel cells"
+            )
+        from repro.parallel import parallel_sweep
+
+        supported = {"max_events", "max_sim_time", "statfx_interval_ns"}
+        unknown = set(run_kwargs) - supported
+        if unknown:
+            raise ValueError(
+                f"unsupported sweep options for the parallel path: {sorted(unknown)}"
+            )
+        return parallel_sweep(
+            apps,
+            configs=configs,
+            scale=scale,
+            seed=seed,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            campaign=campaign,
+            retries=retries,
+            metrics=metrics,
+            **run_kwargs,
+        )
 
     if run_cell is None:
         from repro.apps import PAPER_APPS

@@ -70,6 +70,9 @@ class RunResult:
     hpm: CedarHpm | None = None
     #: Host wall-clock seconds spent inside the event loop.
     wall_s: float = 0.0
+    #: BLAKE2 digest of the processed-event order, filled in by the
+    #: ``repro.parallel`` executor (``None`` for plain runs).
+    schedule_hash: str | None = None
 
     #: Lazily-filled cache used by the analysis helpers.
     _cache: dict = field(default_factory=dict, repr=False)
@@ -93,6 +96,18 @@ class RunResult:
         if self.ct_ns == 0:
             return 0.0
         return ns / self.ct_ns
+
+    def portable(self) -> "RunResult":
+        """A detached, picklable copy of this result.
+
+        Convenience wrapper over
+        :func:`repro.parallel.snapshot.snapshot_result`: the copy can
+        cross a process boundary or live in the on-disk result cache,
+        and answers every analysis/metrics query identically.
+        """
+        from repro.parallel.snapshot import snapshot_result
+
+        return snapshot_result(self)
 
 
 def run_phases(

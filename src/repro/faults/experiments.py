@@ -108,14 +108,53 @@ def degraded_mode_experiment(
     scale: float = 0.01,
     seed: int = 1994,
     campaign: CampaignSpec | None = None,
+    jobs: int = 1,
+    cache_dir=None,
 ) -> DegradedModeReport:
-    """Run each app healthy and degraded; report the breakdown shift."""
+    """Run each app healthy and degraded; report the breakdown shift.
+
+    With ``jobs > 1`` or a *cache_dir* the ``2 x len(apps)`` cells run
+    through :func:`repro.parallel.execute_cells` -- healthy and
+    degraded runs in parallel, served from the result cache on warm
+    reruns.  The per-run :attr:`DegradedModeReport.outcomes` (which
+    carry live fault injectors) are only available on the serial path.
+    """
     from repro.analyze.sanitize import _resolve_builder
 
     spec = campaign if campaign is not None else degraded_campaign(seed)
     report = DegradedModeReport(
         n_processors=n_processors, scale=scale, seed=seed, campaign=spec
     )
+    if jobs != 1 or cache_dir is not None:
+        from repro.parallel import CellSpec, ResultCache, execute_cells
+
+        specs = {
+            (app, mode): CellSpec(
+                app=app,
+                n_processors=n_processors,
+                scale=scale,
+                seed=seed,
+                campaign=spec if mode == "degraded" else None,
+            )
+            for app in apps
+            for mode in ("healthy", "degraded")
+        }
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        cells, failures = execute_cells(
+            list(specs.values()), jobs=jobs, cache=cache
+        )
+        if failures:
+            failure = failures[0]
+            raise RuntimeError(
+                f"degraded-mode cell {failure.app} P={failure.n_processors} "
+                f"failed: {failure.error_type}: {failure.message}"
+            )
+        for app in apps:
+            for mode in ("healthy", "degraded"):
+                report.rows.append(
+                    _breakdown_row(app, mode, cells[specs[(app, mode)]])
+                )
+        return report
     for app in apps:
         healthy = run_application(
             _resolve_builder(app)(),

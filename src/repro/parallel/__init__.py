@@ -1,0 +1,50 @@
+"""Parallel, cached sweep execution.
+
+``repro.parallel`` scales the paper's sweep-shaped experiments: cells
+fan out across worker processes, results land in a content-addressed
+on-disk cache, and warm reruns skip simulation entirely -- while
+staying byte-identical to the serial path (the model is deterministic,
+and every cell carries its schedule hash to prove it).
+
+* :class:`~repro.parallel.executor.CellSpec` /
+  :func:`~repro.parallel.executor.run_cell` -- one sweep cell and its
+  (serial *and* worker-side) execution.
+* :func:`~repro.parallel.executor.execute_cells` /
+  :func:`~repro.parallel.executor.parallel_sweep` -- pool + cache +
+  per-cell failure isolation, composing with
+  :func:`~repro.core.resilience.resilient_sweep` semantics.
+* :class:`~repro.parallel.cache.ResultCache` /
+  :func:`~repro.parallel.cache.cell_key` -- the cache and its
+  fingerprinting rules.
+* :func:`~repro.parallel.snapshot.snapshot_result` -- detached,
+  picklable run results.
+"""
+
+from repro.parallel.cache import (
+    CACHE_SCHEMA,
+    ResultCache,
+    cell_key,
+    code_fingerprint,
+    default_cache_dir,
+)
+from repro.parallel.executor import (
+    CellSpec,
+    execute_cells,
+    parallel_sweep,
+    run_cell,
+)
+from repro.parallel.snapshot import is_snapshot, snapshot_result
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "CellSpec",
+    "ResultCache",
+    "cell_key",
+    "code_fingerprint",
+    "default_cache_dir",
+    "execute_cells",
+    "is_snapshot",
+    "parallel_sweep",
+    "run_cell",
+    "snapshot_result",
+]

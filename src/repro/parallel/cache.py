@@ -1,0 +1,184 @@
+"""Content-addressed on-disk cache of sweep-cell results.
+
+A sweep cell is fully determined by its inputs: the simulation is
+deterministic, so ``(app, P, scale, seed, campaign, watchdogs, code
+version)`` names its result uniquely.  :func:`cell_key` folds exactly
+those inputs into a BLAKE2 fingerprint; :class:`ResultCache` maps the
+fingerprint to a pickled :func:`~repro.parallel.snapshot.snapshot_result`
+on disk.
+
+Invalidation rules
+------------------
+* Any change to a key field (app, processor count, scale, seed,
+  campaign spec, statfx interval, watchdog limits) changes the key.
+* Any change to the source tree under ``src/repro`` changes
+  :func:`code_fingerprint` and therefore every key: a new code version
+  never reads an old version's results.
+* Entries are verified on read: schema, stored key and a payload digest
+  must all match, otherwise the entry counts as *corrupt* and is
+  treated as a miss -- a truncated or bit-flipped file is never served.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent writers
+-- e.g. two pytest sessions sharing one cache directory -- can race
+safely: last writer wins with an identical payload.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runner import RunResult
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "cell_key",
+    "code_fingerprint",
+    "default_cache_dir",
+]
+
+CACHE_SCHEMA = "cedar-repro/cell-cache/v1"
+KEY_SCHEMA = "cedar-repro/cell-key/v1"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "CEDAR_REPRO_CACHE"
+
+_code_fingerprint: str | None = None
+
+
+def default_cache_dir() -> Path:
+    """The cache directory the CLI/tests use unless told otherwise.
+
+    ``$CEDAR_REPRO_CACHE`` when set, else ``.cedar-cache`` under the
+    current working directory.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(".cedar-cache")
+
+
+def code_fingerprint() -> str:
+    """BLAKE2 digest of every ``.py`` file under ``src/repro``.
+
+    Computed once per process; part of every cell key so that results
+    simulated by one version of the model are never served to another.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.blake2b(digest_size=16)
+        for path in sorted(root.rglob("*.py"), key=lambda p: p.relative_to(root).as_posix()):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\x00")
+            digest.update(path.read_bytes())
+            digest.update(b"\x00")
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+def cell_key(spec, code: str | None = None) -> str:
+    """Content fingerprint of one sweep cell.
+
+    *spec* is a :class:`~repro.parallel.executor.CellSpec`; *code*
+    overrides :func:`code_fingerprint` (the property-test seam).
+    """
+    campaign = spec.campaign.to_dict() if spec.campaign is not None else None
+    payload = {
+        "schema": KEY_SCHEMA,
+        "app": spec.app,
+        "n_processors": spec.n_processors,
+        # repr() keeps the full precision of the float: 0.1 and
+        # 0.1000000000000001 are different workloads.
+        "scale": repr(float(spec.scale)),
+        "seed": spec.seed,
+        "campaign": campaign,
+        "statfx_interval_ns": spec.statfx_interval_ns,
+        "max_events": spec.max_events,
+        "max_sim_time": spec.max_sim_time,
+        "fingerprint_schedule": spec.fingerprint_schedule,
+        "code": code if code is not None else code_fingerprint(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(canonical.encode(), digest_size=16).hexdigest()
+
+
+class ResultCache:
+    """On-disk store of detached cell results, keyed by :func:`cell_key`.
+
+    Layout: ``<dir>/<key[:2]>/<key>.pkl``.  Each file pickles an
+    envelope ``{"schema", "key", "digest", "payload"}`` where
+    ``payload`` is the inner pickle of the snapshot and ``digest`` its
+    BLAKE2 checksum; :meth:`get` re-verifies all three before serving.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.puts = 0
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for *key* lives (whether or not it exists)."""
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> "RunResult | None":
+        """The cached result for *key*, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        try:
+            envelope = pickle.loads(raw)
+            if not isinstance(envelope, dict):
+                raise ValueError("cache envelope is not a dict")
+            if envelope.get("schema") != CACHE_SCHEMA:
+                raise ValueError(f"bad cache schema {envelope.get('schema')!r}")
+            if envelope.get("key") != key:
+                raise ValueError("cache entry key mismatch")
+            payload = envelope["payload"]
+            digest = hashlib.blake2b(payload, digest_size=16).hexdigest()
+            if digest != envelope.get("digest"):
+                raise ValueError("cache payload digest mismatch")
+            result = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - any damage means "not cached"
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: "RunResult") -> Path:
+        """Store a detached *result* under *key* (atomic replace)."""
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        envelope = {
+            "schema": CACHE_SCHEMA,
+            "key": key,
+            "digest": hashlib.blake2b(payload, digest_size=16).hexdigest(),
+            "payload": payload,
+        }
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+        os.replace(tmp, path)
+        self.puts += 1
+        return path
+
+    def collect(self, registry) -> None:
+        """Fold the hit/miss counters into ``cache.*`` metrics."""
+        registry.counter("cache.hits").inc(self.hits)
+        registry.counter("cache.misses").inc(self.misses)
+        registry.counter("cache.corrupt").inc(self.corrupt)
+        registry.counter("cache.puts").inc(self.puts)

@@ -1,0 +1,291 @@
+"""Parallel, cached execution of sweep cells.
+
+The unit of work is a :class:`CellSpec` -- one ``(app, P, scale, seed,
+campaign)`` point of a sweep, optionally bounded by the runaway
+watchdogs.  :func:`run_cell` executes one spec and returns a detached
+:func:`~repro.parallel.snapshot.snapshot_result`; :func:`execute_cells`
+fans a list of specs out across a ``ProcessPoolExecutor`` (or runs them
+inline with ``jobs=1``) behind the content-addressed
+:class:`~repro.parallel.cache.ResultCache`; :func:`parallel_sweep`
+assembles the outcome into the same
+:class:`~repro.core.resilience.SweepOutcome` the serial
+:func:`~repro.core.resilience.resilient_sweep` produces, so the partial
+tables and failure reports compose unchanged.
+
+Determinism: every cell is an independent, seeded simulation; results
+are keyed by cell -- never by completion order -- so a ``jobs=4`` sweep
+is byte-identical to the serial one.  Each cell also records its
+:class:`~repro.analyze.sanitize.DeterminismSink` schedule hash on
+``result.schedule_hash``, making equivalence checkable event-for-event.
+
+Resilience: a failing cell costs its future, not the pool.  Exceptions
+are caught *inside* the worker and returned as structured
+``(error_type, message)`` payloads -- never re-raised through the IPC
+pickle machinery -- and every cell gets the same ``1 + retries``
+same-seed attempts the serial path gives it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.core.resilience import CellFailure, SweepOutcome
+from repro.core.runner import DEFAULT_SCALE
+from repro.obs.hostclock import WallTimer
+from repro.parallel.cache import ResultCache, cell_key
+from repro.parallel.snapshot import snapshot_result
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.runner import RunResult
+    from repro.faults.spec import CampaignSpec
+    from repro.obs.registry import MetricsRegistry
+
+__all__ = ["CellSpec", "execute_cells", "parallel_sweep", "run_cell"]
+
+#: Histogram boundaries for per-cell wall time (seconds).
+_CELL_WALL_BOUNDARIES = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Everything that determines one sweep cell's result.
+
+    The spec is picklable (it crosses the pool boundary) and hashable
+    (it keys result dicts); :func:`~repro.parallel.cache.cell_key`
+    fingerprints exactly these fields plus the code version.
+    """
+
+    app: str
+    n_processors: int
+    scale: float = DEFAULT_SCALE
+    seed: int = 1994
+    campaign: "CampaignSpec | None" = None
+    statfx_interval_ns: int = 200_000
+    max_events: int | None = None
+    max_sim_time: int | None = None
+    #: Attach a :class:`~repro.analyze.sanitize.DeterminismSink` and
+    #: record the schedule hash on the result (cheap; on by default).
+    fingerprint_schedule: bool = True
+
+    def key(self) -> str:
+        """Content-addressed cache key of this cell."""
+        return cell_key(self)
+
+
+def run_cell(spec: CellSpec) -> "RunResult":
+    """Execute one cell and return its detached snapshot.
+
+    This is both the serial path (``jobs=1``) and the function each
+    pool worker runs; the two therefore cannot diverge.
+    """
+    from repro.analyze.sanitize import DeterminismSink, _resolve_builder
+    from repro.obs.instrument import Observability
+
+    sink = DeterminismSink(order_capacity=0) if spec.fingerprint_schedule else None
+    obs = Observability(extra_sinks=[sink] if sink is not None else [])
+    if spec.campaign is not None:
+        from repro.faults.campaign import run_with_campaign
+
+        result = run_with_campaign(
+            spec.campaign,
+            spec.app,
+            spec.n_processors,
+            scale=spec.scale,
+            seed=spec.seed,
+            obs=obs,
+            max_events=spec.max_events,
+            max_sim_time=spec.max_sim_time,
+        ).result
+    else:
+        from repro.core.runner import run_application
+        from repro.xylem.params import XylemParams
+
+        result = run_application(
+            _resolve_builder(spec.app)(),
+            spec.n_processors,
+            scale=spec.scale,
+            os_params=XylemParams(seed=spec.seed),
+            statfx_interval_ns=spec.statfx_interval_ns,
+            obs=obs,
+            max_events=spec.max_events,
+            max_sim_time=spec.max_sim_time,
+        )
+    if sink is not None:
+        result.schedule_hash = sink.schedule_hash
+    return snapshot_result(result)
+
+
+def _worker(spec: CellSpec) -> tuple:
+    """Pool entry point: never raises, so futures never carry exceptions.
+
+    Returns ``("ok", snapshot)`` or ``("err", error_type, message)``.
+    Catching inside the worker keeps exotic exception types (whose
+    constructors don't round-trip through pickle) from wedging the
+    result pipe, and makes a failed cell cost exactly its own future.
+    """
+    try:
+        return ("ok", run_cell(spec))
+    except BaseException as exc:  # noqa: BLE001 - isolation boundary
+        return ("err", type(exc).__name__, str(exc))
+
+
+def _observe(metrics: "MetricsRegistry | None", attr: str, name: str, value) -> None:
+    if metrics is None:
+        return
+    if attr == "counter":
+        metrics.counter(name).inc(value)
+    elif attr == "gauge":
+        metrics.gauge(name).set(value)
+    else:
+        metrics.histogram(name, _CELL_WALL_BOUNDARIES).observe(value)
+
+
+def execute_cells(
+    specs: "list[CellSpec]",
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+    retries: int = 1,
+    metrics: "MetricsRegistry | None" = None,
+) -> "tuple[dict[CellSpec, RunResult], list[CellFailure]]":
+    """Run every spec, in parallel when ``jobs > 1``, behind the cache.
+
+    Returns ``(results, failures)`` where *results* maps each completed
+    spec to its snapshot and *failures* lists the cells that exhausted
+    their ``1 + retries`` same-seed attempts, in input order.  Cache
+    hits skip simulation entirely; fresh results are written back.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+
+    results: "dict[CellSpec, RunResult]" = {}
+    errors: dict[CellSpec, tuple[str, str]] = {}
+    attempts: dict[CellSpec, int] = {}
+
+    pending: list[CellSpec] = []
+    for spec in specs:
+        if cache is not None:
+            hit = cache.get(spec.key())
+            if hit is not None:
+                results[spec] = hit
+                continue
+        pending.append(spec)
+
+    with WallTimer() as pool_wall:
+        while pending:
+            round_specs = pending
+            pending = []
+            if jobs == 1:
+                payloads = map(_worker, round_specs)
+            else:
+                # A fresh pool per retry round: a worker a wedged cell
+                # took down never poisons the retries of other cells.
+                with ProcessPoolExecutor(max_workers=jobs) as pool:
+                    futures = [pool.submit(_worker, spec) for spec in round_specs]
+                    payloads = [future.result() for future in futures]
+            for spec, payload in zip(round_specs, payloads):
+                attempts[spec] = attempts.get(spec, 0) + 1
+                if payload[0] == "ok":
+                    results[spec] = payload[1]
+                    errors.pop(spec, None)
+                    if cache is not None:
+                        cache.put(spec.key(), payload[1])
+                else:
+                    errors[spec] = (payload[1], payload[2])
+                    if attempts[spec] <= retries:
+                        pending.append(spec)
+                        _observe(metrics, "counter", "parallel.retries", 1)
+
+    failures = [
+        CellFailure(
+            app=spec.app,
+            n_processors=spec.n_processors,
+            attempts=attempts[spec],
+            error_type=errors[spec][0],
+            message=errors[spec][1],
+        )
+        for spec in specs
+        if spec in errors
+    ]
+
+    _observe(metrics, "gauge", "parallel.jobs", jobs)
+    _observe(metrics, "counter", "parallel.cells.total", len(specs))
+    _observe(metrics, "counter", "parallel.cells.completed", len(results))
+    _observe(metrics, "counter", "parallel.cells.failed", len(failures))
+    _observe(metrics, "gauge", "parallel.wall_s", pool_wall.elapsed_s)
+    cell_wall = 0.0
+    for result in results.values():
+        _observe(metrics, "histogram", "parallel.cell_wall_s", result.wall_s)
+        cell_wall += result.wall_s
+    if pool_wall.elapsed_s > 0 and jobs > 1:
+        _observe(
+            metrics,
+            "gauge",
+            "parallel.pool.utilization",
+            min(1.0, cell_wall / (jobs * pool_wall.elapsed_s)),
+        )
+    if cache is not None and metrics is not None:
+        cache.collect(metrics)
+    return results, failures
+
+
+def parallel_sweep(
+    apps,
+    configs=None,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 1994,
+    jobs: int = 1,
+    cache_dir: "str | Path | None" = None,
+    campaign: "CampaignSpec | None" = None,
+    retries: int = 1,
+    metrics: "MetricsRegistry | None" = None,
+    statfx_interval_ns: int = 200_000,
+    max_events: int | None = None,
+    max_sim_time: int | None = None,
+) -> SweepOutcome:
+    """Sweep ``apps x configs`` through the pool and the cache.
+
+    A drop-in sibling of :func:`~repro.core.resilience.resilient_sweep`
+    returning the same :class:`SweepOutcome` (results in input order,
+    per-cell failures isolated), plus per-cell ``schedule_hash`` values
+    on the results and ``parallel.*`` / ``cache.*`` metrics when a
+    registry is passed.
+    """
+    from repro.core.reference import CONFIGS
+
+    if configs is None:
+        configs = CONFIGS
+    apps = list(apps)
+    configs = list(configs)
+    base = CellSpec(
+        app="",
+        n_processors=1,
+        scale=scale,
+        seed=seed,
+        campaign=campaign,
+        statfx_interval_ns=statfx_interval_ns,
+        max_events=max_events,
+        max_sim_time=max_sim_time,
+    )
+    specs = [
+        replace(base, app=app, n_processors=n_proc)
+        for app in apps
+        for n_proc in configs
+    ]
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    results, failures = execute_cells(
+        specs, jobs=jobs, cache=cache, retries=retries, metrics=metrics
+    )
+    outcome = SweepOutcome(scale=scale, seed=seed, failures=failures)
+    for app in apps:
+        by_config: dict = {}
+        for n_proc in configs:
+            spec = replace(base, app=app, n_processors=n_proc)
+            if spec in results:
+                by_config[n_proc] = results[spec]
+        outcome.results[app] = by_config
+    return outcome

@@ -1,0 +1,93 @@
+"""Golden-table regression: the tables must match the committed baseline.
+
+``tables_v1.json`` freezes Tables 1-4 and Figure 3 at scale 0.02 /
+seed 1994.  The positive test recomputes the full table set and
+requires every numeric cell to agree within a tight tolerance; the
+negative tests prove the comparator actually bites (a perturbed value
+or a reshaped table must be reported, never silently accepted).
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.golden import (
+    GOLDEN_SCHEMA,
+    compare_golden,
+    golden_payload,
+    load_golden,
+)
+
+GOLDEN_PATH = Path(__file__).parent / "tables_v1.json"
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return load_golden(GOLDEN_PATH)
+
+
+def test_baseline_document_shape(baseline):
+    assert baseline["schema"] == GOLDEN_SCHEMA
+    assert baseline["scale"] == 0.02
+    assert baseline["seed"] == 1994
+    assert set(baseline["tables"]) == {
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "figure3",
+    }
+    for name, rows in baseline["tables"].items():
+        assert rows, f"{name} is empty"
+
+
+def test_tables_match_golden(golden_sweep, baseline):
+    actual = golden_payload(golden_sweep, scale=0.02, seed=1994)
+    problems = compare_golden(baseline, actual)
+    assert not problems, "golden drift:\n" + "\n".join(problems)
+
+
+def test_comparator_catches_value_perturbation(baseline):
+    perturbed = copy.deepcopy(baseline)
+    # Nudge one numeric cell by far more than the tolerance.
+    row = perturbed["tables"]["table1"][0]
+    col = next(i for i, cell in enumerate(row) if isinstance(cell, float))
+    row[col] = row[col] * (1 + 1e-6) + 1e-9
+    problems = compare_golden(baseline, perturbed)
+    assert problems and any("table1[0]" in p for p in problems)
+
+
+def test_comparator_catches_shape_perturbation(baseline):
+    missing_row = copy.deepcopy(baseline)
+    missing_row["tables"]["figure3"].pop()
+    assert any("figure3" in p for p in compare_golden(baseline, missing_row))
+
+    missing_table = copy.deepcopy(baseline)
+    del missing_table["tables"]["table4"]
+    assert any("table set" in p for p in compare_golden(baseline, missing_table))
+
+    short_row = copy.deepcopy(baseline)
+    short_row["tables"]["table2"][0].pop()
+    assert any("table2[0]" in p for p in compare_golden(baseline, short_row))
+
+
+def test_comparator_catches_metadata_drift(baseline):
+    reseeded = copy.deepcopy(baseline)
+    reseeded["seed"] = 2026
+    assert any(p.startswith("seed") for p in compare_golden(baseline, reseeded))
+
+
+def test_comparator_accepts_roundtrip(baseline):
+    rt = json.loads(json.dumps(baseline))
+    assert compare_golden(baseline, rt) == []
+
+
+def test_load_golden_rejects_wrong_schema(tmp_path):
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text(json.dumps({"schema": "something-else", "tables": {}}))
+    with pytest.raises(ValueError, match="golden-tables"):
+        load_golden(bogus)

@@ -53,6 +53,62 @@ def test_same_seed_identical_breakdowns_and_schedule(builder):
     assert sink_a.first_divergence(sink_b) is None
 
 
+def test_parallel_sweep_equals_serial_runs():
+    """A ``jobs=4`` cached sweep is indistinguishable from serial runs.
+
+    The full FLO52+OCEAN sweep over every paper configuration, executed
+    through the process pool and the result cache, must reproduce the
+    exact completion times, per-cluster breakdowns and schedule hashes
+    of plain serial :func:`run_application` calls -- parallelism and
+    snapshotting must be invisible to the analysis.
+    """
+    import tempfile
+
+    from repro.core import reference
+    from repro.parallel import parallel_sweep
+
+    scale, seed = 0.005, SEED
+    builders = {"FLO52": flo52, "OCEAN": ocean}
+
+    serial: dict[str, dict[int, tuple]] = {}
+    for app, builder in builders.items():
+        serial[app] = {}
+        for n_proc in reference.CONFIGS:
+            sink = DeterminismSink()
+            result = run_application(
+                builder(),
+                n_proc,
+                scale=scale,
+                os_params=XylemParams(seed=seed),
+                obs=Observability(extra_sinks=[sink]),
+            )
+            serial[app][n_proc] = (result, sink.schedule_hash)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        pooled = parallel_sweep(
+            list(builders),
+            configs=reference.CONFIGS,
+            scale=scale,
+            seed=seed,
+            jobs=4,
+            cache_dir=cache_dir,
+        )
+    assert pooled.ok, f"parallel sweep failed: {pooled.failures}"
+
+    for app in builders:
+        for n_proc in reference.CONFIGS:
+            live, schedule_hash = serial[app][n_proc]
+            snap = pooled.results[app][n_proc]
+            assert snap.ct_ns == live.ct_ns, (app, n_proc)
+            assert snap.schedule_hash == schedule_hash, (app, n_proc)
+            for cluster in range(live.config.n_clusters):
+                assert ct_breakdown(snap, cluster) == ct_breakdown(live, cluster)
+                assert (
+                    user_breakdown(snap, cluster).as_dict()
+                    == user_breakdown(live, cluster).as_dict()
+                )
+
+
 def test_different_seeds_differ():
     """Sanity check: the seed actually reaches the model."""
     sink_a = DeterminismSink()

@@ -1,0 +1,124 @@
+"""Executor semantics: pool == serial, warm cache == simulation.
+
+The load-bearing guarantees: a ``jobs>1`` sweep is indistinguishable
+from the serial one (same tables, same schedule hashes), a warm cache
+serves every cell without simulating, metrics report what happened,
+and bad inputs fail loudly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.experiments import table1
+from repro.core.resilience import resilient_sweep
+from repro.obs.registry import MetricsRegistry
+from repro.parallel import CellSpec, ResultCache, execute_cells, parallel_sweep
+
+SCALE = 0.002
+SEED = 1994
+CONFIGS = (1, 4)
+
+
+@pytest.fixture(scope="module")
+def serial_outcome():
+    return parallel_sweep(["FLO52"], configs=CONFIGS, scale=SCALE, seed=SEED, jobs=1)
+
+
+def test_pool_matches_serial(serial_outcome, tmp_path):
+    metrics = MetricsRegistry()
+    pooled = parallel_sweep(
+        ["FLO52"],
+        configs=CONFIGS,
+        scale=SCALE,
+        seed=SEED,
+        jobs=2,
+        cache_dir=tmp_path / "cache",
+        metrics=metrics,
+    )
+    assert pooled.ok and serial_outcome.ok
+    for n_proc in CONFIGS:
+        a = serial_outcome.results["FLO52"][n_proc]
+        b = pooled.results["FLO52"][n_proc]
+        assert b.ct_ns == a.ct_ns
+        assert b.schedule_hash == a.schedule_hash
+    assert table1(pooled.results)[1] == table1(serial_outcome.results)[1]
+
+    # Cold pass: every cell missed the cache, was simulated, was stored.
+    assert metrics.value("parallel.jobs") == 2
+    assert metrics.value("parallel.cells.total") == len(CONFIGS)
+    assert metrics.value("parallel.cells.completed") == len(CONFIGS)
+    assert metrics.value("parallel.cells.failed") == 0
+    assert metrics.value("cache.misses") == len(CONFIGS)
+    assert metrics.value("cache.puts") == len(CONFIGS)
+    assert metrics.value("parallel.wall_s") > 0
+    assert 0 < metrics.value("parallel.pool.utilization") <= 1
+
+    # Warm pass: every cell served from cache, nothing simulated.
+    warm_metrics = MetricsRegistry()
+    warm = parallel_sweep(
+        ["FLO52"],
+        configs=CONFIGS,
+        scale=SCALE,
+        seed=SEED,
+        jobs=2,
+        cache_dir=tmp_path / "cache",
+        metrics=warm_metrics,
+    )
+    assert warm.ok
+    assert warm_metrics.value("cache.hits") == len(CONFIGS)
+    assert warm_metrics.value("cache.puts") == 0
+    assert table1(warm.results)[1] == table1(serial_outcome.results)[1]
+    for n_proc in CONFIGS:
+        assert (
+            warm.results["FLO52"][n_proc].schedule_hash
+            == serial_outcome.results["FLO52"][n_proc].schedule_hash
+        )
+
+
+def test_resilient_sweep_delegates_to_parallel(serial_outcome, tmp_path):
+    outcome = resilient_sweep(
+        ["FLO52"],
+        configs=CONFIGS,
+        scale=SCALE,
+        seed=SEED,
+        jobs=2,
+        cache_dir=tmp_path / "cache",
+    )
+    assert outcome.ok
+    assert table1(outcome.results)[1] == table1(serial_outcome.results)[1]
+
+
+def test_failures_reported_in_input_order(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    bad = CellSpec(app="NOPE", n_processors=4, scale=SCALE, seed=SEED)
+    good = CellSpec(app="FLO52", n_processors=1, scale=SCALE, seed=SEED)
+    worse = CellSpec(app="ALSO_NOPE", n_processors=8, scale=SCALE, seed=SEED)
+    results, failures = execute_cells(
+        [bad, good, worse], jobs=2, cache=cache, retries=1
+    )
+    assert good in results and bad not in results
+    assert [(f.app, f.n_processors) for f in failures] == [("NOPE", 4), ("ALSO_NOPE", 8)]
+    for failure in failures:
+        assert failure.error_type == "ValueError"
+        assert failure.attempts == 2  # 1 + retries, same as the serial path
+        assert "unknown application" in failure.message
+    # The good cell was cached despite its neighbours failing.
+    assert cache.get(good.key()) is not None
+    assert cache.get(bad.key()) is None
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError, match="jobs"):
+        execute_cells([], jobs=0)
+    with pytest.raises(ValueError, match="retries"):
+        execute_cells([], retries=-1)
+    with pytest.raises(ValueError, match="serial-only"):
+        resilient_sweep(["FLO52"], jobs=2, run_cell=lambda a, p: None)
+    with pytest.raises(ValueError, match="unsupported sweep options"):
+        resilient_sweep(["FLO52"], jobs=2, os_params=object())
+
+
+def test_empty_specs():
+    results, failures = execute_cells([], jobs=1)
+    assert results == {} and failures == []
