@@ -1,0 +1,360 @@
+#!/usr/bin/env python
+"""Kernel/model speed benchmark: events per second and cell wall time.
+
+Measures three layers (the same layers the fast-path work targets):
+
+1. **Kernel microbenchmarks** -- pure event-loop workloads (a timeout
+   chain, a process fan-out, an any-of race with abandoned waits) whose
+   event counts are known analytically, so ``events/sec`` is exact.
+2. **Vector memory traffic** -- packet-level ``vector_access`` streams
+   through the :class:`~repro.hardware.memory.GlobalMemorySystem`
+   (words/sec; the batched-transaction fast path shows up here).
+3. **Cold sweep cells** -- ``run_cell`` wall time for FLO52/OCEAN at
+   P=8 and P=32 (no cache), the end-to-end quantity users feel.
+
+Raw wall time is not portable across machines, so every figure is also
+reported normalised by a pure-Python calibration loop timed in the same
+batch (the ``benchmarks/test_obs_overhead.py`` idiom):
+``events_per_cal = events / (wall_s / calibration_s)`` is the number of
+events processed per *calibration second* and compares across hosts.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_kernel.py [--quick]
+        [--output BENCH_kernel.json] [--baseline FILE] [--check FILE]
+
+``--baseline FILE`` embeds FILE's ``current`` section as the baseline
+and reports speed-up ratios.  ``--check FILE`` is the CI regression
+gate: exit non-zero if the current normalised micro events/sec fall
+more than ``MAX_REGRESSION`` below FILE's committed value.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+from pathlib import Path
+from time import perf_counter
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.hardware.config import paper_configuration  # noqa: E402
+from repro.hardware.memory import GlobalMemorySystem  # noqa: E402
+from repro.parallel.executor import CellSpec, run_cell  # noqa: E402
+from repro.sim import Simulator  # noqa: E402
+
+SCHEMA = "cedar-repro/bench-kernel/v1"
+
+#: CI gate: fail when normalised micro events/sec drop below
+#: ``(1 - MAX_REGRESSION)`` of the committed figure.
+MAX_REGRESSION = 0.20
+
+#: Repetitions per microbenchmark; the *minimum* wall time is reported
+#: (the run least perturbed by scheduler noise -- the standard
+#: microbenchmark practice), with the median calibration as yardstick.
+REPEATS = 5
+REPEATS_QUICK = 3
+
+
+def _calibration_s() -> float:
+    """Pure-Python reference loop (the machine-speed yardstick)."""
+    begin = perf_counter()
+    total = 0
+    for i in range(6_000_000):
+        total += i & 7
+    return perf_counter() - begin
+
+
+# -- kernel microbenchmarks -------------------------------------------------
+
+
+#: ``yield n`` (direct-delay) is the documented hot-path idiom on the
+#: fast kernel; older kernels only understand ``yield sim.timeout(n)``.
+#: The fallback keeps this harness runnable against the pre-fast-path
+#: tree, which is how the committed baseline was recorded.
+DIRECT_DELAY = bool(getattr(Simulator, "SUPPORTS_DIRECT_DELAY", False))
+
+
+def _bench_chain(iterations: int) -> tuple[int, float]:
+    """One process yielding a chain of timeouts.
+
+    Events: 1 Initialize + ``iterations`` timeouts + 1 process end.
+    """
+    sim = Simulator()
+
+    def chain():
+        if DIRECT_DELAY:
+            for _ in range(iterations):
+                yield 1
+        else:
+            timeout = sim.timeout
+            for _ in range(iterations):
+                yield timeout(1)
+
+    sim.process(chain())
+    begin = perf_counter()
+    sim.run()
+    return iterations + 2, perf_counter() - begin
+
+
+def _bench_fanout(n_processes: int, iterations: int) -> tuple[int, float]:
+    """Many concurrent processes, each a short timeout chain."""
+    sim = Simulator()
+
+    def worker(start: int):
+        yield sim.timeout(start)
+        if DIRECT_DELAY:
+            for _ in range(iterations):
+                yield 3
+        else:
+            timeout = sim.timeout
+            for _ in range(iterations):
+                yield timeout(3)
+
+    for start in range(n_processes):
+        sim.process(worker(start))
+    begin = perf_counter()
+    sim.run()
+    return n_processes * (iterations + 3), perf_counter() - begin
+
+
+def _bench_anyof(iterations: int) -> tuple[int, float]:
+    """An any-of race each iteration; the losing timeout is abandoned.
+
+    Events per iteration: the two timeouts plus the condition event.
+    """
+    sim = Simulator()
+
+    def racer():
+        for _ in range(iterations):
+            yield sim.timeout(1) | sim.timeout(2)
+
+    sim.process(racer())
+    begin = perf_counter()
+    sim.run()
+    return 3 * iterations + 2, perf_counter() - begin
+
+
+def run_micro(quick: bool) -> dict:
+    scale = 1 if not quick else 4
+    cases = {
+        "chain": lambda: _bench_chain(200_000 // scale),
+        "fanout": lambda: _bench_fanout(400 // scale, 400 // scale),
+        "anyof": lambda: _bench_anyof(60_000 // scale),
+    }
+    repeats = REPEATS_QUICK if quick else REPEATS
+    out: dict = {}
+    total_events = 0
+    total_wall = 0.0
+    cals: list[float] = []
+    for name, bench in cases.items():
+        bench()  # warm-up: bytecode caches, allocator arenas, branch history
+        walls = []
+        events = 0
+        for _ in range(repeats):
+            cals.append(_calibration_s())
+            events, wall = bench()
+            walls.append(wall)
+        wall = min(walls)
+        cal = statistics.median(cals)
+        out[name] = {
+            "events": events,
+            "wall_s": round(wall, 4),
+            "events_per_s": round(events / wall, 1),
+            "events_per_cal": round(events / (wall / cal), 1),
+        }
+        total_events += events
+        total_wall += wall
+    cal = statistics.median(cals)
+    out["total"] = {
+        "events": total_events,
+        "wall_s": round(total_wall, 4),
+        "events_per_s": round(total_events / total_wall, 1),
+        "events_per_cal": round(total_events / (total_wall / cal), 1),
+    }
+    return out
+
+
+# -- packet-level vector traffic --------------------------------------------
+
+
+def run_vector(quick: bool) -> dict:
+    """Concurrent 32-word vector accesses through the packet model."""
+    n_ces = 8
+    repeats = 4 if quick else 16
+    words = 32
+    sim = Simulator()
+    memory = GlobalMemorySystem(sim, paper_configuration(32))
+
+    def streamer(ce_id: int):
+        yield sim.timeout(ce_id)
+        for burst in range(repeats):
+            yield sim.process(
+                memory.vector_access(ce_id, 8 * (ce_id + 64 * burst), words)
+            )
+
+    for ce in range(n_ces):
+        sim.process(streamer(ce))
+    cal = _calibration_s()
+    begin = perf_counter()
+    sim.run()
+    wall = perf_counter() - begin
+    total_words = n_ces * repeats * words
+    return {
+        "words": total_words,
+        "completions": memory.stats.completions,
+        "sim_ns": sim.now,
+        "wall_s": round(wall, 4),
+        "words_per_s": round(total_words / wall, 1),
+        "words_per_cal": round(total_words / (wall / cal), 1),
+    }
+
+
+# -- cold sweep cells --------------------------------------------------------
+
+
+def run_cells(quick: bool) -> dict:
+    points = [("FLO52", 8), ("OCEAN", 8)]
+    if not quick:
+        points += [("FLO52", 32), ("OCEAN", 32)]
+    scale = 0.01 if quick else 0.02
+    out = {}
+    for app, n_processors in points:
+        cal = _calibration_s()
+        spec = CellSpec(app=app, n_processors=n_processors, scale=scale, seed=1994)
+        begin = perf_counter()
+        result = run_cell(spec)
+        wall = perf_counter() - begin
+        out[f"{app}_P{n_processors}"] = {
+            "scale": scale,
+            "wall_s": round(wall, 4),
+            "loop_wall_s": round(result.wall_s, 4),
+            "wall_over_cal": round(wall / cal, 3),
+            "ct_ns": result.ct_ns,
+            "schedule_hash": result.schedule_hash,
+        }
+    return out
+
+
+# -- assembly ----------------------------------------------------------------
+
+
+def run_all(quick: bool) -> dict:
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "micro": run_micro(quick),
+        "vector": run_vector(quick),
+        "cells": run_cells(quick),
+    }
+
+
+def _ratios(current: dict, baseline: dict) -> dict:
+    """Speed-up ratios (>1 means the current tree is faster)."""
+    ratios = {}
+    try:
+        ratios["micro_events_per_cal"] = round(
+            current["micro"]["total"]["events_per_cal"]
+            / baseline["micro"]["total"]["events_per_cal"],
+            2,
+        )
+    except (KeyError, ZeroDivisionError):
+        pass
+    # The timeout chain is the pure kernel hot path (pop/send/push with
+    # no condition machinery) -- the figure the >=3x kernel target is
+    # stated against.
+    try:
+        ratios["micro_hot_events_per_cal"] = round(
+            current["micro"]["chain"]["events_per_cal"]
+            / baseline["micro"]["chain"]["events_per_cal"],
+            2,
+        )
+    except (KeyError, ZeroDivisionError):
+        pass
+    try:
+        ratios["vector_words_per_cal"] = round(
+            current["vector"]["words_per_cal"] / baseline["vector"]["words_per_cal"], 2
+        )
+    except (KeyError, ZeroDivisionError):
+        pass
+    for cell, figures in current.get("cells", {}).items():
+        base = baseline.get("cells", {}).get(cell)
+        if base and figures.get("wall_over_cal"):
+            ratios[f"cell_{cell}_wall"] = round(
+                base["wall_over_cal"] / figures["wall_over_cal"], 2
+            )
+    return ratios
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument("--output", type=Path, default=None, help="write JSON here")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="embed FILE's 'current' section as the baseline and report ratios",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help=f"regression gate: fail on >{MAX_REGRESSION:.0%} normalised "
+        "micro events/sec drop versus FILE",
+    )
+    args = parser.parse_args()
+
+    report = {"current": run_all(args.quick)}
+    if args.baseline is not None:
+        recorded = json.loads(args.baseline.read_text())
+        baseline = recorded.get("current", recorded.get("baseline", recorded))
+        report["baseline"] = baseline
+        report["ratios"] = _ratios(report["current"], baseline)
+
+    micro = report["current"]["micro"]["total"]
+    print(
+        f"micro: {micro['events']} events in {micro['wall_s']}s "
+        f"({micro['events_per_s']:.0f}/s, {micro['events_per_cal']:.0f}/cal-s)"
+    )
+    vector = report["current"]["vector"]
+    print(
+        f"vector: {vector['words']} words in {vector['wall_s']}s "
+        f"({vector['words_per_s']:.0f} words/s)"
+    )
+    for cell, figures in report["current"]["cells"].items():
+        print(f"cell {cell}: {figures['wall_s']}s (x{figures['wall_over_cal']} cal)")
+    for name, value in report.get("ratios", {}).items():
+        print(f"ratio {name}: {value}x")
+
+    status = 0
+    if args.check is not None:
+        committed = json.loads(args.check.read_text())
+        reference = committed["current"]["micro"]["total"]["events_per_cal"]
+        measured = micro["events_per_cal"]
+        floor = reference * (1.0 - MAX_REGRESSION)
+        verdict = "ok" if measured >= floor else "REGRESSION"
+        print(
+            f"gate: measured {measured:.0f} events/cal-s vs committed "
+            f"{reference:.0f} (floor {floor:.0f}): {verdict}"
+        )
+        if measured < floor:
+            status = 1
+
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.output}")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

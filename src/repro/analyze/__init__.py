@@ -30,15 +30,21 @@ from repro.analyze.findings import Finding, Suppressions, parse_suppressions
 from repro.analyze.reporters import render_json, render_text
 from repro.analyze.rules import RULE_REGISTRY, ModuleContext, Rule, all_rules
 from repro.analyze.sanitize import (
+    SCHEDULE_HASH_DOMAIN,
     DeterminismSink,
     RunDigest,
     SanitizeReport,
+    ScheduleHashDomainError,
     TieBreakRecord,
+    same_schedule,
     sanitize_app,
+    split_schedule_hash,
 )
 
 __all__ = [
+    "SCHEDULE_HASH_DOMAIN",
     "DeterminismSink",
+    "ScheduleHashDomainError",
     "Finding",
     "LintConfig",
     "LintResult",
@@ -56,5 +62,7 @@ __all__ = [
     "parse_suppressions",
     "render_json",
     "render_text",
+    "same_schedule",
     "sanitize_app",
+    "split_schedule_hash",
 ]

@@ -38,12 +38,64 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.core import Event, Process
 
 __all__ = [
+    "SCHEDULE_HASH_DOMAIN",
     "DeterminismSink",
+    "ScheduleHashDomainError",
     "TieBreakRecord",
     "RunDigest",
     "SanitizeReport",
+    "same_schedule",
     "sanitize_app",
+    "split_schedule_hash",
 ]
+
+#: Version tag carried by every schedule hash.  Bump this whenever an
+#: intentional kernel or model change alters the processed-event stream
+#: (v1 -> v2: the batched vector fast path replaced per-packet events
+#: with per-stage milestones).  Hashes from different domains are
+#: *incomparable*: :func:`same_schedule` raises instead of reporting
+#: them as nondeterminism.
+SCHEDULE_HASH_DOMAIN = "cedar-repro/schedule/v2"
+
+#: Domain assumed for hashes recorded before versioning existed.
+_LEGACY_DOMAIN = "cedar-repro/schedule/v1"
+
+
+class ScheduleHashDomainError(ValueError):
+    """Two schedule hashes from different domains were compared."""
+
+
+def split_schedule_hash(value: str) -> tuple[str, str]:
+    """Split a schedule hash into ``(domain, digest)``.
+
+    Bare digests (recorded before the domain tag existed) belong to the
+    implicit legacy domain ``cedar-repro/schedule/v1``.
+    """
+    domain, sep, digest = value.rpartition(":")
+    if not sep:
+        return _LEGACY_DOMAIN, value
+    return domain, digest
+
+
+def same_schedule(a: str, b: str) -> bool:
+    """Whether two schedule hashes describe the same event order.
+
+    Raises :class:`ScheduleHashDomainError` when the hashes come from
+    different domains -- e.g. one side was recorded before a kernel
+    change that intentionally altered the event stream.  That situation
+    calls for re-recording the stored hash, and must not be mistaken
+    for (or hidden among) genuine nondeterminism.
+    """
+    domain_a, digest_a = split_schedule_hash(a)
+    domain_b, digest_b = split_schedule_hash(b)
+    if domain_a != domain_b:
+        raise ScheduleHashDomainError(
+            f"schedule hashes are from different domains ({domain_a!r} vs "
+            f"{domain_b!r}): the event stream definition changed between "
+            "recordings.  Re-record the stored hash under "
+            f"{SCHEDULE_HASH_DOMAIN!r}; this is not nondeterminism."
+        )
+    return digest_a == digest_b
 
 
 @dataclass(frozen=True)
@@ -135,8 +187,13 @@ class DeterminismSink(TraceSink):
 
     @property
     def schedule_hash(self) -> str:
-        """Hex digest of the processed-event order so far."""
-        return self._hash.hexdigest()
+        """Domain-tagged digest of the processed-event order so far.
+
+        The ``cedar-repro/schedule/vN:`` prefix names the event-stream
+        definition the digest was computed under; compare hashes with
+        :func:`same_schedule` so cross-domain comparisons fail loudly.
+        """
+        return f"{SCHEDULE_HASH_DOMAIN}:{self._hash.hexdigest()}"
 
     def first_divergence(self, other: "DeterminismSink") -> int | None:
         """Index of the first differing order token versus *other*.

@@ -70,9 +70,17 @@ class RunResult:
     hpm: CedarHpm | None = None
     #: Host wall-clock seconds spent inside the event loop.
     wall_s: float = 0.0
-    #: BLAKE2 digest of the processed-event order, filled in by the
-    #: ``repro.parallel`` executor (``None`` for plain runs).
+    #: Domain-tagged BLAKE2 digest of the processed-event order, filled
+    #: in by the ``repro.parallel`` executor (``None`` for plain runs).
+    #: Compare with :func:`repro.analyze.same_schedule`, never ``==``
+    #: across recordings: the ``cedar-repro/schedule/vN`` prefix
+    #: versions the event-stream definition.
     schedule_hash: str | None = None
+    #: Kernel fast-path counters harvested at end of run: Timeout-pool
+    #: reuse (``pool.*``) and the batched/exact memory transaction
+    #: split (``fastpath.*``).  Keys match the ``kernel.*`` metric
+    #: suffixes emitted by :mod:`repro.obs.instrument`.
+    kernel_stats: dict = field(default_factory=dict)
 
     #: Lazily-filled cache used by the analysis helpers.
     _cache: dict = field(default_factory=dict, repr=False)
@@ -172,10 +180,35 @@ def run_phases(
         runtime=runtime,
         hpm=hpm,
         wall_s=wall.elapsed_s,
+        kernel_stats=_harvest_kernel_stats(sim, machine),
     )
     if obs is not None:
         obs.collect(result)
     return result
+
+
+def _harvest_kernel_stats(sim: Simulator, machine: CedarMachine) -> dict:
+    """Kernel fast-path counters for ``RunResult.kernel_stats``."""
+    stats = {
+        "pool.timeouts_created": sim.timeouts_created,
+        "pool.timeouts_reused": sim.timeouts_reused,
+        "pool.ticks_rearmed": sim.ticks_rearmed,
+    }
+    memory = machine._memory
+    if memory is not None:
+        fp = memory.fastpath.stats
+        stats.update(
+            {
+                "fastpath.batched_transactions": fp.batched_transactions,
+                "fastpath.exact_transactions": fp.exact_transactions,
+                "fastpath.batched_words": fp.batched_words,
+                "fastpath.exact_words": fp.exact_words,
+                "fastpath.fallback_fault": fp.fallback_fault,
+                "fastpath.fallback_saturation": fp.fallback_saturation,
+                "fastpath.batched_fraction": fp.batched_fraction,
+            }
+        )
+    return stats
 
 
 def run_application(

@@ -100,10 +100,20 @@ class FaultInjector:
         self._link_penalty_cycles = 0
 
     def arm(self) -> None:
-        """Spawn one injection process per scheduled fault (idempotent)."""
+        """Spawn one injection process per scheduled fault (idempotent).
+
+        Arming also sticky-disables the batched vector fast path on the
+        packet-level memory (when built): every transaction of a fault
+        campaign routes through the exact per-packet path from the
+        start, keeping campaign runs bit-identical whether or not a
+        fault has struck yet.
+        """
         if self._armed:
             return
         self._armed = True
+        memory = self._packet_memory()
+        if memory is not None:
+            memory.fastpath.disable()
         for index, fault in enumerate(self.spec.faults):
             self.sim.process(
                 self._fault_process(fault),

@@ -70,6 +70,14 @@ class ContentionModel:
         self._worst_bank_factor = 1.0
         self._offline_modules = 0
         self._link_penalty_cycles = 0.0
+        # Memo tables for the two hot entry points.  Both are pure
+        # functions of their arguments and the degradation state, so the
+        # tables are simply dropped whenever the state changes.  Loop
+        # shapes recur heavily (a handful of (n_words, load) pairs per
+        # phase), which makes these near-perfect caches on the
+        # application fast path.
+        self._vector_memo: dict[tuple, float] = {}
+        self._scalar_memo: dict[tuple, float] = {}
 
     # -- degradation (fault injection) ------------------------------------
 
@@ -120,6 +128,8 @@ class ContentionModel:
         self._worst_bank_factor = worst_bank_factor
         self._offline_modules = offline_modules
         self._link_penalty_cycles = link_penalty_cycles
+        self._vector_memo.clear()
+        self._scalar_memo.clear()
 
     @property
     def degraded(self) -> bool:
@@ -314,10 +324,16 @@ class ContentionModel:
         """
         if n_words <= 0:
             raise ValueError(f"n_words must be positive, got {n_words}")
+        key = (n_words, requesters, rate, cluster_requesters)
+        cached = self._vector_memo.get(key)
+        if cached is not None:
+            return cached
         achieved = self.stream_rate(requesters, rate, cluster_requesters)
         est = self.estimate(requesters, achieved, cluster_requesters=cluster_requesters)
         issue_time = (n_words - 1) / achieved
-        return issue_time + est.round_trip_cycles
+        result = issue_time + est.round_trip_cycles
+        self._vector_memo[key] = result
+        return result
 
     def slowdown(self, n_words: int, requesters: int, rate: float) -> float:
         """Stretch factor of a vector stream vs. the single-CE case."""
@@ -338,12 +354,18 @@ class ContentionModel:
         """
         if background_k <= 0 or background_rate <= 0.0:
             return self._base_round_trip_cycles()
+        key = (background_k, background_rate)
+        cached = self._scalar_memo.get(key)
+        if cached is not None:
+            return cached
         achieved = self.stream_rate(background_k, background_rate)
         wait = 0.0
         for _, arrival, service, visit in self._centres(background_k, achieved):
             utilisation = min(arrival * service, 0.95)
             wait += visit * self._md1_wait(utilisation, service)
-        return self._base_round_trip_cycles() + wait
+        result = self._base_round_trip_cycles() + wait
+        self._scalar_memo[key] = result
+        return result
 
     def hot_spot_bandwidth(
         self,

@@ -1,0 +1,436 @@
+"""Batched vector transactions for the packet-level memory system.
+
+The per-packet path in :mod:`repro.hardware.memory` spawns one process
+per word of a vector access: every element allocates events, takes
+heap pushes and generator resumes through the Global Interface, two
+switch stages, a bank, and two return stages.  The paper's Cedar
+pipelines 32-word vector fetches through the shuffle-exchange network
+precisely so that per-element bookkeeping has no physical analogue
+(Section 3), so the software overhead is pure simulation tax.
+
+:class:`VectorTransactionEngine` removes that tax for the common case.
+A whole vector access is *planned* arithmetically: the pipelined
+occupancy of every touched switch output port and memory bank is
+computed hop by hop with plain integer arithmetic (FIFO single-server
+bookings, exactly the store-and-forward semantics of
+:meth:`DeltaNetwork.traverse`), and the transaction then advances
+simulated time with **one event per hop stage per transaction** instead
+of roughly ten events per element.  Bookings persist on the engine, so
+overlapping batched transactions queue behind each other at shared
+ports and banks and contention still emerges from concurrency.
+
+The engine refuses to plan -- and the caller falls back to the exact
+per-packet path -- whenever the arithmetic could diverge from the
+packet-level machine:
+
+* **Faults**: any degraded bank (service multiplier, offline), any
+  switch hop penalty, stalled port, or global extra-hop latency, or a
+  sticky :meth:`disable` from an armed fault campaign.  Fault
+  campaigns therefore route through the unchanged per-packet code and
+  behave bit-identically to the pre-fast-path tree.
+* **Saturation**: a booking that would wait longer than
+  ``SATURATION_CYCLES`` at one centre, or a switch output buffer that
+  would overflow ``queue_depth`` (where the real network would
+  backpressure and the closed-form timing stops being exact).
+
+With no faults and no saturation the plan reproduces the per-packet
+path's completion time and per-bank busy time exactly; this is pinned
+down by the Hypothesis property test in
+``tests/hardware/test_fastpath_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.hardware.memory import GlobalMemorySystem
+
+__all__ = ["FastPathStats", "TransactionPlan", "VectorTransactionEngine"]
+
+
+@dataclass
+class FastPathStats:
+    """Batched/exact split of the memory traffic (observable as
+    ``kernel.fastpath.*`` metrics)."""
+
+    batched_transactions: int = 0
+    exact_transactions: int = 0
+    batched_words: int = 0
+    exact_words: int = 0
+    #: Transactions refused because a fault degraded a touched resource
+    #: (or the engine was sticky-disabled by an armed campaign).
+    fallback_fault: int = 0
+    #: Transactions refused because a centre was saturated or a switch
+    #: buffer would have overflowed.
+    fallback_saturation: int = 0
+
+    @property
+    def batched_fraction(self) -> float:
+        """Fraction of words served by the batched path."""
+        total = self.batched_words + self.exact_words
+        if total == 0:
+            return 0.0
+        return self.batched_words / total
+
+
+class TransactionPlan:
+    """An accepted batched transaction: milestones plus stat commits.
+
+    ``milestones`` is a monotone list of ``(when_ns, commit)`` pairs --
+    one per hop stage plus the bank phase and the final completion.
+    The caller sleeps to each ``when_ns`` and runs ``commit`` to apply
+    that stage's statistics, so observers see counters advance at the
+    same phase of the transaction as on the per-packet path.
+    """
+
+    __slots__ = ("milestones", "elapsed_ns", "response")
+
+    def __init__(
+        self,
+        milestones: list[tuple[int, Callable[[], None]]],
+        elapsed_ns: int,
+        response: object = None,
+    ) -> None:
+        self.milestones = milestones
+        self.elapsed_ns = elapsed_ns
+        self.response = response
+
+
+def _trim(window: list[int], now: int) -> None:
+    """Drop buffer-slot bookings already released by *now* (sorted list)."""
+    drop = bisect_right(window, now)
+    if drop:
+        del window[:drop]
+
+
+class VectorTransactionEngine:
+    """Plans batched vector transactions against persistent bookings."""
+
+    #: A booking that would wait longer than this (in CE cycles) at a
+    #: single centre is considered saturated: the transaction is routed
+    #: through the exact per-packet path so that heavy contention keeps
+    #: emerging from real queueing rather than closed-form bookings.
+    SATURATION_CYCLES = 128
+
+    def __init__(self, memory: "GlobalMemorySystem") -> None:
+        self.memory = memory
+        self.sim = memory.sim
+        self.config = memory.config
+        self.stats = FastPathStats()
+        #: Sticky machine-level switch; cleared only by :meth:`enable`.
+        self.enabled = True
+        n_modules = self.config.n_memory_modules
+        # Persistent bookings: absolute ns each link/bank frees up.
+        self._link_free: dict[tuple, int] = {}
+        self._bank_free = [0] * n_modules
+        # Buffer-slot windows (sorted release times) per output port,
+        # for the queue-overflow check; and in-service windows per bank
+        # for the queue high-water stat.
+        self._port_windows: dict[tuple, list[int]] = {}
+        self._bank_windows: list[list[int]] = [[] for _ in range(n_modules)]
+        # Route cache: (net-id, source, dest) -> hop list.  Routing is
+        # pure topology, so the cache never invalidates.
+        self._routes: dict[tuple, list] = {}
+
+    # -- fault gating ----------------------------------------------------
+
+    def disable(self) -> None:
+        """Sticky disable (armed fault campaign): everything goes exact."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Re-enable batching (tests / after a campaign is torn down)."""
+        self.enabled = True
+
+    def _machine_degraded(self) -> bool:
+        """Any fault touching the memory system forces the exact path."""
+        memory = self.memory
+        if any(f != 1.0 for f in memory.bank_service_multiplier):
+            return True
+        if any(memory._offline):
+            return True
+        for net in (memory.forward, memory.backward):
+            if net.extra_hop_ns or net.hop_penalty_ns:
+                return True
+            for gate in net._stall_gates.values():
+                if not gate.is_open:
+                    return True
+        return False
+
+    def _route(self, direction: int, net, source: int, dest: int) -> list:
+        key = (direction, source, dest)
+        route = self._routes.get(key)
+        if route is None:
+            route = net.route(source, dest)
+            self._routes[key] = route
+        return route
+
+    # -- planning --------------------------------------------------------
+
+    def plan(
+        self, ce_id: int, base_address: int, n_words: int, stride_bytes: int
+    ) -> TransactionPlan | None:
+        """Plan one batched transaction, or ``None`` to fall back.
+
+        On success the persistent port/bank bookings have been advanced
+        (later transactions queue behind this one) and the returned
+        plan carries the milestone schedule and stat commits.  On
+        ``None`` nothing was committed and the caller must run the
+        exact per-packet path.
+        """
+        stats = self.stats
+        if not self.enabled or self._machine_degraded():
+            stats.exact_transactions += 1
+            stats.exact_words += n_words
+            stats.fallback_fault += 1
+            return None
+        plan = self._try_plan(ce_id, base_address, n_words, stride_bytes)
+        if plan is None:
+            stats.exact_transactions += 1
+            stats.exact_words += n_words
+            stats.fallback_saturation += 1
+            return None
+        stats.batched_transactions += 1
+        stats.batched_words += n_words
+        return plan
+
+    def _try_plan(
+        self, ce_id: int, base_address: int, n_words: int, stride_bytes: int
+    ) -> TransactionPlan | None:
+        sim = self.sim
+        config = self.config
+        memory = self.memory
+        now = sim.now
+        cycle_ns = config.cycle_ns
+        gi_ns = config.gi_cycles * cycle_ns
+        service_ns = config.memory_service_cycles * cycle_ns
+        issue_ns = max(1, int(round(cycle_ns / config.vector_issue_rate)))
+        saturation_ns = self.SATURATION_CYCLES * cycle_ns
+        fwd = memory.forward
+        bwd = memory.backward
+        hop_ns = fwd.link_cycles * fwd.cycle_ns
+        queue_depth = fwd.queue_depth
+        # The two networks can be differently sized (CE count != module
+        # count), so each direction has its own stage count.
+        fwd_stages = fwd.n_stages
+        bwd_stages = bwd.n_stages
+
+        # Local overlays; persistent state is only written on accept.
+        link_free = self._link_free
+        free_local: dict[tuple, int] = {}
+        windows_local: dict[tuple, list[int]] = {}
+        hw_local: dict[tuple, int] = {}
+        traffic_local: dict[tuple, int] = {}
+        # Per-stage maximum link-end times (the milestone schedule).
+        fwd_stage_end = [now] * fwd_stages
+        bwd_stage_end = [now] * bwd_stages
+
+        def book_hop(key: tuple, arrive: int) -> int | None:
+            """FIFO link booking + buffer-overflow check at one port.
+
+            Returns the link end time, or ``None`` when this
+            transaction's *own* packets would overflow the output
+            buffer (the real network would backpressure, so the
+            closed-form timing stops being exact) or the wait behind
+            earlier bookings saturates.  Pressure from *other*
+            transactions' bookings does not refuse the plan -- it
+            simply serialises through ``link_free``, which is how
+            contention between concurrent batched streams emerges.
+            """
+            local = windows_local.get(key)
+            if local is not None:
+                own = len(local) - bisect_right(local, arrive)
+                if own >= queue_depth:
+                    return None  # self-backpressure: timing no longer exact
+            else:
+                own = 0
+                local = windows_local[key] = []
+            persistent = self._port_windows.get(key)
+            occupancy = own
+            if persistent:
+                _trim(persistent, now)
+                occupancy += len(persistent) - bisect_right(persistent, arrive)
+            start = free_local.get(key)
+            if start is None:
+                start = link_free.get(key, 0)
+                # A long wait behind *earlier transactions'* bookings
+                # means heavy cross-traffic: refuse and measure it
+                # packet by packet.  The transaction's own
+                # serialisation through the port is exactly modelled
+                # (only the bounded buffer, checked above, breaks the
+                # closed form) and never refuses.
+                if start - arrive > saturation_ns:
+                    return None
+            if start < arrive:
+                start = arrive
+            end = start + hop_ns
+            free_local[key] = end
+            local.append(end)
+            # The real buffer is bounded; cap the recorded depth.
+            depth = min(occupancy + 1, queue_depth)
+            if depth > hw_local.get(key, 0):
+                hw_local[key] = depth
+            traffic_local[key] = traffic_local.get(key, 0) + 1
+            return end
+
+        # -- forward: issue order is arrival order at every shared hop --
+        modules = [0] * n_words
+        fwd_deliver = [0] * n_words
+        fwd_latency = 0
+        for i in range(n_words):
+            module_id = config.module_for_address(base_address + i * stride_bytes)
+            modules[i] = module_id
+            inject = now + i * issue_ns + gi_ns
+            t = inject
+            for stage, hop in enumerate(self._route(0, fwd, ce_id, module_id)):
+                end = book_hop((0, hop), t)
+                if end is None:
+                    return None
+                if end > fwd_stage_end[stage]:
+                    fwd_stage_end[stage] = end
+                t = end
+            fwd_deliver[i] = t
+            fwd_latency += t - inject
+
+        # -- banks: per-module arrivals are in issue order ---------------
+        bank_free = self._bank_free
+        bank_free_local: dict[int, int] = {}
+        bank_windows_local: dict[int, list[int]] = {}
+        bank_busy_local: dict[int, int] = {}
+        bank_req_local: dict[int, int] = {}
+        bank_hw_local: dict[int, int] = {}
+        svc_end = [0] * n_words
+        bank_done = now
+        for i in range(n_words):
+            module_id = modules[i]
+            arrive = fwd_deliver[i]
+            persistent = self._bank_windows[module_id]
+            occupancy = 0
+            if persistent:
+                _trim(persistent, now)
+                occupancy = len(persistent) - bisect_right(persistent, arrive)
+            local = bank_windows_local.get(module_id)
+            if local is not None:
+                occupancy += len(local) - bisect_right(local, arrive)
+            else:
+                local = bank_windows_local[module_id] = []
+            start = bank_free_local.get(module_id)
+            if start is None:
+                start = bank_free[module_id]
+                # As at the ports: only waits behind other
+                # transactions refuse the plan.  A bank's FIFO queue
+                # is unbounded in the exact model, so queueing behind
+                # this transaction's own earlier words is exact no
+                # matter how deep it runs (bank-colliding strides).
+                if start - arrive > saturation_ns:
+                    return None
+            if start < arrive:
+                start = arrive
+            end = start + service_ns
+            bank_free_local[module_id] = end
+            local.append(end)
+            svc_end[i] = end
+            if end > bank_done:
+                bank_done = end
+            depth = occupancy + 1
+            if depth > bank_hw_local.get(module_id, 0):
+                bank_hw_local[module_id] = depth
+            bank_busy_local[module_id] = bank_busy_local.get(module_id, 0) + service_ns
+            bank_req_local[module_id] = bank_req_local.get(module_id, 0) + 1
+
+        # -- backward: stage-by-stage, FIFO in arrival order -------------
+        bwd_routes = [self._route(1, bwd, modules[i], ce_id) for i in range(n_words)]
+        arrival = list(svc_end)
+        order = sorted(range(n_words), key=lambda i: (arrival[i], i))
+        for stage in range(bwd_stages):
+            stage_max = now
+            for i in order:
+                end = book_hop((1, bwd_routes[i][stage]), arrival[i])
+                if end is None:
+                    return None
+                arrival[i] = end
+                if end > stage_max:
+                    stage_max = end
+            bwd_stage_end[stage] = stage_max
+            order.sort(key=lambda i: (arrival[i], i))
+        bwd_latency = sum(arrival[i] - svc_end[i] for i in range(n_words))
+        complete = max(arrival) + gi_ns
+        round_trip = sum(
+            arrival[i] + gi_ns - (now + i * issue_ns) for i in range(n_words)
+        )
+
+        # -- accept: advance the persistent bookings ---------------------
+        for key, end in free_local.items():
+            link_free[key] = end
+        for key, ends in windows_local.items():
+            window = self._port_windows.get(key)
+            if window is None:
+                self._port_windows[key] = ends
+            else:
+                window.extend(ends)
+                window.sort()
+        for module_id, end in bank_free_local.items():
+            bank_free[module_id] = end
+        for module_id, ends in bank_windows_local.items():
+            window = self._bank_windows[module_id]
+            window.extend(ends)
+            window.sort()
+
+        # -- milestone schedule + stat commits ---------------------------
+        def commit_net(net, direction: int, stage: int):
+            water = net.stats.queue_high_water
+            traffic = net.stats.port_traffic
+
+            def commit() -> None:
+                for (d, hop), count in traffic_local.items():
+                    if d == direction and hop[0] == stage:
+                        traffic[hop] = traffic.get(hop, 0) + count
+                for (d, hop), depth in hw_local.items():
+                    if d == direction and hop[0] == stage:
+                        if depth > water.get(hop, 0):
+                            water[hop] = depth
+
+            return commit
+
+        def commit_fwd_done() -> None:
+            fwd.stats.packets_injected += n_words
+            fwd.stats.packets_delivered += n_words
+            fwd.stats.total_latency_ns += fwd_latency
+
+        def commit_banks() -> None:
+            busy = memory.bank_busy_ns
+            requests = memory.bank_requests
+            water = memory.bank_queue_high_water
+            for module_id, ns in bank_busy_local.items():
+                busy[module_id] += ns
+            for module_id, count in bank_req_local.items():
+                requests[module_id] += count
+            for module_id, depth in bank_hw_local.items():
+                if depth > water[module_id]:
+                    water[module_id] = depth
+
+        def commit_bwd_done() -> None:
+            bwd.stats.packets_injected += n_words
+            bwd.stats.packets_delivered += n_words
+            bwd.stats.total_latency_ns += bwd_latency
+
+        def commit_complete() -> None:
+            memory.stats.completions += n_words
+            memory.stats.total_round_trip_ns += round_trip
+
+        milestones: list[tuple[int, Callable[[], None]]] = []
+        for stage in range(fwd_stages):
+            milestones.append((fwd_stage_end[stage], commit_net(fwd, 0, stage)))
+        milestones.append((fwd_stage_end[fwd_stages - 1], commit_fwd_done))
+        milestones.append((bank_done, commit_banks))
+        for stage in range(bwd_stages):
+            milestones.append((bwd_stage_end[stage], commit_net(bwd, 1, stage)))
+        milestones.append((bwd_stage_end[bwd_stages - 1], commit_bwd_done))
+        milestones.append((complete, commit_complete))
+        # For scalar requests the caller rebuilds the response Packet:
+        # (module, network inject time, network deliver time).
+        response = (modules[0], svc_end[0], arrival[0]) if n_words == 1 else None
+        return TransactionPlan(milestones, complete - now, response)

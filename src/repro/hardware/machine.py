@@ -189,7 +189,7 @@ class CedarMachine:
                     rate=rate,
                     cluster_requesters=self.load.active_in_cluster(cluster_id),
                 )
-                yield self.sim.timeout(self.config.cycles_to_ns(cycles))
+                yield self.config.cycles_to_ns(cycles)
         finally:
             self.load.exit(rate, cluster_id)
         elapsed = self.sim.now - start

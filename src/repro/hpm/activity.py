@@ -28,18 +28,27 @@ class ActivityBoard:
         self._active = [False] * n
         self._since = [0] * n
         self._busy_ns = [0] * n
+        # Incrementally maintained counts: the statfx sampler reads the
+        # per-cluster count every sampling tick, so recounting the list
+        # there would be O(CEs) per tick on the hottest observer path.
+        self._cluster_active = [0] * config.n_clusters
+        self._total_active = 0
 
     def set_active(self, ce_id: int) -> None:
         """Mark a CE as actively computing."""
         if not self._active[ce_id]:
             self._active[ce_id] = True
             self._since[ce_id] = self.sim.now
+            self._cluster_active[ce_id // self.config.ces_per_cluster] += 1
+            self._total_active += 1
 
     def set_idle(self, ce_id: int) -> None:
         """Mark a CE as idle (spinning or waiting)."""
         if self._active[ce_id]:
             self._busy_ns[ce_id] += self.sim.now - self._since[ce_id]
             self._active[ce_id] = False
+            self._cluster_active[ce_id // self.config.ces_per_cluster] -= 1
+            self._total_active -= 1
 
     def is_active(self, ce_id: int) -> bool:
         """Whether the CE is currently computing."""
@@ -47,13 +56,11 @@ class ActivityBoard:
 
     def active_in_cluster(self, cluster_id: int) -> int:
         """Number of currently active CEs in *cluster_id*."""
-        per = self.config.ces_per_cluster
-        lo = cluster_id * per
-        return sum(1 for ce in range(lo, lo + per) if self._active[ce])
+        return self._cluster_active[cluster_id]
 
     def active_total(self) -> int:
         """Number of currently active CEs in the machine."""
-        return sum(self._active)
+        return self._total_active
 
     def busy_ns(self, ce_id: int) -> int:
         """Total active time of a CE so far."""

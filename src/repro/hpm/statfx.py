@@ -47,8 +47,10 @@ class Statfx:
             self._process = self.sim.process(self._sample_loop(), name="statfx")
 
     def _sample_loop(self) -> Generator:
+        # Direct-delay yield: the kernel re-arms one recycled Timeout
+        # per tick, so dense sampling costs no allocation.
         while True:
-            yield self.sim.timeout(self.interval_ns)
+            yield self.interval_ns
             for cluster_id in range(self.board.config.n_clusters):
                 self._sums[cluster_id] += self.board.active_in_cluster(cluster_id)
             self.samples += 1

@@ -22,6 +22,8 @@ prefix       contents
 ``runtime.`` loop protocol counters, CC-bus traffic, per-CE busy time,
              measured concurrency
 ``hpm.``     monitor buffer fill, drops, per-event-type counts
+``kernel.``  event-kernel fast paths: Timeout-pool reuse counters and
+             the batched/exact memory transaction split
 ``run.``     completion time, host wall time, event counts
 ===========  ===========================================================
 """
@@ -249,6 +251,20 @@ def collect_hpm_metrics(
     return reg
 
 
+def _collect_kernel(result: "RunResult", reg: MetricsRegistry) -> None:
+    """Fold ``RunResult.kernel_stats`` into ``kernel.*`` metrics.
+
+    Ratio-valued entries (``*_fraction``) become gauges; everything
+    else is a monotone counter.
+    """
+    for key, value in sorted(result.kernel_stats.items()):
+        name = f"kernel.{key}"
+        if key.endswith("_fraction"):
+            reg.gauge(name).set(value)
+        else:
+            reg.counter(name).inc(value)
+
+
 def collect_run_metrics(
     result: "RunResult", registry: MetricsRegistry | None = None
 ) -> MetricsRegistry:
@@ -261,5 +277,6 @@ def collect_run_metrics(
     _collect_network(result, reg)
     _collect_xylem(result, reg)
     _collect_runtime(result, reg)
+    _collect_kernel(result, reg)
     collect_hpm_metrics(result.hpm, reg, events=result.events)
     return reg

@@ -80,6 +80,16 @@ class TraceSink:
     def on_process_ended(self, process: "Process") -> None:
         """Called when a simulation process terminates."""
 
+    def overrides(self, hook: str) -> bool:
+        """``True`` if this sink overrides *hook* from the no-op base.
+
+        The kernel's run loops call this once, at sink registration,
+        to skip dispatching hooks a sink inherits unchanged -- e.g. the
+        two ``perf_counter()`` reads per callback are only paid when a
+        sink actually overrides ``on_callback``.
+        """
+        return getattr(type(self), hook, None) is not getattr(TraceSink, hook, None)
+
 
 class MultiSink(TraceSink):
     """Fan a kernel trace out to several sinks, in registration order."""
@@ -110,6 +120,10 @@ class MultiSink(TraceSink):
     def on_process_ended(self, process) -> None:
         for sink in self.sinks:
             sink.on_process_ended(process)
+
+    def overrides(self, hook: str) -> bool:
+        """A fan-out needs *hook* if any child sink overrides it."""
+        return any(sink.overrides(hook) for sink in self.sinks)
 
 
 class KernelTraceRecord:

@@ -29,6 +29,7 @@ import hashlib
 import json
 import os
 import pickle
+import sys
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -65,10 +66,14 @@ def default_cache_dir() -> Path:
 
 
 def code_fingerprint() -> str:
-    """BLAKE2 digest of every ``.py`` file under ``src/repro``.
+    """BLAKE2 digest of the code that produced a result.
 
-    Computed once per process; part of every cell key so that results
-    simulated by one version of the model are never served to another.
+    Covers every ``.py`` file under ``src/repro``, the project's
+    ``pyproject.toml`` (a dependency pin or build-config change can
+    alter results without touching model source), and the running
+    interpreter's ``major.minor`` version.  Computed once per process;
+    part of every cell key so that results simulated by one version of
+    the model are never served to another.
     """
     global _code_fingerprint
     if _code_fingerprint is None:
@@ -81,6 +86,15 @@ def code_fingerprint() -> str:
             digest.update(b"\x00")
             digest.update(path.read_bytes())
             digest.update(b"\x00")
+        # src/repro -> src -> repo root (absent for an installed tree).
+        pyproject = root.parent.parent / "pyproject.toml"
+        if pyproject.is_file():
+            digest.update(b"pyproject.toml\x00")
+            digest.update(pyproject.read_bytes())
+            digest.update(b"\x00")
+        digest.update(
+            f"python/{sys.version_info.major}.{sys.version_info.minor}".encode()
+        )
         _code_fingerprint = digest.hexdigest()
     return _code_fingerprint
 

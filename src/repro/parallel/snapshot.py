@@ -308,4 +308,5 @@ def snapshot_result(result: RunResult) -> RunResult:
         else None,
         wall_s=result.wall_s,
         schedule_hash=result.schedule_hash,
+        kernel_stats=dict(result.kernel_stats),
     )

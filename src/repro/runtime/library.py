@@ -325,13 +325,13 @@ class CedarFortranRuntime:
         setup_ns = self._round_trips_ns(self.params.setup_round_trips) + self._cycles_ns(
             self.params.setup_overhead_cycles
         )
-        yield sim.timeout(setup_ns)
+        yield setup_ns
         self._record(EventType.SETUP_EXIT, lead, main, payload=payload)
 
         # Post the loop: helpers will see it after their poll latency.
         assert self.process is not None
         state = _LoopState(sim, loop, seq, n_helpers=len(self.process.helper_tasks))
-        yield sim.timeout(self._round_trips_ns(1.0))
+        yield self._round_trips_ns(1.0)
         self._record(EventType.LOOP_POST, lead, main, payload=payload)
         self.stats.loops_posted += 1
         self._broadcast(state)
@@ -360,7 +360,7 @@ class CedarFortranRuntime:
                 )
         detect_ns = self._cycles_ns(self.params.barrier_check_cycles // 2)
         detect_ns += self._round_trips_ns(1.0)
-        yield sim.timeout(detect_ns)
+        yield detect_ns
         self._record(EventType.BARRIER_EXIT, lead, main, payload=payload)
         self.stats.barriers += 1
 
@@ -379,7 +379,7 @@ class CedarFortranRuntime:
             # of joining the loop.
             poll_ns = self._cycles_ns(self.params.spin_check_cycles // 2)
             join_ns = self._round_trips_ns(self.params.join_round_trips)
-            yield sim.timeout(poll_ns + join_ns)
+            yield poll_ns + join_ns
             payload = (state.seq, state.loop.construct.value, state.loop.label)
             self._record(EventType.HELPER_JOIN, lead, task, payload=payload)
             self.stats.helper_joins += 1
@@ -409,7 +409,7 @@ class CedarFortranRuntime:
         if fanout is None:
             request = state.barrier_lock.request()
             yield request
-            yield sim.timeout(rmw_ns)
+            yield rmw_ns
             state.barrier_lock.release(request)
             return
         n_tasks = state.expected_detaches
@@ -421,7 +421,7 @@ class CedarFortranRuntime:
             node = state.tree_node(level, group, fanout)
             request = node.lock.request()
             yield request
-            yield sim.timeout(rmw_ns)
+            yield rmw_ns
             node.arrivals += 1
             last_of_group = node.arrivals == node.size
             node.lock.release(request)
@@ -444,7 +444,7 @@ class CedarFortranRuntime:
             yield from self._await_pickup(request, self._outer_lock, state, "sdoall")
             hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
             hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)
-            yield sim.timeout(hold_ns)
+            yield hold_ns
             outer = state.take_outer()
             self._outer_lock.release(request)
             self.stats.sdoall_pickups += 1
@@ -459,7 +459,7 @@ class CedarFortranRuntime:
         """Spread ``loop.n_inner`` iterations over the cluster's CEs."""
         sim = self.sim
         cluster = self.machine.clusters[task.cluster_id]
-        yield sim.timeout(cluster.ccbus.dispatch_ns())
+        yield cluster.ccbus.dispatch_ns()
         # Only configured CEs receive iterations: Xylem may have
         # deconfigured some (fault injection), and the concurrency
         # control bus simply dispatches over the survivors.
@@ -491,7 +491,7 @@ class CedarFortranRuntime:
         if loop.serial_fraction > 0.0:
             residue = int(loop.n_inner * loop.work_ns_per_iter * loop.serial_fraction)
             yield sim.process(self.kernel.execute(task.cluster_id, residue))
-        yield sim.timeout(cluster.ccbus.synchronise_ns())
+        yield cluster.ccbus.synchronise_ns()
 
     def _cdoall_chunk(
         self,
@@ -525,7 +525,7 @@ class CedarFortranRuntime:
             ws_bytes=loop.cluster_ws_bytes,
         )
         if stall_ns > 0:
-            yield sim.timeout(stall_ns)
+            yield stall_ns
         for index in range(slices):
             slice_words = words // slices + (1 if index < words % slices else 0)
             if slice_words > 0:
@@ -555,7 +555,7 @@ class CedarFortranRuntime:
         """All CEs of the cluster compete for iterations individually."""
         sim = self.sim
         cluster = self.machine.clusters[task.cluster_id]
-        yield sim.timeout(cluster.ccbus.dispatch_ns())
+        yield cluster.ccbus.dispatch_ns()
         workers = [
             sim.process(
                 self._xdoall_ce(task, state, ce.ce_id),
@@ -567,7 +567,7 @@ class CedarFortranRuntime:
         yield sim.all_of(workers)
         # The cluster's CEs synchronise over the concurrency control
         # bus; one of them continues into the runtime library.
-        yield sim.timeout(cluster.ccbus.synchronise_ns())
+        yield cluster.ccbus.synchronise_ns()
 
     def _xdoall_ce(self, task: ClusterTask, state: _LoopState, ce_id: int) -> Generator:
         sim = self.sim
@@ -595,7 +595,7 @@ class CedarFortranRuntime:
             # test&set reads, slowing the holder's RMW down (hot spot).
             waiting = self._iter_lock.queue_length
             hold_ns = int(hold_ns * (1.0 + self.params.pickup_retry_factor * waiting))
-            yield sim.timeout(hold_ns)
+            yield hold_ns
             index = state.take_iteration()
             self._iter_lock.release(request)
             self.stats.xdoall_pickups += 1
@@ -611,7 +611,7 @@ class CedarFortranRuntime:
                 ws_bytes=loop.cluster_ws_bytes,
             )
             if stall_ns > 0:
-                yield sim.timeout(stall_ns)
+                yield stall_ns
             self._set_active(ce_id)
             self._record(EventType.ITER_START, ce_id, task, payload=payload)
             if loop.mem_words_per_iter > 0:

@@ -11,6 +11,37 @@ clock unit is one **nanosecond** of Cedar time, which comfortably covers
 both the 50 ns resolution of the ``cedarhpm`` monitor modelled in
 :mod:`repro.hpm` and the 170 ns CE cycle of the modelled hardware.
 
+Fast paths
+----------
+The kernel is the innermost loop of every sweep cell, so a few hot-path
+representations deviate from the textbook implementation (behaviour is
+identical; see ``docs/architecture.md`` "Kernel fast paths"):
+
+* ``Event.callbacks`` is a *variant* field: ``None`` once processed,
+  the :data:`_NO_WAITERS` sentinel while nobody waits, a bare callable
+  for the (dominant) single-waiter case, and a ``list`` only once two
+  or more waiters subscribe.  Single-waiter events never allocate a
+  callback list.
+* Heap entries are ``((when << 1) | priority, eid, event)`` 3-tuples.
+  With ``URGENT == 0`` and ``NORMAL == 1`` the packed integer key
+  preserves exactly the old ``(when, priority, eid)`` ordering.
+* :meth:`Simulator.timeout` recycles :class:`Timeout` objects through a
+  free-list pool.  An event is only recycled when the run loop holds
+  the sole remaining reference (checked via ``sys.getrefcount``), so
+  user code that keeps a timeout around never observes reuse.
+* :meth:`Simulator.run` picks one of three specialised loops: a minimal
+  loop when no trace sink and no watchdog is installed, a sink-aware
+  loop that skips every hook the sink does not override (see
+  :meth:`repro.obs.tracing.TraceSink.overrides`), and the watched loop
+  carrying the runaway-simulation counters.
+* :class:`Condition` unsubscribes from still-pending child events as
+  soon as it triggers, so the losing side of an ``any_of`` race becomes
+  a no-waiter event instead of invoking a stale callback.
+* A process may yield a bare non-negative ``int`` as shorthand for
+  ``sim.timeout(n)`` (the *direct-delay yield*).  The kernel services
+  it through a per-process recycled :class:`Timeout` -- same scheduling
+  order, same trace records, zero allocation.
+
 Example
 -------
 >>> from repro.sim import Simulator
@@ -29,8 +60,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections.abc import Callable, Generator, Iterable
+from sys import getrefcount
 from time import perf_counter
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 from repro.sim.errors import (
     EmptySchedule,
@@ -70,6 +102,37 @@ URGENT = 0
 #: Priority for normal events.
 NORMAL = 1
 
+#: Maximum number of recycled :class:`Timeout` objects kept per simulator.
+_POOL_LIMIT = 256
+
+#: A single event callback.
+_Callback = Callable[["Event"], None]
+
+
+class _NoWaiters:
+    """Sentinel marking a live event that nobody has subscribed to.
+
+    It is typed as a callback so ``Event.callbacks`` can hold it, but it
+    must never actually be invoked: the run loops test for it by
+    identity before dispatching.
+    """
+
+    __slots__ = ()
+
+    def __call__(self, event: "Event") -> None:  # pragma: no cover - guard
+        raise AssertionError("_NO_WAITERS must never be invoked")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "<NO_WAITERS>"
+
+
+_NO_WAITERS = _NoWaiters()
+
+#: Hoisted heap primitive: ``heapq.heappush`` is called once per
+#: scheduled event, so the module-global binding saves an attribute
+#: lookup on every push.
+_heappush = heapq.heappush
+
 
 class Event:
     """An event that may happen at some point in simulated time.
@@ -87,9 +150,11 @@ class Event:
 
     def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
-        #: Callables invoked (with this event) when the event is processed.
-        #: ``None`` once the event has been processed.
-        self.callbacks: list[Callable[["Event"], None]] | None = []
+        #: Waiters invoked (with this event) when the event is
+        #: processed.  A variant field: ``None`` once processed,
+        #: :data:`_NO_WAITERS` while nobody waits, a bare callable for a
+        #: single waiter, a list for two or more.
+        self.callbacks: _Callback | list[_Callback] | None = _NO_WAITERS
         self._value: object = PENDING
         self._ok = True
         self._defused = False
@@ -115,6 +180,29 @@ class Event:
         if self._value is PENDING:
             raise SimulationError("value of untriggered event is not available")
         return self._value
+
+    def _subscribe(self, callback: _Callback) -> None:
+        """Add a waiter, upgrading the variant representation as needed."""
+        cbs = self.callbacks
+        if cbs is _NO_WAITERS:
+            self.callbacks = callback
+        elif type(cbs) is list:
+            cbs.append(callback)
+        elif cbs is None:
+            raise SimulationError("cannot subscribe to a processed event")
+        else:
+            self.callbacks = [cbs, callback]
+
+    def _unsubscribe(self, callback: _Callback) -> None:
+        """Remove a waiter if present (processed events are left alone)."""
+        cbs = self.callbacks
+        if cbs is callback:
+            self.callbacks = _NO_WAITERS
+        elif type(cbs) is list:
+            try:
+                cbs.remove(callback)
+            except ValueError:
+                pass
 
     def succeed(self, value: object = None) -> "Event":
         """Trigger the event successfully with an optional *value*."""
@@ -178,7 +266,7 @@ class Initialize(Event):
 
     def __init__(self, sim: "Simulator", process: "Process") -> None:
         super().__init__(sim)
-        self.callbacks.append(process._resume)
+        self.callbacks = process
         self._ok = True
         self._value = None
         sim.schedule(self, priority=URGENT)
@@ -192,13 +280,16 @@ class Process(Event):
     processes can therefore wait for a process to finish by yielding it.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_send", "_target", "name")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str | None = None) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(sim)
         self._generator = generator
+        #: Cached ``generator.send`` (one send per resume, so the bound
+        #: method is worth caching).
+        self._send: Callable[[object], Any] = generator.send
         self.name = name or getattr(generator, "__name__", "process")
         #: The event this process currently waits for (``None`` if active
         #: or terminated).
@@ -226,23 +317,60 @@ class Process(Event):
         event._ok = False
         event._defused = True
         event._value = Interrupt(cause)
-        event.callbacks.append(self._resume)
+        event.callbacks = self
         self.sim.schedule(event, priority=URGENT)
-        # Unsubscribe from the event the process was waiting on.
+        # Unsubscribe from the event the process was waiting on (an
+        # abandoned direct-delay carrier simply drains as a no-waiter
+        # pop and returns to the pool).
         target = self._target
-        if target is not None and target.callbacks is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+        if target is not None:
+            target._unsubscribe(self)
+
+    def _terminate(self, ok: bool, value: object) -> None:
+        """Record generator termination and trigger this process event."""
+        self._target = None
+        self._ok = ok
+        self._value = value
+        sim = self.sim
+        sim.schedule(self)
+        if sim._sink is not None:
+            sim._sink.on_process_ended(self)
+
+    def _continue(self, next_event: Event) -> None:
+        """Wait on *next_event* (the non-delay tail of an inlined resume).
+
+        An already-processed event resumes the generator again instead
+        of going back through the event queue.
+        """
+        cbs = next_event.callbacks
+        if cbs is _NO_WAITERS:
+            # First (and usually only) waiter: no list allocation.
+            next_event.callbacks = self
+        elif cbs is None:
+            if not next_event._ok and not next_event._defused:
+                # Waiting on an already-failed, undefused event.
+                next_event._defused = True
+            self._resume(next_event)
+            return
+        elif type(cbs) is list:
+            cbs.append(self)
+        else:
+            next_event.callbacks = [cbs, self]
+        self._target = next_event
 
     def _resume(self, event: Event) -> None:
-        """Advance the generator with the value of *event*."""
-        self.sim._active_process = self
+        """Advance the generator with the value of *event*.
+
+        This is the generic resume used by :meth:`Simulator.step`, list
+        dispatch and failure delivery; the specialised run loops inline
+        the dominant single-waiter success case (see ``_run_fast``).
+        """
+        sim = self.sim
+        sim._active_process = self
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = self._send(event._value)
                 else:
                     # The event failed; re-raise inside the process.
                     event._defused = True
@@ -250,36 +378,75 @@ class Process(Event):
                     next_event = self._generator.throw(type(exc), exc, exc.__traceback__)
             except StopIteration as stop:
                 # Process terminated normally.
-                self._target = None
-                self._ok = True
-                self._value = stop.value
-                self.sim.schedule(self)
-                if self.sim._sink is not None:
-                    self.sim._sink.on_process_ended(self)
+                self._terminate(True, stop.value)
                 break
-            except BaseException as exc:
+            except BaseException as exc2:
                 # Process crashed.
-                self._target = None
-                self._ok = False
-                self._value = exc
-                self.sim.schedule(self)
-                if self.sim._sink is not None:
-                    self.sim._sink.on_process_ended(self)
+                self._terminate(False, exc2)
                 break
 
-            if next_event.callbacks is not None:
-                # The event is pending or triggered-but-unprocessed:
-                # subscribe and go to sleep.
-                next_event.callbacks.append(self._resume)
-                self._target = next_event
+            if type(next_event) is int:
+                # Direct-delay yield: ``yield n`` means
+                # ``yield sim.timeout(n)``, serviced through the
+                # simulator's timeout pool (the run loops re-arm the
+                # popped carrier in place instead).  Scheduling order
+                # and trace records are identical to ``timeout(n)``.
+                delay = next_event
+                if delay < 0:
+                    self._terminate(False, ValueError(f"negative delay {delay}"))
+                    break
+                pool = sim._timeout_pool
+                if pool:
+                    tick = pool.pop()
+                    tick._value = None
+                    sim.timeouts_reused += 1
+                else:
+                    tick = Timeout.__new__(Timeout)
+                    tick.sim = sim
+                    tick._value = None
+                    tick._ok = True
+                    tick._defused = False
+                    sim.timeouts_created += 1
+                tick.delay = delay
+                tick.callbacks = self
+                self._target = tick
+                when = sim._now + delay
+                _heappush(sim._queue, ((when << 1) | 1, sim._eid_next(), tick))
+                hook = sim._sched_hook
+                if hook is not None:
+                    hook(tick, when, self)
                 break
-            # The event was already processed: continue immediately with
-            # its value (do not go back through the event queue).
-            event = next_event
-            if not event._ok and not event._defused:
-                # Waiting on an already-failed, undefused event.
-                event._defused = True
-        self.sim._active_process = None
+
+            cbs = next_event.callbacks
+            if cbs is _NO_WAITERS:
+                # First (and usually only) waiter: no list allocation.
+                next_event.callbacks = self
+            elif cbs is None:
+                # The event was already processed: continue immediately
+                # with its value (do not go back through the event queue).
+                event = next_event
+                if not event._ok and not event._defused:
+                    # Waiting on an already-failed, undefused event.
+                    event._defused = True
+                continue
+            elif type(cbs) is list:
+                cbs.append(self)
+            else:
+                next_event.callbacks = [cbs, self]
+            self._target = next_event
+            break
+        sim._active_process = None
+
+    def __call__(self, event: Event) -> None:
+        """Processes subscribe *themselves* as event callbacks.
+
+        Storing the process (rather than a bound method) in
+        ``Event.callbacks`` lets the run loops recognise the
+        process-resume case by a single ``type()`` check and inline it;
+        generic dispatch sites simply call the process like any other
+        callback.
+        """
+        self._resume(event)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Process {self.name} {'alive' if self.is_alive else 'dead'}>"
@@ -294,7 +461,7 @@ class Condition(Event):
     value.
     """
 
-    __slots__ = ("_evaluate", "_events", "_count")
+    __slots__ = ("_evaluate", "_events", "_count", "_check_cb")
 
     def __init__(
         self,
@@ -304,21 +471,32 @@ class Condition(Event):
     ) -> None:
         super().__init__(sim)
         self._evaluate = evaluate
-        self._events = list(events)
+        events_list = list(events)
+        self._events = events_list
         self._count = 0
+        check: _Callback = self._check
+        self._check_cb = check
 
-        for event in self._events:
+        for event in events_list:
             if event.sim is not sim:
                 raise SimulationError("events belong to different simulators")
 
-        # Check already-processed events first, then subscribe to the rest.
-        for event in self._events:
-            if event.callbacks is None:
+        # Check already-processed events first, then subscribe to the
+        # rest (the variant subscription is inlined: this path runs once
+        # per child of every any-of/all-of wait).
+        no_waiters = _NO_WAITERS
+        for event in events_list:
+            cbs = event.callbacks
+            if cbs is no_waiters:
+                event.callbacks = check
+            elif cbs is None:
                 self._check(event)
+            elif type(cbs) is list:
+                cbs.append(check)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks = [cbs, check]
 
-        if not self._events and self._value is PENDING:
+        if not events_list and self._value is PENDING:
             self.succeed({})
 
     @staticmethod
@@ -334,6 +512,19 @@ class Condition(Event):
     def _collect_values(self) -> dict[Event, object]:
         return {event: event._value for event in self._events if event.callbacks is None}
 
+    def _detach(self) -> None:
+        """Lazily cancel the waits on still-pending child events.
+
+        Once the condition has triggered, the remaining children no
+        longer need to call back: unsubscribing here turns abandoned
+        events (e.g. the loser of an ``any_of`` race) into no-waiter
+        events the run loop can skip and recycle.
+        """
+        check = self._check_cb
+        for event in self._events:
+            if event.callbacks is not None:
+                event._unsubscribe(check)
+
     def _check(self, event: Event) -> None:
         if self._value is not PENDING:
             return
@@ -341,8 +532,13 @@ class Condition(Event):
         if not event._ok:
             event._defused = True
             self.fail(event._value)
+            self._detach()
         elif self._evaluate(self._events, self._count):
-            self.succeed(self._collect_values())
+            # Inline of ``succeed()``: the PENDING guard above already
+            # ensures single-trigger, and ``_ok`` starts out True.
+            self._value = self._collect_values()
+            self.sim.schedule(self)
+            self._detach()
 
 
 class AllOf(Condition):
@@ -373,17 +569,58 @@ class Simulator:
     trace_sink:
         Optional kernel observer (see :mod:`repro.obs.tracing`).  With
         no sink registered the event loop performs a single ``is None``
-        check per occurrence and dispatches nothing.
+        check per occurrence and dispatches nothing.  With a sink
+        registered, only the hooks the sink actually overrides are
+        dispatched (see :meth:`repro.obs.tracing.TraceSink.overrides`).
+
+    Attributes
+    ----------
+    timeouts_created / timeouts_reused / ticks_rearmed:
+        Fast-path counters: how many :class:`Timeout` objects were
+        allocated, how many were recycled through the free-list pool,
+        and how many direct-delay yields re-armed the just-popped
+        carrier without touching the pool at all.
     """
+
+    #: Feature flag for the direct-delay yield protocol (``yield n``),
+    #: so benchmark/model code can fall back to ``yield sim.timeout(n)``
+    #: against older kernels.
+    SUPPORTS_DIRECT_DELAY = True
+
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_eid_next",
+        "_active_process",
+        "_timeout_pool",
+        "timeouts_created",
+        "timeouts_reused",
+        "ticks_rearmed",
+        "_sink",
+        "_sched_hook",
+        "_sink_cb",
+        "_sink_tie",
+        "_sink_processed",
+    )
 
     def __init__(
         self, initial_time: int = 0, trace_sink: "TraceSink | None" = None
     ) -> None:
         self._now = int(initial_time)
-        self._queue: list[tuple[int, int, int, Event]] = []
-        self._eid = itertools.count()
+        #: Heap of ``((when << 1) | priority, eid, event)`` entries.
+        self._queue: list[tuple[int, int, Event]] = []
+        self._eid_next = itertools.count().__next__
         self._active_process: Process | None = None
-        self._sink: "TraceSink | None" = trace_sink
+        self._timeout_pool: list[Timeout] = []
+        self.timeouts_created = 0
+        self.timeouts_reused = 0
+        self.ticks_rearmed = 0
+        self._sink: "TraceSink | None" = None
+        self._sched_hook: Callable[[Event, int, Process | None], None] | None = None
+        self._sink_cb = False
+        self._sink_tie = False
+        self._sink_processed = False
+        self.set_trace_sink(trace_sink)
 
     @property
     def now(self) -> int:
@@ -396,8 +633,28 @@ class Simulator:
         return self._sink
 
     def set_trace_sink(self, sink: "TraceSink | None") -> None:
-        """Register (or, with ``None``, remove) the kernel observer."""
+        """Register (or, with ``None``, remove) the kernel observer.
+
+        Per-hook dispatch flags are computed here, once, so the run
+        loops skip hooks the sink inherits unchanged from the no-op
+        :class:`~repro.obs.tracing.TraceSink` base.  Sinks that do not
+        expose :meth:`~repro.obs.tracing.TraceSink.overrides` get full
+        dispatch.
+        """
         self._sink = sink
+        if sink is None:
+            self._sched_hook = None
+            self._sink_cb = self._sink_tie = self._sink_processed = False
+            return
+        overrides = getattr(sink, "overrides", None)
+        if overrides is None:
+            self._sched_hook = sink.on_event_scheduled
+            self._sink_cb = self._sink_tie = self._sink_processed = True
+            return
+        self._sched_hook = sink.on_event_scheduled if overrides("on_event_scheduled") else None
+        self._sink_cb = bool(overrides("on_callback"))
+        self._sink_tie = bool(overrides("on_tie_break"))
+        self._sink_processed = bool(overrides("on_event_processed"))
 
     @property
     def active_process(self) -> Process | None:
@@ -411,8 +668,39 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: int, value: object = None) -> Timeout:
-        """Create a :class:`Timeout` triggering ``delay`` ns from now."""
-        return Timeout(self, delay, value)
+        """Create a :class:`Timeout` triggering ``delay`` ns from now.
+
+        Hot path: recycles a pooled :class:`Timeout` when one is
+        available and schedules it inline (equivalent to constructing a
+        fresh ``Timeout``, which remains supported).
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        pool = self._timeout_pool
+        if pool:
+            event = pool.pop()
+            # Pooled timeouts are always ``_ok`` and never observably
+            # defused (a Timeout can never fail), so only the variant
+            # field, value and delay need resetting.
+            event.callbacks = _NO_WAITERS
+            event._value = value
+            event.delay = delay
+            self.timeouts_reused += 1
+        else:
+            event = Timeout.__new__(Timeout)
+            event.sim = self
+            event.callbacks = _NO_WAITERS
+            event._value = value
+            event._ok = True
+            event._defused = False
+            event.delay = delay
+            self.timeouts_created += 1
+        when = self._now + delay
+        _heappush(self._queue, ((when << 1) | NORMAL, self._eid_next(), event))
+        hook = self._sched_hook
+        if hook is not None:
+            hook(event, when, self._active_process)
+        return event
 
     def process(self, generator: Generator, name: str | None = None) -> Process:
         """Start a new :class:`Process` running *generator*."""
@@ -430,52 +718,65 @@ class Simulator:
 
     def schedule(self, event: Event, priority: int = NORMAL, delay: int = 0) -> None:
         """Schedule *event* for processing ``delay`` ns from now."""
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
-        if self._sink is not None:
-            self._sink.on_event_scheduled(event, self._now + delay, self._active_process)
+        if delay < 0:
+            raise SimulationError("event scheduled in the past")
+        when = self._now + delay
+        _heappush(self._queue, ((when << 1) | priority, self._eid_next(), event))
+        hook = self._sched_hook
+        if hook is not None:
+            hook(event, when, self._active_process)
 
     def peek(self) -> int | float:
         """Time of the next scheduled event (``inf`` if none)."""
         if not self._queue:
             return float("inf")
-        return self._queue[0][0]
+        return self._queue[0][0] >> 1
 
     def step(self) -> None:
         """Process the next scheduled event.
 
-        Raises :class:`EmptySchedule` if no events remain.
+        Raises :class:`EmptySchedule` if no events remain.  This is the
+        full-fidelity single-step entry point (manual stepping and
+        debugging); :meth:`run` uses specialised loops with the same
+        observable behaviour.
         """
         try:
-            when, priority, _, event = heapq.heappop(self._queue)
+            key, _eid, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no more events scheduled") from None
+        when = key >> 1
         if when < self._now:
             raise SimulationError("event scheduled in the past")
-        if (
-            self._sink is not None
-            and self._queue
-            and self._queue[0][0] == when
-            and self._queue[0][1] == priority
-        ):
+        sink = self._sink
+        if sink is not None and self._queue and self._queue[0][0] == key:
             # Tie-break audit: this event beat the queue head only by
             # insertion order (same time, same priority).
-            self._sink.on_tie_break(when, priority, event, self._queue[0][3])
+            sink.on_tie_break(when, key & 1, event, self._queue[0][2])
         self._now = when
-        callbacks, event.callbacks = event.callbacks, None
-        sink = self._sink
+        cbs = event.callbacks
+        event.callbacks = None
         if sink is None:
-            for callback in callbacks:
-                callback(event)
+            if type(cbs) is list:
+                for callback in cbs:
+                    callback(event)
+            elif cbs is not _NO_WAITERS and cbs is not None:
+                cbs(event)
         else:
+            if type(cbs) is list:
+                callbacks: list[_Callback] = cbs
+            elif cbs is not _NO_WAITERS and cbs is not None:
+                callbacks = [cbs]
+            else:
+                callbacks = []
             for callback in callbacks:
-                owner = getattr(callback, "__self__", None)
+                if type(callback) is Process:
+                    owner: Process | None = callback
+                else:
+                    bound = getattr(callback, "__self__", None)
+                    owner = bound if isinstance(bound, Process) else None
                 begin = perf_counter()
                 callback(event)
-                sink.on_callback(
-                    event,
-                    owner if isinstance(owner, Process) else None,
-                    perf_counter() - begin,
-                )
+                sink.on_callback(event, owner, perf_counter() - begin)
             sink.on_event_processed(event, when)
         if not event._ok and not event._defused:
             # An unhandled failure: crash the simulation.
@@ -504,8 +805,8 @@ class Simulator:
             Watchdog: raise :class:`RunawaySimulation` once the next
             event lies beyond this simulated time (nanoseconds).
 
-        With neither watchdog set the event loop runs on the original
-        zero-overhead path.
+        With neither watchdog set the event loop runs on the leanest
+        specialised path for the installed sink.
         """
         if max_events is not None and max_events <= 0:
             raise ValueError(f"max_events must be positive, got {max_events}")
@@ -519,7 +820,7 @@ class Simulator:
                 stop_event = until
                 if stop_event.callbacks is None:
                     return stop_event._value
-                stop_event.callbacks.append(self._stop_callback)
+                stop_event._subscribe(self._stop_callback)
             else:
                 at = int(until)
                 if at <= self._now:
@@ -527,15 +828,16 @@ class Simulator:
                 stop_event = Event(self)
                 stop_event._ok = True
                 stop_event._value = None
-                stop_event.callbacks.append(self._stop_callback)
+                stop_event.callbacks = self._stop_callback
                 self.schedule(stop_event, priority=URGENT, delay=at - self._now)
 
         try:
-            if max_events is None and max_sim_time is None:
-                while True:
-                    self.step()
-            else:
+            if max_events is not None or max_sim_time is not None:
                 self._run_watched(max_events, max_sim_time)
+            elif self._sink is None:
+                self._run_fast()
+            else:
+                self._run_sink()
         except StopSimulation as stop:
             return stop.value
         except EmptySchedule:
@@ -546,39 +848,495 @@ class Simulator:
                     ) from None
             return None
 
+    def _run_fast(self) -> None:
+        """Leanest event loop: no trace sink, no watchdogs.
+
+        Attribute lookups are hoisted out of the loop, the per-event
+        try/except costs nothing on the happy path (CPython 3.11+
+        zero-cost exceptions), and the dominant dispatch -- a single
+        waiting process resumed by a successful event -- is inlined so
+        no callback frame is created.  When the resumed process yields
+        a direct delay (``yield n``) the just-popped carrier event is
+        re-armed and pushed again: the steady state of a timeout-driven
+        process runs pop -> send -> push with zero allocation.
+
+        On top of that sits a one-slot lookahead: when a re-armed
+        carrier is the *only* pending event it is parked in locals
+        instead of round-tripping the heap, so the single-hot-process
+        steady state pays no heap traffic at all.  The slot is merged
+        back whenever the heap holds an earlier event, preserving exact
+        ``(when, priority, eid)`` order.
+
+        Consuming the parked slot enters a *sprint*: as long as the
+        sole process keeps direct-delaying into an empty heap, the loop
+        advances the clock in place -- no callback churn, no heap
+        traffic, no eid draw.  This is observably identical to the heap
+        path: the carrier is the only pending event, so processing
+        order cannot change, and eids (which only break heap ties) are
+        never compared while it sprints; the exit re-arm draws its eid
+        after the final resume, exactly where the push path draws it.
+        A parked carrier is known un-captured (the refcount gate ran
+        when it was parked) and only the sprinting process runs, so the
+        in-place re-arm is safe without re-counting references; the
+        exit path re-checks before re-arming into the shared heap.
+        """
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heapq.heappop
+        push = _heappush
+        eid_next = self._eid_next
+        no_waiters = _NO_WAITERS
+        timeout_type = Timeout
+        process_type = Process
+        refcount = getrefcount
+        rearmed = reused = created = 0
+        head_key = head_eid = 0
+        head_event: Event | None = None
+        try:
+            while True:
+                if head_event is not None:
+                    if not queue or head_key <= queue[0][0]:
+                        # The parked event is still first: queue entries
+                        # were pushed after it, so it wins key ties.
+                        event = head_event
+                        head_event = None
+                        now = head_key >> 1
+                        cbs = event.callbacks
+                        if type(cbs) is process_type and not queue:
+                            # Sprint (see docstring).  The parked
+                            # carrier is a pooled Timeout: ``_ok`` is
+                            # True and ``_value`` is None by invariant,
+                            # so the resume value is a constant.
+                            self._active_process = cbs
+                            send = cbs._send
+                            while True:
+                                self._now = now
+                                try:
+                                    nxt = send(None)
+                                except StopIteration as stop:
+                                    event.callbacks = None
+                                    cbs._terminate(True, stop.value)
+                                    break
+                                except BaseException as exc:
+                                    event.callbacks = None
+                                    cbs._terminate(False, exc)
+                                    break
+                                if type(nxt) is int and nxt >= 0 and not queue:
+                                    # Still the only pending event:
+                                    # advance the clock in place.
+                                    now += nxt
+                                    rearmed += 1
+                                    continue
+                                # Any other outcome leaves the sprint:
+                                # mark the carrier processed and finish
+                                # this resume on the generic paths.
+                                event.callbacks = None
+                                if type(nxt) is int:
+                                    if nxt >= 0:
+                                        # The resume scheduled real
+                                        # events: re-arm into the heap.
+                                        if refcount(event) == 3:
+                                            tick = event
+                                            rearmed += 1
+                                        else:
+                                            if pool:
+                                                tick = pool.pop()
+                                                reused += 1
+                                            else:
+                                                tick = Timeout.__new__(Timeout)
+                                                tick.sim = self
+                                                tick._ok = True
+                                                tick._defused = False
+                                                created += 1
+                                            cbs._target = tick
+                                        tick._value = None
+                                        tick.delay = nxt
+                                        tick.callbacks = cbs
+                                        push(
+                                            queue,
+                                            (((now + nxt) << 1) | 1, eid_next(), tick),
+                                        )
+                                        del tick
+                                    else:
+                                        cbs._terminate(
+                                            False, ValueError(f"negative delay {nxt}")
+                                        )
+                                else:
+                                    cbs._continue(nxt)
+                                break
+                            self._active_process = None
+                            # The carrier is a Timeout (never fails);
+                            # recycle it when the loop holds the only
+                            # remaining reference.
+                            if refcount(event) == 2 and len(pool) < _POOL_LIMIT:
+                                pool.append(event)
+                            continue
+                    else:
+                        push(queue, (head_key, head_eid, head_event))
+                        head_event = None
+                        key, _eid, event = pop(queue)
+                        now = key >> 1
+                else:
+                    try:
+                        key, _eid, event = pop(queue)
+                    except IndexError:
+                        raise EmptySchedule("no more events scheduled") from None
+                    now = key >> 1
+                self._now = now
+                cbs = event.callbacks
+                event.callbacks = None
+                if type(cbs) is process_type and event._ok:
+                    # Hot path: resume the single waiting process inline.
+                    self._active_process = cbs
+                    try:
+                        nxt = cbs._send(event._value)
+                    except StopIteration as stop:
+                        cbs._terminate(True, stop.value)
+                        self._active_process = None
+                    except BaseException as exc:
+                        cbs._terminate(False, exc)
+                        self._active_process = None
+                    else:
+                        if type(nxt) is int:
+                            if nxt >= 0:
+                                # Direct-delay yield: re-arm the popped
+                                # carrier when only the loop and the
+                                # process target still reference it
+                                # (getrefcount argument + `event` +
+                                # `cbs._target` == 3).
+                                if type(event) is timeout_type and refcount(event) == 3:
+                                    # Re-arm in place: `cbs._target` is
+                                    # already this carrier.
+                                    tick = event
+                                    tick._value = None
+                                    rearmed += 1
+                                else:
+                                    if pool:
+                                        tick = pool.pop()
+                                        tick._value = None
+                                        reused += 1
+                                    else:
+                                        tick = Timeout.__new__(Timeout)
+                                        tick.sim = self
+                                        tick._value = None
+                                        tick._ok = True
+                                        tick._defused = False
+                                        created += 1
+                                    cbs._target = tick
+                                tick.delay = nxt
+                                tick.callbacks = cbs
+                                if queue:
+                                    push(queue, (((now + nxt) << 1) | 1, eid_next(), tick))
+                                else:
+                                    # Sole pending event: park it in the
+                                    # lookahead slot, no heap traffic.
+                                    head_key = ((now + nxt) << 1) | 1
+                                    head_eid = eid_next()
+                                    head_event = tick
+                                # The local binding must not survive the
+                                # iteration: it would inflate the next
+                                # pop's refcount and defeat the re-arm.
+                                del tick
+                                self._active_process = None
+                                continue
+                            cbs._terminate(False, ValueError(f"negative delay {nxt}"))
+                            self._active_process = None
+                        else:
+                            cbs._continue(nxt)
+                            self._active_process = None
+                elif type(cbs) is list:
+                    for callback in cbs:
+                        callback(event)
+                elif cbs is not no_waiters and cbs is not None:
+                    cbs(event)
+                if type(event) is timeout_type:
+                    # A Timeout can never fail; recycle it when the loop
+                    # holds the only remaining reference (local binding +
+                    # getrefcount argument == 2).
+                    if refcount(event) == 2 and len(pool) < _POOL_LIMIT:
+                        pool.append(event)
+                elif not event._ok and not event._defused:
+                    # An unhandled failure: crash the simulation.
+                    exc2 = event._value
+                    raise exc2
+        finally:
+            self.ticks_rearmed += rearmed
+            self.timeouts_reused += reused
+            self.timeouts_created += created
+
+    def _run_sink(self) -> None:
+        """Sink-aware event loop (no watchdogs).
+
+        Hooks the sink does not override are skipped entirely; in
+        particular the two ``perf_counter()`` reads per callback are
+        only paid when the sink overrides ``on_callback``.
+        """
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heapq.heappop
+        push = _heappush
+        eid_next = self._eid_next
+        sink: Any = self._sink
+        want_cb = self._sink_cb
+        want_tie = self._sink_tie
+        want_processed = self._sink_processed
+        no_waiters = _NO_WAITERS
+        timeout_type = Timeout
+        process_type = Process
+        refcount = getrefcount
+        rearmed = reused = created = 0
+        try:
+            while True:
+                try:
+                    key, _eid, event = pop(queue)
+                except IndexError:
+                    raise EmptySchedule("no more events scheduled") from None
+                when = key >> 1
+                if want_tie and queue and queue[0][0] == key:
+                    sink.on_tie_break(when, key & 1, event, queue[0][2])
+                self._now = when
+                cbs = event.callbacks
+                event.callbacks = None
+                if type(cbs) is process_type and event._ok and not want_cb:
+                    # Inlined single-waiter process resume (as in
+                    # ``_run_fast``); with an ``on_callback`` observer
+                    # installed the generic timed dispatch below runs
+                    # instead.
+                    self._active_process = cbs
+                    try:
+                        nxt = cbs._send(event._value)
+                    except StopIteration as stop:
+                        cbs._terminate(True, stop.value)
+                        self._active_process = None
+                    except BaseException as exc:
+                        cbs._terminate(False, exc)
+                        self._active_process = None
+                    else:
+                        if type(nxt) is int:
+                            if nxt >= 0:
+                                # refcount: getrefcount argument +
+                                # `event` + `cbs._target` == 3.
+                                if type(event) is timeout_type and refcount(event) == 3:
+                                    tick = event
+                                    tick._value = None
+                                    rearmed += 1
+                                else:
+                                    if pool:
+                                        tick = pool.pop()
+                                        tick._value = None
+                                        reused += 1
+                                    else:
+                                        tick = Timeout.__new__(Timeout)
+                                        tick.sim = self
+                                        tick._value = None
+                                        tick._ok = True
+                                        tick._defused = False
+                                        created += 1
+                                    cbs._target = tick
+                                tick.delay = nxt
+                                tick.callbacks = cbs
+                                tick_when = when + nxt
+                                push(queue, ((tick_when << 1) | 1, eid_next(), tick))
+                                self._active_process = None
+                                hook = self._sched_hook
+                                if hook is not None:
+                                    hook(tick, tick_when, cbs)
+                                # Stale bindings would inflate the next
+                                # pop's refcount and defeat the re-arm.
+                                del tick
+                                if want_processed:
+                                    sink.on_event_processed(event, when)
+                                continue
+                            cbs._terminate(False, ValueError(f"negative delay {nxt}"))
+                            self._active_process = None
+                        else:
+                            cbs._continue(nxt)
+                            self._active_process = None
+                elif type(cbs) is list:
+                    if want_cb:
+                        for callback in cbs:
+                            if type(callback) is process_type:
+                                owner: Process | None = callback
+                            else:
+                                bound = getattr(callback, "__self__", None)
+                                owner = bound if isinstance(bound, Process) else None
+                            begin = perf_counter()
+                            callback(event)
+                            sink.on_callback(event, owner, perf_counter() - begin)
+                    else:
+                        for callback in cbs:
+                            callback(event)
+                elif cbs is not no_waiters and cbs is not None:
+                    if want_cb:
+                        if type(cbs) is process_type:
+                            owner = cbs
+                        else:
+                            bound = getattr(cbs, "__self__", None)
+                            owner = bound if isinstance(bound, Process) else None
+                        begin = perf_counter()
+                        cbs(event)
+                        sink.on_callback(event, owner, perf_counter() - begin)
+                    else:
+                        cbs(event)
+                if want_processed:
+                    sink.on_event_processed(event, when)
+                if type(event) is timeout_type:
+                    if refcount(event) == 2 and len(pool) < _POOL_LIMIT:
+                        pool.append(event)
+                elif not event._ok and not event._defused:
+                    exc2 = event._value
+                    raise exc2
+        finally:
+            self.ticks_rearmed += rearmed
+            self.timeouts_reused += reused
+            self.timeouts_created += created
+
     def _run_watched(self, max_events: int | None, max_sim_time: int | None) -> None:
         """Watched event loop: step until a limit trips.
 
-        Kept out of the default :meth:`run` loop so unwatched runs pay
-        nothing.  The queue head is peeked before each step so the
-        raised :class:`RunawaySimulation` can carry the last event the
-        kernel actually processed.
+        Kept out of the unwatched loops so they pay nothing.  The queue
+        head is peeked before each event so the raised
+        :class:`RunawaySimulation` can carry the last event the kernel
+        actually processed.  Sink hooks honour the same per-hook flags
+        as :meth:`_run_sink`.
         """
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heapq.heappop
+        push = _heappush
+        eid_next = self._eid_next
+        sink: Any = self._sink
+        want_cb = self._sink_cb
+        want_tie = self._sink_tie
+        want_processed = self._sink_processed
+        no_waiters = _NO_WAITERS
+        timeout_type = Timeout
+        process_type = Process
+        refcount = getrefcount
+        limit = -1 if max_events is None else max_events
         processed = 0
+        rearmed = reused = created = 0
         last_event: Event | None = None
-        while True:
-            if max_events is not None and processed >= max_events:
-                raise RunawaySimulation(
-                    limit=f"max_events={max_events}",
-                    events_processed=processed,
-                    sim_time_ns=self._now,
-                    last_event=last_event,
-                )
-            if (
-                max_sim_time is not None
-                and self._queue
-                and self._queue[0][0] > max_sim_time
-            ):
-                raise RunawaySimulation(
-                    limit=f"max_sim_time={max_sim_time}",
-                    events_processed=processed,
-                    sim_time_ns=self._now,
-                    last_event=last_event,
-                )
-            if self._queue:
-                last_event = self._queue[0][3]
-            self.step()
-            processed += 1
+        try:
+            while True:
+                if processed == limit:
+                    raise RunawaySimulation(
+                        limit=f"max_events={max_events}",
+                        events_processed=processed,
+                        sim_time_ns=self._now,
+                        last_event=last_event,
+                    )
+                if not queue:
+                    raise EmptySchedule("no more events scheduled")
+                if max_sim_time is not None and queue[0][0] >> 1 > max_sim_time:
+                    raise RunawaySimulation(
+                        limit=f"max_sim_time={max_sim_time}",
+                        events_processed=processed,
+                        sim_time_ns=self._now,
+                        last_event=last_event,
+                    )
+                key, _eid, event = pop(queue)
+                last_event = event
+                when = key >> 1
+                if want_tie and queue and queue[0][0] == key:
+                    sink.on_tie_break(when, key & 1, event, queue[0][2])
+                self._now = when
+                cbs = event.callbacks
+                event.callbacks = None
+                if type(cbs) is process_type and event._ok and not want_cb:
+                    # Inlined single-waiter process resume (see
+                    # ``_run_fast``); ``last_event`` aliases ``event``
+                    # here, so the carrier re-arm refcount is 4.
+                    self._active_process = cbs
+                    try:
+                        nxt = cbs._send(event._value)
+                    except StopIteration as stop:
+                        cbs._terminate(True, stop.value)
+                        self._active_process = None
+                    except BaseException as exc:
+                        cbs._terminate(False, exc)
+                        self._active_process = None
+                    else:
+                        if type(nxt) is int:
+                            if nxt >= 0:
+                                if type(event) is timeout_type and refcount(event) == 4:
+                                    tick = event
+                                    tick._value = None
+                                    rearmed += 1
+                                else:
+                                    if pool:
+                                        tick = pool.pop()
+                                        tick._value = None
+                                        reused += 1
+                                    else:
+                                        tick = Timeout.__new__(Timeout)
+                                        tick.sim = self
+                                        tick._value = None
+                                        tick._ok = True
+                                        tick._defused = False
+                                        created += 1
+                                    cbs._target = tick
+                                tick.delay = nxt
+                                tick.callbacks = cbs
+                                tick_when = when + nxt
+                                push(queue, ((tick_when << 1) | 1, eid_next(), tick))
+                                self._active_process = None
+                                hook = self._sched_hook
+                                if hook is not None:
+                                    hook(tick, tick_when, cbs)
+                                # Stale bindings would inflate the next
+                                # pop's refcount and defeat the re-arm.
+                                del tick
+                                if want_processed:
+                                    sink.on_event_processed(event, when)
+                                processed += 1
+                                continue
+                            cbs._terminate(False, ValueError(f"negative delay {nxt}"))
+                            self._active_process = None
+                        else:
+                            cbs._continue(nxt)
+                            self._active_process = None
+                elif type(cbs) is list:
+                    if want_cb:
+                        for callback in cbs:
+                            if type(callback) is process_type:
+                                owner: Process | None = callback
+                            else:
+                                bound = getattr(callback, "__self__", None)
+                                owner = bound if isinstance(bound, Process) else None
+                            begin = perf_counter()
+                            callback(event)
+                            sink.on_callback(event, owner, perf_counter() - begin)
+                    else:
+                        for callback in cbs:
+                            callback(event)
+                elif cbs is not no_waiters and cbs is not None:
+                    if want_cb:
+                        if type(cbs) is process_type:
+                            owner = cbs
+                        else:
+                            bound = getattr(cbs, "__self__", None)
+                            owner = bound if isinstance(bound, Process) else None
+                        begin = perf_counter()
+                        cbs(event)
+                        sink.on_callback(event, owner, perf_counter() - begin)
+                    else:
+                        cbs(event)
+                if want_processed:
+                    sink.on_event_processed(event, when)
+                if type(event) is timeout_type:
+                    # ``last_event`` still aliases ``event``: recycle at
+                    # refcount 3 (getrefcount argument + both locals).
+                    if refcount(event) == 3 and len(pool) < _POOL_LIMIT:
+                        pool.append(event)
+                elif not event._ok and not event._defused:
+                    exc2 = event._value
+                    raise exc2
+                processed += 1
+        finally:
+            self.ticks_rearmed += rearmed
+            self.timeouts_reused += reused
+            self.timeouts_created += created
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

@@ -90,6 +90,11 @@ class Resource:
         Number of slots that may be held simultaneously.
     """
 
+    # Resources are instantiated per bank/port/lock -- hundreds per
+    # machine -- and their attributes sit on the request/release hot
+    # path, so the layout is fixed like the kernel classes'.
+    __slots__ = ("sim", "_capacity", "_users", "_waiting")
+
     def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
@@ -156,6 +161,8 @@ class Resource:
 class PriorityResource(Resource):
     """A :class:`Resource` whose queue is ordered by request priority."""
 
+    __slots__ = ("_order",)
+
     def __init__(self, sim: Simulator, capacity: int = 1) -> None:
         super().__init__(sim, capacity)
         self._order = 0
@@ -201,7 +208,13 @@ class PriorityResource(Resource):
 
 
 class Store:
-    """An unbounded (or bounded) FIFO buffer of Python objects."""
+    """An unbounded (or bounded) FIFO buffer of Python objects.
+
+    One :class:`Store` backs every switch output queue in the packet
+    network, so the fixed layout matters at machine scale.
+    """
+
+    __slots__ = ("sim", "capacity", "_items", "_getters", "_putters")
 
     def __init__(self, sim: Simulator, capacity: int | float = float("inf")) -> None:
         if capacity <= 0:
@@ -263,6 +276,8 @@ class Gate:
     every current waiter, :meth:`close` re-arms it.  Models the
     "post work / wait for work" handshake of the Cedar runtime.
     """
+
+    __slots__ = ("sim", "_open", "_waiters")
 
     def __init__(self, sim: Simulator, open_: bool = False) -> None:
         self.sim = sim

@@ -187,7 +187,7 @@ class XylemKernel:
         """OS-server bookkeeping: periodic context switches + CPIs."""
         params = self.params
         while True:
-            yield self.sim.timeout(self._jittered(params.ctx_interval_ns))
+            yield self._jittered(params.ctx_interval_ns)
             yield self.sim.process(self.context_switch(cluster_id), name="ctx")
 
     def _sched_daemon(self, cluster_id: int) -> Generator:
@@ -202,7 +202,7 @@ class XylemKernel:
         params = self.params
         count = 0
         while True:
-            yield self.sim.timeout(self._jittered(params.sched_interval_ns))
+            yield self._jittered(params.sched_interval_ns)
             self._record(EventType.SCHED_ENTER, cluster_id)
             yield self.sim.process(self.cpi_gather(cluster_id), name="sched-cpi")
             state = self.clusters[cluster_id]
@@ -230,12 +230,12 @@ class XylemKernel:
         """Asynchronous system traps: rare, cheap."""
         params = self.params
         while True:
-            yield self.sim.timeout(self._jittered(params.ast_interval_ns))
+            yield self._jittered(params.ast_interval_ns)
             self._record(EventType.AST_ENTER, cluster_id)
             state = self.clusters[cluster_id]
             state.freeze()
             try:
-                yield self.sim.timeout(params.ast_cost_ns)
+                yield params.ast_cost_ns
                 self.accounting.charge(cluster_id, OsActivity.AST, params.ast_cost_ns)
             finally:
                 state.unfreeze()
@@ -256,7 +256,7 @@ class XylemKernel:
         state = self.clusters[cluster_id]
         state.freeze()
         try:
-            yield self.sim.timeout(params.ctx_cost_ns)
+            yield params.ctx_cost_ns
             self.accounting.charge(cluster_id, OsActivity.CTX, params.ctx_cost_ns)
             for _ in range(params.crsect_per_ctx):
                 yield self.sim.process(
@@ -288,7 +288,7 @@ class XylemKernel:
         state.freeze()
         try:
             wall_ns = params.cpi_per_ce_cost_ns + params.cpi_sync_ns
-            yield self.sim.timeout(wall_ns)
+            yield wall_ns
             self.accounting.charge(cluster_id, OsActivity.CPI, wall_ns)
         finally:
             state.unfreeze()
@@ -299,7 +299,7 @@ class XylemKernel:
         """Process: one cluster system call from user code."""
         params = self.params
         self._record(EventType.SYSCALL_ENTER, cluster_id)
-        yield self.sim.timeout(params.syscall_cluster_cost_ns)
+        yield params.syscall_cluster_cost_ns
         self.accounting.charge(
             cluster_id, OsActivity.SYSCALL_CLUSTER, params.syscall_cluster_cost_ns
         )
@@ -322,7 +322,7 @@ class XylemKernel:
         """
         params = self.params
         self._record(EventType.SYSCALL_ENTER, cluster_id)
-        yield self.sim.timeout(params.syscall_global_cost_ns)
+        yield params.syscall_global_cost_ns
         self.accounting.charge(
             cluster_id, OsActivity.SYSCALL_GLOBAL, params.syscall_global_cost_ns
         )
@@ -350,12 +350,12 @@ class XylemKernel:
         if state.frozen:
             yield state.runnable.wait()
             frozen_before = state.frozen_cum_ns()
-        yield self.sim.timeout(work_ns)
+        yield work_ns
         while True:
             stolen = state.frozen_cum_ns() - frozen_before
             if stolen <= padded:
                 break
             extra = stolen - padded
             padded = stolen
-            yield self.sim.timeout(extra)
+            yield extra
         return self.sim.now - start

@@ -53,7 +53,7 @@ class KernelLock:
         if contended:
             self.contended_acquisitions += 1
         try:
-            yield self.sim.timeout(hold_ns)
+            yield hold_ns
         finally:
             self._resource.release(request)
 

@@ -96,9 +96,9 @@ class BackgroundWorkload:
         state = self.kernel.clusters[cluster_id]
         gap_ns = self.period_ns - self.quantum_ns
         if offset_ns > 0:
-            yield sim.timeout(offset_ns)
+            yield offset_ns
         while True:
-            yield sim.timeout(gap_ns)
+            yield gap_ns
             # Switch the application out (ctx + CPI through the kernel,
             # charged to the OS ledger like any other switch) ...
             yield sim.process(self.kernel.context_switch(cluster_id), name="bg-ctx")
@@ -106,7 +106,7 @@ class BackgroundWorkload:
             # gang is frozen on this cluster) ...
             state.freeze()
             try:
-                yield sim.timeout(self.quantum_ns)
+                yield self.quantum_ns
                 self.granted_ns[cluster_id] += self.quantum_ns
             finally:
                 state.unfreeze()

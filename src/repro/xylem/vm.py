@@ -123,7 +123,7 @@ class VirtualMemory:
                     ),
                     name="vm-crsect",
                 )
-        yield self.sim.timeout(params.pgflt_sequential_cost_ns)
+        yield params.pgflt_sequential_cost_ns
         concurrent = fault.participants > 1
         if concurrent:
             self.stats.concurrent += 1

@@ -4,7 +4,14 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analyze import DeterminismSink, sanitize_app
+from repro.analyze import (
+    SCHEDULE_HASH_DOMAIN,
+    DeterminismSink,
+    ScheduleHashDomainError,
+    same_schedule,
+    sanitize_app,
+    split_schedule_hash,
+)
 from repro.sim import Simulator
 
 
@@ -26,7 +33,9 @@ def test_same_program_same_hash():
         sim.run()
         hashes.append(sink.schedule_hash)
     assert hashes[0] == hashes[1]
-    assert len(hashes[0]) == 32  # blake2b/16 hex
+    domain, digest = split_schedule_hash(hashes[0])
+    assert domain == SCHEDULE_HASH_DOMAIN
+    assert len(digest) == 32  # blake2b/16 hex
 
 
 def test_different_schedule_different_hash():
@@ -132,6 +141,21 @@ def test_sanitize_app_rejects_single_run_and_unknown_app():
         sanitize_app("synthetic", 4, runs=1)
     with pytest.raises(ValueError, match="unknown application"):
         sanitize_app("no-such-app", 4)
+
+
+def test_schedule_hash_domain_comparisons():
+    """Same-domain hashes compare; cross-domain comparisons fail loudly."""
+    v2_a = f"{SCHEDULE_HASH_DOMAIN}:aaaa"
+    v2_b = f"{SCHEDULE_HASH_DOMAIN}:bbbb"
+    assert same_schedule(v2_a, v2_a)
+    assert not same_schedule(v2_a, v2_b)
+    # A bare digest is an implicit legacy (v1) hash: comparing it with a
+    # v2 hash must raise with a re-record message, not report mismatch.
+    assert split_schedule_hash("cafe")[0] == "cedar-repro/schedule/v1"
+    with pytest.raises(ScheduleHashDomainError, match="Re-record"):
+        same_schedule(v2_a, "cafe")
+    with pytest.raises(ScheduleHashDomainError, match="not nondeterminism"):
+        same_schedule("cedar-repro/schedule/v1:cafe", v2_a)
 
 
 def test_sanitize_report_flags_divergence():

@@ -1,0 +1,103 @@
+"""Property test: the batched vector fast path matches the exact path.
+
+With no faults and no saturation the arithmetic plan in
+:mod:`repro.hardware.fastpath` must reproduce the per-packet machine's
+observable timing: the transaction's completion time and every bank's
+cumulative busy time.  Tie order at same-instant arrivals may differ
+between the two implementations, but at single-server centres with
+equal service times neither quantity depends on it.
+
+Hypothesis drives random vector lengths, strides (hence bank maps),
+and source CEs through both paths on fresh machines and compares.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import CedarConfig, GlobalMemorySystem
+from repro.sim import Simulator
+
+
+def run_vector(
+    ce_id: int, base_address: int, n_words: int, stride_bytes: int, batched: bool
+):
+    """One vector access on a fresh machine; returns (elapsed, busy, stats)."""
+    sim = Simulator()
+    config = CedarConfig()
+    memory = GlobalMemorySystem(sim, config)
+    if not batched:
+        memory.fastpath.disable()
+    result = {}
+
+    def driver():
+        result["elapsed"] = yield sim.process(
+            memory.vector_access(ce_id, base_address, n_words, stride_bytes)
+        )
+
+    sim.run(until=sim.process(driver()))
+    return result["elapsed"], memory
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ce_id=st.integers(min_value=0, max_value=31),
+    base_address=st.integers(min_value=0, max_value=4096),
+    n_words=st.integers(min_value=1, max_value=64),
+    stride_exp=st.integers(min_value=0, max_value=5),
+)
+def test_batched_matches_exact(ce_id, base_address, n_words, stride_exp):
+    stride_bytes = 8 << stride_exp  # 8..256: cycles through bank maps
+    fast_elapsed, fast_mem = run_vector(
+        ce_id, base_address, n_words, stride_bytes, batched=True
+    )
+    exact_elapsed, exact_mem = run_vector(
+        ce_id, base_address, n_words, stride_bytes, batched=False
+    )
+    assert fast_mem.fastpath.stats.batched_transactions == 1, (
+        "a lone unfaulted stream must take the batched path"
+    )
+    assert fast_elapsed == exact_elapsed
+    assert fast_mem.bank_busy_ns == exact_mem.bank_busy_ns
+    assert fast_mem.bank_requests == exact_mem.bank_requests
+    assert fast_mem.stats.requests == exact_mem.stats.requests
+    assert fast_mem.stats.completions == exact_mem.stats.completions
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    ce_id=st.integers(min_value=0, max_value=31),
+    address=st.integers(min_value=0, max_value=65536),
+)
+def test_scalar_request_matches_exact(ce_id, address):
+    """Single requests ride the valued-Timeout fast path, same timing."""
+    results = []
+    for batched in (True, False):
+        sim = Simulator()
+        memory = GlobalMemorySystem(sim, CedarConfig())
+        if not batched:
+            memory.fastpath.disable()
+        got = {}
+
+        def driver():
+            packet = yield memory.request(ce_id, address)
+            got["done_ns"] = sim.now
+            got["dest"] = packet.dest
+        sim.run(until=sim.process(driver()))
+        results.append((got["done_ns"], got["dest"], memory.stats.completions))
+    assert results[0] == results[1]
+
+
+def test_fallback_counters_and_sticky_disable():
+    """Degradation and disable() route to exact and count the reason."""
+    sim = Simulator()
+    memory = GlobalMemorySystem(sim, CedarConfig())
+    memory.set_bank_service_multiplier(3, 2.0)
+    assert memory.fastpath.plan(0, 0, 8, 8) is None
+    assert memory.fastpath.stats.fallback_fault == 1
+    memory.set_bank_service_multiplier(3, 1.0)
+    assert memory.fastpath.plan(0, 0, 8, 8) is not None
+    memory.fastpath.disable()
+    assert memory.fastpath.plan(0, 0, 8, 8) is None
+    assert memory.fastpath.stats.fallback_fault == 2
+    assert memory.fastpath.stats.batched_words == 8
+    assert memory.fastpath.stats.exact_words == 16

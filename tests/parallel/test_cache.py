@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import dataclasses
 import pickle
+import sys
+import types
 
 import pytest
 from hypothesis import given, settings
@@ -197,3 +199,17 @@ def test_overwrite_is_atomic_and_idempotent(cache):
     cache.put(key, PAYLOAD)
     assert cache.get(key) == PAYLOAD
     assert not list(path.parent.glob("*.tmp.*"))
+
+
+def test_code_fingerprint_covers_interpreter_version(monkeypatch):
+    """A Python minor-version bump must invalidate every cached cell."""
+    from repro.parallel import cache as cache_mod
+
+    monkeypatch.setattr(cache_mod, "_code_fingerprint", None)
+    current = cache_mod.code_fingerprint()
+    assert current == cache_mod.code_fingerprint()  # memoized, stable
+
+    fake = types.SimpleNamespace(major=sys.version_info.major, minor=99)
+    monkeypatch.setattr(cache_mod.sys, "version_info", fake)
+    monkeypatch.setattr(cache_mod, "_code_fingerprint", None)
+    assert cache_mod.code_fingerprint() != current
