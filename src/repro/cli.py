@@ -25,15 +25,20 @@ Run as ``python -m repro.cli <command>``:
   fault campaign and print the fault log plus the degraded breakdown.
 * ``campaign FILE`` -- run (or, with ``--generate``, create) a fault
   campaign over its app/config grid with per-cell failure isolation.
+* ``report LOG`` -- distil a campaign event log into the SLO report
+  (sustained cells/s, p50/p95/p99 cell latency, utilization, cache and
+  failure breakdown; ``docs/observability.md``).
 
 ``run``, ``sweep`` and ``tables`` additionally accept ``--stats FILE``
 to write the run report(s) of the runs they perform.  ``run``,
-``sweep``, ``tables`` and ``campaign`` accept ``--jobs N`` (fan the
-sweep cells out across N worker processes) and ``--cache-dir DIR`` (a
-content-addressed result cache: warm reruns skip simulation entirely;
-see ``docs/parallel-execution.md``).  Bad inputs (unknown application,
-malformed campaign file) exit with status 2 and a one-line ``error:``
-message.
+``sweep``, ``tables``, ``stats`` and ``campaign`` accept ``--jobs N``
+(fan the sweep cells out across N worker processes), ``--cache-dir
+DIR`` (a content-addressed result cache: warm reruns skip simulation
+entirely; see ``docs/parallel-execution.md``), and the campaign
+telemetry flags ``--log FILE`` (JSONL event log), ``--progress`` (force
+the live progress line) and ``--perfetto FILE`` (campaign-wide Chrome
+trace).  Bad inputs (unknown application, malformed campaign file)
+exit with status 2 and a one-line ``error:`` message.
 """
 
 from __future__ import annotations
@@ -102,11 +107,73 @@ def _parallel_requested(args: argparse.Namespace) -> bool:
     return getattr(args, "jobs", 1) != 1 or getattr(args, "cache_dir", None) is not None
 
 
+def _telemetry_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "log", None)
+        or getattr(args, "perfetto", None)
+        or getattr(args, "progress", False)
+    )
+
+
+def _make_telemetry(args: argparse.Namespace, label: str):
+    """A :class:`~repro.obs.campaign.CampaignTelemetry` per the flags."""
+    from repro.obs.campaign import CampaignTelemetry
+
+    return CampaignTelemetry(
+        log_path=getattr(args, "log", None),
+        progress=True if getattr(args, "progress", False) else None,
+        label=label,
+    )
+
+
+def _finish_telemetry(args: argparse.Namespace, telemetry) -> None:
+    """Print the campaign summary; write the requested artifacts."""
+    if telemetry is None:
+        return
+    from repro.obs.campaign import render_campaign_report, save_campaign_trace
+
+    print(render_campaign_report(telemetry.report()))
+    if getattr(args, "log", None):
+        print(f"wrote campaign log to {args.log}")
+    if getattr(args, "perfetto", None):
+        save_campaign_trace(
+            telemetry.spans, args.perfetto, t0=telemetry.header.get("t0")
+        )
+        print(f"wrote campaign trace to {args.perfetto}")
+
+
+def _print_metric_block(registry, prefixes, title: str) -> None:
+    """Print the scalar/histogram metrics under *prefixes*, if any."""
+    names = [name for prefix in prefixes for name in registry.names(prefix)]
+    if not names:
+        return
+    print(f"\n{title}:")
+    for name in names:
+        metric = registry.get(name)
+        if metric is None:
+            continue
+        if metric.kind in ("counter", "gauge"):
+            value = metric.value
+            text = f"{value:.4g}" if isinstance(value, float) else str(value)
+        elif metric.kind == "histogram":
+            p95 = metric.quantile(0.95)
+            text = (
+                f"count {metric.count}  mean {metric.mean:.4g}"
+                + (f"  p95 <= {p95:.4g}" if p95 is not None else "")
+            )
+        else:
+            continue
+        print(f"  {name:40s} {text}")
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     builder = _app_builder(args.app)
-    if _parallel_requested(args):
+    telemetry = None
+    if _parallel_requested(args) or _telemetry_requested(args):
         from repro.parallel import CellSpec, ResultCache, execute_cells
 
+        if _telemetry_requested(args):
+            telemetry = _make_telemetry(args, label=f"run {args.app.upper()}")
         spec = CellSpec(
             app=args.app.upper(),
             n_processors=args.processors,
@@ -124,7 +191,9 @@ def _cmd_run(args: argparse.Namespace) -> None:
                 )
             )
         cache = ResultCache(args.cache_dir) if args.cache_dir else None
-        cells, failures = execute_cells(specs, jobs=args.jobs, cache=cache)
+        cells, failures = execute_cells(
+            specs, jobs=args.jobs, cache=cache, telemetry=telemetry
+        )
         if failures:
             failure = failures[0]
             print(
@@ -163,6 +232,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         for task in range(result.config.n_clusters):
             name = "Main" if task == 0 else f"helper{task}"
             print(f"  par_concurr {name}: {parallel_loop_concurrency(result, task):.2f}")
+    _finish_telemetry(args, telemetry)
 
 
 def _report_failures(outcome) -> None:
@@ -180,12 +250,18 @@ def _report_failures(outcome) -> None:
 def _cmd_sweep(args: argparse.Namespace) -> None:
     _app_builder(args.app)  # validate
     app = args.app.upper()
+    telemetry = (
+        _make_telemetry(args, label=f"sweep {app}")
+        if _telemetry_requested(args)
+        else None
+    )
     outcome = resilient_sweep(
         [app],
         scale=args.scale,
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        telemetry=telemetry,
     )
     results = outcome.results[app]
     if outcome.ok:
@@ -196,6 +272,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
             print()
     if args.stats:
         _write_stats([results[n] for n in sorted(results)], args.stats)
+    _finish_telemetry(args, telemetry)
     if not outcome.ok:
         _report_failures(outcome)
 
@@ -203,12 +280,18 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
 def _cmd_tables(args: argparse.Namespace) -> None:
     from repro.core import reference
 
+    telemetry = (
+        _make_telemetry(args, label="tables")
+        if _telemetry_requested(args)
+        else None
+    )
     outcome = resilient_sweep(
         reference.APPS,
         scale=args.scale,
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        telemetry=telemetry,
     )
     sweep = outcome.results
     if outcome.ok:
@@ -228,6 +311,7 @@ def _cmd_tables(args: argparse.Namespace) -> None:
             sweep[app][n] for app in sorted(sweep) for n in sorted(sweep[app])
         ]
         _write_stats(reports, args.stats)
+    _finish_telemetry(args, telemetry)
     if not outcome.ok:
         _report_failures(outcome)
 
@@ -257,11 +341,48 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 
 def _cmd_stats(args: argparse.Namespace) -> None:
     builder = _app_builder(args.app)
-    obs = Observability()
-    result = run_application(
-        builder(), args.processors, scale=args.scale, obs=obs, os_params=_os_params(args)
-    )
-    report = build_run_report(result, obs.registry)
+    registry = None
+    if _parallel_requested(args) or _telemetry_requested(args):
+        # Through the pool + cache: the run report is built from the
+        # campaign registry, so ``parallel.*`` / ``cache.*`` counters
+        # (hits, misses, corruption-as-miss, utilization) and the
+        # ``campaign.*``-merged worker metrics are part of the output.
+        from repro.parallel import CellSpec, ResultCache, execute_cells
+
+        telemetry = _make_telemetry(args, label=f"stats {args.app.upper()}")
+        spec = CellSpec(
+            app=args.app.upper(),
+            n_processors=args.processors,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        cells, failures = execute_cells(
+            [spec], jobs=args.jobs, cache=cache, telemetry=telemetry
+        )
+        if failures:
+            failure = failures[0]
+            print(
+                f"error: {failure.app} P={failure.n_processors} failed after "
+                f"{failure.attempts} attempt(s): {failure.error_type}: "
+                f"{failure.message}",
+                file=sys.stderr,
+            )
+            raise SystemExit(1)
+        result = cells[spec]
+        registry = telemetry.registry
+    else:
+        telemetry = None
+        obs = Observability()
+        result = run_application(
+            builder(),
+            args.processors,
+            scale=args.scale,
+            obs=obs,
+            os_params=_os_params(args),
+        )
+        registry = obs.registry
+    report = build_run_report(result, registry)
     save_report(report, args.output)
     print(f"wrote run report to {args.output}")
     print(
@@ -270,6 +391,10 @@ def _cmd_stats(args: argparse.Namespace) -> None:
         f"{result.wall_s:.2f} s host wall time, "
         f"{len(report['metrics'])} metrics"
     )
+    _print_metric_block(
+        registry, ("parallel", "cache"), "parallel execution counters"
+    )
+    _finish_telemetry(args, telemetry)
 
 
 def _cmd_profile(args: argparse.Namespace) -> None:
@@ -284,6 +409,32 @@ def _cmd_profile(args: argparse.Namespace) -> None:
         f"{result.ct_ns / 1e6:.1f} ms simulated"
     )
     print(obs.profiler.report(args.top))
+
+
+def _cmd_report(args: argparse.Namespace) -> None:
+    from repro.obs.campaign import (
+        build_campaign_report,
+        load_campaign_log,
+        render_campaign_report,
+        save_campaign_report,
+        save_campaign_trace,
+        spans_from_log,
+    )
+
+    try:
+        header, events = load_campaign_log(args.log)
+    except (OSError, ValueError) as exc:
+        raise CLIError(str(exc)) from exc
+    report = build_campaign_report(header, events)
+    print(render_campaign_report(report))
+    if args.json:
+        save_campaign_report(report, args.json)
+        print(f"wrote campaign report to {args.json}")
+    if args.perfetto:
+        save_campaign_trace(
+            spans_from_log(events), args.perfetto, t0=header.get("t0")
+        )
+        print(f"wrote campaign trace to {args.perfetto}")
 
 
 def _cmd_lint(args: argparse.Namespace) -> None:
@@ -400,7 +551,12 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
     for app in apps:
         _app_builder(app)
 
-    if _parallel_requested(args):
+    telemetry = (
+        _make_telemetry(args, label=f"campaign {spec.name}")
+        if _telemetry_requested(args)
+        else None
+    )
+    if _parallel_requested(args) or telemetry is not None:
         outcome = resilient_sweep(
             apps,
             configs=configs,
@@ -409,6 +565,7 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
             campaign=spec,
             jobs=args.jobs,
             cache_dir=args.cache_dir,
+            telemetry=telemetry,
         )
     else:
 
@@ -422,6 +579,7 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
         )
     print(f"campaign {spec.name!r}: {len(spec.faults)} faults, seed {seed}")
     print(render_partial_table(outcome))
+    _finish_telemetry(args, telemetry)
     if args.report:
         save_failure_report(outcome, args.report)
         print(f"wrote failure report to {args.report}")
@@ -455,6 +613,23 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="DIR",
             default=None,
             help="content-addressed result cache; warm reruns skip simulation",
+        )
+        command.add_argument(
+            "--log",
+            metavar="FILE",
+            default=None,
+            help="write a campaign event log (JSONL; feed to `report`)",
+        )
+        command.add_argument(
+            "--progress",
+            action="store_true",
+            help="force the live progress line (default: only on a TTY)",
+        )
+        command.add_argument(
+            "--perfetto",
+            metavar="FILE",
+            default=None,
+            help="write a campaign-wide Chrome/Perfetto trace",
         )
 
     run = sub.add_parser("run", help="run one application on one configuration")
@@ -499,7 +674,20 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("-o", "--output", default="stats.json")
     stats.add_argument("--scale", type=float, default=0.02)
     stats.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
+    add_parallel_flags(stats)
     stats.set_defaults(func=_cmd_stats)
+
+    report = sub.add_parser(
+        "report", help="distil a campaign event log into the SLO report"
+    )
+    report.add_argument("log", help="campaign log JSONL (written via --log)")
+    report.add_argument(
+        "--json", metavar="FILE", help="also write the CampaignReport JSON"
+    )
+    report.add_argument(
+        "--perfetto", metavar="FILE", help="also write the campaign Chrome trace"
+    )
+    report.set_defaults(func=_cmd_report)
 
     profile = sub.add_parser(
         "profile", help="run with the kernel profiler and print hot processes"

@@ -73,6 +73,7 @@ def resilient_sweep(
     cache_dir: str | Path | None = None,
     campaign=None,
     metrics=None,
+    telemetry=None,
     **run_kwargs,
 ) -> SweepOutcome:
     """Sweep ``apps x configs``, isolating each cell's failures.
@@ -89,12 +90,20 @@ def resilient_sweep(
     across worker processes and/or are served from the content-addressed
     result cache, with the same per-cell isolation and retry semantics
     (results are then detached snapshots).  The *run_cell* seam is
-    serial-only -- closures don't cross process boundaries.
+    serial-only -- closures don't cross process boundaries.  Passing a
+    :class:`~repro.obs.campaign.CampaignTelemetry` as *telemetry* also
+    routes through the parallel path, so resilient campaign sweeps log
+    through the same event-log/progress/report seam as pooled ones.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
 
-    if jobs != 1 or cache_dir is not None or campaign is not None:
+    if (
+        jobs != 1
+        or cache_dir is not None
+        or campaign is not None
+        or telemetry is not None
+    ):
         if run_cell is not None:
             raise ValueError(
                 "run_cell is a serial-only seam; use CellSpec/execute_cells "
@@ -118,6 +127,7 @@ def resilient_sweep(
             campaign=campaign,
             retries=retries,
             metrics=metrics,
+            telemetry=telemetry,
             **run_kwargs,
         )
 
@@ -188,10 +198,18 @@ def render_partial_table(outcome: SweepOutcome) -> str:
 
 
 def failure_report(outcome: SweepOutcome) -> dict:
-    """JSON-serialisable report of a sweep's failures."""
+    """JSON-serialisable report of a sweep's failures.
+
+    The header carries the code fingerprint beside the seed, so a
+    report can be matched to the exact code state that produced it
+    (the same provenance tagging the campaign log uses).
+    """
+    from repro.parallel.cache import code_fingerprint
+
     cells_ok = sum(len(by_config) for by_config in outcome.results.values())
     return {
         "schema": "cedar-repro/failure-report/v1",
+        "code_fingerprint": code_fingerprint(),
         "scale": outcome.scale,
         "seed": outcome.seed,
         "cells_ok": cells_ok,

@@ -52,6 +52,7 @@ def run_with_campaign(
     seed: int | None = None,
     obs: "Observability | None" = None,
     rt_params: "RuntimeParams | None" = None,
+    statfx_interval_ns: int = 200_000,
     max_events: int | None = None,
     max_sim_time: int | None = None,
 ) -> CampaignRunOutcome:
@@ -59,6 +60,8 @@ def run_with_campaign(
 
     *seed* overrides the campaign's seed for the OS jitter stream;
     ``faults.*`` metrics are folded into *obs*'s registry when given.
+    *statfx_interval_ns* is forwarded to the runner so campaign cells
+    honour the same sampling cadence as healthy ones.
     """
     builder = _resolve_app(app)
     injectors: list[FaultInjector] = []
@@ -74,6 +77,7 @@ def run_with_campaign(
         scale=scale,
         os_params=XylemParams(seed=seed if seed is not None else spec.seed),
         rt_params=rt_params,
+        statfx_interval_ns=statfx_interval_ns,
         obs=obs,
         pre_run_hook=hook,
         max_events=max_events,

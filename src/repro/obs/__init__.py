@@ -9,6 +9,20 @@ run, and exporters producing a JSON run report and a Perfetto-loadable
 Chrome trace.  See ``docs/observability.md``.
 """
 
+from repro.obs.campaign import (
+    CAMPAIGN_LOG_SCHEMA,
+    CAMPAIGN_REPORT_SCHEMA,
+    CampaignTelemetry,
+    CellSpan,
+    ProgressReporter,
+    build_campaign_report,
+    campaign_chrome_trace,
+    load_campaign_log,
+    render_campaign_report,
+    save_campaign_report,
+    save_campaign_trace,
+    spans_from_log,
+)
 from repro.obs.exporters import (
     REPORT_SCHEMA_VERSION,
     build_run_report,
@@ -40,7 +54,11 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "CAMPAIGN_LOG_SCHEMA",
+    "CAMPAIGN_REPORT_SCHEMA",
     "REPORT_SCHEMA_VERSION",
+    "CampaignTelemetry",
+    "CellSpan",
     "Counter",
     "Gauge",
     "Histogram",
@@ -51,17 +69,25 @@ __all__ = [
     "Observability",
     "ProcessProfileRecord",
     "ProcessProfiler",
+    "ProgressReporter",
     "Timeseries",
     "TraceSink",
     "WallTimer",
+    "build_campaign_report",
     "build_run_report",
+    "campaign_chrome_trace",
     "chrome_trace",
     "collect_hpm_metrics",
     "collect_run_metrics",
     "git_revision",
     "host_clock_s",
+    "load_campaign_log",
     "profile_key",
+    "render_campaign_report",
+    "save_campaign_report",
+    "save_campaign_trace",
     "save_chrome_trace",
     "save_report",
+    "spans_from_log",
     "validate_name",
 ]

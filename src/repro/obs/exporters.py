@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import subprocess
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.obs.instrument import collect_run_metrics
@@ -74,7 +75,7 @@ def build_run_report(
     """
     if registry is None:
         registry = collect_run_metrics(result)
-    report = {
+    report: dict[str, object] = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "app": result.app_name,
         "n_processors": result.config.n_processors,
@@ -94,7 +95,7 @@ def build_run_report(
     return report
 
 
-def save_report(report: dict, path) -> None:
+def save_report(report: "dict | list[dict]", path: "str | Path") -> None:
     """Write a run report (or a list of them) as indented JSON."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2, sort_keys=False)
@@ -136,19 +137,21 @@ def chrome_trace(result: "RunResult") -> dict:
     for bank in range(config.n_memory_modules):
         events.append(_metadata_event(_BANK_PID, bank, "thread_name", f"bank{bank}"))
     for interval in extract_intervals(result.events, end_ns=result.ct_ns):
-        event = {
-            "ph": "X",
-            "pid": _CE_PID,
-            "tid": interval.processor_id,
-            "ts": interval.start_ns / 1000,
-            "dur": interval.duration_ns / 1000,
-            "name": interval.kind.value,
-            "cat": "activity",
-            "args": {"task_id": interval.task_id},
-        }
+        args: dict[str, object] = {"task_id": interval.task_id}
         if interval.construct is not None:
-            event["args"]["construct"] = interval.construct
-        events.append(event)
+            args["construct"] = interval.construct
+        events.append(
+            {
+                "ph": "X",
+                "pid": _CE_PID,
+                "tid": interval.processor_id,
+                "ts": interval.start_ns / 1000,
+                "dur": interval.duration_ns / 1000,
+                "name": interval.kind.value,
+                "cat": "activity",
+                "args": args,
+            }
+        )
     memory = result.machine._memory
     if memory is not None and memory.stats.requests > 0:
         end_us = result.ct_ns / 1000
@@ -175,7 +178,7 @@ def chrome_trace(result: "RunResult") -> dict:
     }
 
 
-def save_chrome_trace(result: "RunResult", path) -> None:
+def save_chrome_trace(result: "RunResult", path: "str | Path") -> None:
     """Write *result*'s Chrome trace-event JSON to *path*."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(chrome_trace(result), fh)

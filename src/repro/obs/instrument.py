@@ -39,7 +39,9 @@ from repro.obs.tracing import KernelTraceBuffer, MultiSink, TraceSink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runner import RunResult
+    from repro.hpm.events import TraceEvent
     from repro.hpm.monitor import CedarHpm
+    from repro.parallel.snapshot import HpmView
 
 __all__ = [
     "Observability",
@@ -232,7 +234,9 @@ def _collect_runtime(result: "RunResult", reg: MetricsRegistry) -> None:
 
 
 def collect_hpm_metrics(
-    hpm: "CedarHpm", reg: MetricsRegistry, events=None
+    hpm: "CedarHpm | HpmView",
+    reg: MetricsRegistry,
+    events: "list[TraceEvent] | None" = None,
 ) -> MetricsRegistry:
     """Harvest a ``cedarhpm`` monitor's buffer state into ``hpm.*``.
 
@@ -278,5 +282,6 @@ def collect_run_metrics(
     _collect_xylem(result, reg)
     _collect_runtime(result, reg)
     _collect_kernel(result, reg)
-    collect_hpm_metrics(result.hpm, reg, events=result.events)
+    if result.hpm is not None:
+        collect_hpm_metrics(result.hpm, reg, events=result.events)
     return reg

@@ -19,8 +19,13 @@ has one row per component kind.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.obs.tracing import TraceSink
 from repro.sim.core import Timeout
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.core import Event, Process
 
 __all__ = ["ProcessProfileRecord", "ProcessProfiler"]
 
@@ -77,16 +82,20 @@ class ProcessProfiler(TraceSink):
 
     # -- TraceSink protocol -------------------------------------------------
 
-    def on_process_started(self, process) -> None:
+    def on_process_started(self, process: "Process") -> None:
         self._record(process.name).spawns += 1
 
-    def on_event_scheduled(self, event, when, by) -> None:
+    def on_event_scheduled(
+        self, event: "Event", when: int, by: "Process | None"
+    ) -> None:
         # A Timeout scheduled from inside a process is that process
         # advancing simulated time.
         if by is not None and isinstance(event, Timeout):
             self._record(by.name).sim_ns += event.delay
 
-    def on_callback(self, event, owner, wall_s) -> None:
+    def on_callback(
+        self, event: "Event", owner: "Process | None", wall_s: float
+    ) -> None:
         if owner is None:
             self.other_wall_s += wall_s
             return

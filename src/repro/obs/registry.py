@@ -23,7 +23,8 @@ third-party dependencies.
 from __future__ import annotations
 
 import re
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from typing import TypeVar, cast
 
 __all__ = [
     "Counter",
@@ -66,6 +67,10 @@ class Counter:
             raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
         self.value += amount
 
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another counter's :meth:`snapshot` into this one (sum)."""
+        self.inc(cast("int | float", snapshot["value"]))
+
     def snapshot(self) -> dict:
         """JSON-serialisable state."""
         return {"kind": self.kind, "value": self.value}
@@ -96,6 +101,16 @@ class Gauge:
                 self.high_water = value
             if value < self.low_water:
                 self.low_water = value
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another gauge's :meth:`snapshot` into this one.
+
+        The merged gauge keeps the *last* value written and the extreme
+        high/low water marks across both recordings.
+        """
+        self.set(cast("int | float", snapshot["high_water"]))
+        self.set(cast("int | float", snapshot["low_water"]))
+        self.set(cast("int | float", snapshot["value"]))
 
     def snapshot(self) -> dict:
         """JSON-serialisable state."""
@@ -151,6 +166,52 @@ class Histogram:
     def mean(self) -> float:
         """Mean of the observations (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, snapshot: Mapping[str, object]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        The snapshot must carry identical bucket boundaries -- merged
+        histograms are only meaningful bucket-for-bucket.
+        """
+        boundaries = [float(b) for b in cast("list[float]", snapshot["boundaries"])]
+        if boundaries != self.boundaries:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge boundaries "
+                f"{boundaries} into {self.boundaries}"
+            )
+        counts = cast("list[int]", snapshot["counts"])
+        for i, count in enumerate(counts):
+            self.counts[i] += count
+        merged = cast(int, snapshot["count"])
+        self.count += merged
+        self.total += cast(float, snapshot["total"])
+        if merged:
+            low = cast(float, snapshot["min"])
+            high = cast(float, snapshot["max"])
+            if low < self.min:
+                self.min = low
+            if high > self.max:
+                self.max = high
+
+    def quantile(self, q: float) -> float | None:
+        """Approximate *q*-quantile (0..1) from the bucket counts.
+
+        Returns the upper edge of the bucket holding the quantile rank
+        (``max`` for the overflow bucket), or ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                if i < len(self.boundaries):
+                    return self.boundaries[i]
+                return self.max
+        return self.max
 
     def snapshot(self) -> dict:
         """JSON-serialisable state."""
@@ -208,6 +269,9 @@ class Timeseries:
         }
 
 
+_M = TypeVar("_M", Counter, Gauge, Histogram, Timeseries)
+
+
 class MetricsRegistry:
     """Hierarchically-named registry of metrics.
 
@@ -219,7 +283,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram | Timeseries] = {}
 
-    def _get_or_create(self, name: str, factory, kind: str):
+    def _get_or_create(self, name: str, factory: Callable[[str], _M], kind: str) -> _M:
         metric = self._metrics.get(name)
         if metric is None:
             metric = factory(validate_name(name))
@@ -228,7 +292,7 @@ class MetricsRegistry:
             raise ValueError(
                 f"metric {name!r} already registered as {metric.kind}, not {kind}"
             )
-        return metric
+        return cast(_M, metric)
 
     def counter(self, name: str) -> Counter:
         """Get or create a :class:`Counter`."""
@@ -259,7 +323,7 @@ class MetricsRegistry:
     def __iter__(self) -> Iterator[str]:
         return iter(sorted(self._metrics))
 
-    def get(self, name: str):
+    def get(self, name: str) -> Counter | Gauge | Histogram | Timeseries | None:
         """The metric registered under *name*, or ``None``."""
         return self._metrics.get(name)
 
@@ -270,11 +334,37 @@ class MetricsRegistry:
         dotted = prefix if prefix.endswith(".") else prefix + "."
         return sorted(n for n in self._metrics if n == prefix or n.startswith(dotted))
 
-    def value(self, name: str):
+    def value(self, name: str) -> int | float:
         """Shortcut for the scalar value of a counter/gauge."""
         metric = self._metrics[name]
+        if not isinstance(metric, (Counter, Gauge)):
+            raise TypeError(f"metric {name!r} is a {metric.kind}, not a scalar")
         return metric.value
 
     def snapshot(self) -> dict[str, dict]:
         """All metrics as one flat, JSON-serialisable dict (sorted)."""
         return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def merge_snapshot(
+        self, snapshot: Mapping[str, Mapping[str, object]], prefix: str = ""
+    ) -> None:
+        """Fold a whole :meth:`snapshot` into this registry.
+
+        The cross-process seam: a worker ships its registry's snapshot
+        (plain dicts pickle cheaply; live metric objects never cross the
+        pool boundary) and the coordinator merges it here, optionally
+        under a dotted *prefix* namespace.  Counters sum, gauges keep
+        last value + extreme water marks, histograms add bucket-for-
+        bucket.  Timeseries are skipped: their time bases are per-worker
+        host clocks and do not compose.
+        """
+        for name, snap in snapshot.items():
+            kind = snap["kind"]
+            full = f"{prefix}.{name}" if prefix else name
+            if kind == "counter":
+                self.counter(full).merge(snap)
+            elif kind == "gauge":
+                self.gauge(full).merge(snap)
+            elif kind == "histogram":
+                boundaries = cast("list[float]", snap["boundaries"])
+                self.histogram(full, boundaries).merge(snap)

@@ -97,27 +97,33 @@ class MultiSink(TraceSink):
     def __init__(self, sinks: list[TraceSink]) -> None:
         self.sinks = list(sinks)
 
-    def on_event_scheduled(self, event, when, by) -> None:
+    def on_event_scheduled(
+        self, event: "Event", when: int, by: "Process | None"
+    ) -> None:
         for sink in self.sinks:
             sink.on_event_scheduled(event, when, by)
 
-    def on_callback(self, event, owner, wall_s) -> None:
+    def on_callback(
+        self, event: "Event", owner: "Process | None", wall_s: float
+    ) -> None:
         for sink in self.sinks:
             sink.on_callback(event, owner, wall_s)
 
-    def on_event_processed(self, event, when) -> None:
+    def on_event_processed(self, event: "Event", when: int) -> None:
         for sink in self.sinks:
             sink.on_event_processed(event, when)
 
-    def on_tie_break(self, when, priority, first, second) -> None:
+    def on_tie_break(
+        self, when: int, priority: int, first: "Event", second: "Event"
+    ) -> None:
         for sink in self.sinks:
             sink.on_tie_break(when, priority, first, second)
 
-    def on_process_started(self, process) -> None:
+    def on_process_started(self, process: "Process") -> None:
         for sink in self.sinks:
             sink.on_process_started(process)
 
-    def on_process_ended(self, process) -> None:
+    def on_process_ended(self, process: "Process") -> None:
         for sink in self.sinks:
             sink.on_process_ended(process)
 
@@ -173,18 +179,20 @@ class KernelTraceBuffer(TraceSink):
             return
         self.records.append(KernelTraceRecord(kind, t_ns, what, detail))
 
-    def on_event_scheduled(self, event, when, by) -> None:
+    def on_event_scheduled(
+        self, event: "Event", when: int, by: "Process | None"
+    ) -> None:
         if self.record_scheduled:
-            name = getattr(by, "name", "") if by is not None else ""
+            name = by.name if by is not None else ""
             self._append("scheduled", when, type(event).__name__, name)
 
-    def on_event_processed(self, event, when) -> None:
+    def on_event_processed(self, event: "Event", when: int) -> None:
         self._append("processed", when, type(event).__name__)
 
-    def on_process_started(self, process) -> None:
+    def on_process_started(self, process: "Process") -> None:
         self._append("process_started", process.sim.now, process.name)
 
-    def on_process_ended(self, process) -> None:
+    def on_process_ended(self, process: "Process") -> None:
         self._append("process_ended", process.sim.now, process.name)
 
     def __len__(self) -> int:

@@ -23,24 +23,37 @@ are caught *inside* the worker and returned as structured
 ``(error_type, message)`` payloads -- never re-raised through the IPC
 pickle machinery -- and every cell gets the same ``1 + retries``
 same-seed attempts the serial path gives it.
+
+Telemetry: pass a :class:`~repro.obs.campaign.CampaignTelemetry` and
+every attempt comes back wrapped in a
+:class:`~repro.obs.campaign.CellSpan` -- queue wait, run wall, failure
+kind, schedule hash, kernel fast-path counters, plus a picklable
+snapshot of the worker's whole metric registry -- absorbed in
+*completion order* so the event log, progress line and campaign
+registry track the pool live.  Results stay keyed by spec, so telemetry
+never perturbs the tables.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.core.resilience import CellFailure, SweepOutcome
 from repro.core.runner import DEFAULT_SCALE
-from repro.obs.hostclock import WallTimer
+from repro.obs.campaign import CellSpan
+from repro.obs.hostclock import WallTimer, host_clock_s
 from repro.parallel.cache import ResultCache, cell_key
 from repro.parallel.snapshot import snapshot_result
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runner import RunResult
     from repro.faults.spec import CampaignSpec
+    from repro.obs.campaign import CampaignTelemetry
+    from repro.obs.instrument import Observability
     from repro.obs.registry import MetricsRegistry
 
 __all__ = ["CellSpec", "execute_cells", "parallel_sweep", "run_cell"]
@@ -75,17 +88,24 @@ class CellSpec:
         return cell_key(self)
 
 
-def run_cell(spec: CellSpec) -> "RunResult":
+def run_cell(spec: CellSpec, obs: "Observability | None" = None) -> "RunResult":
     """Execute one cell and return its detached snapshot.
 
     This is both the serial path (``jobs=1``) and the function each
-    pool worker runs; the two therefore cannot diverge.
+    pool worker runs; the two therefore cannot diverge.  Pass an
+    :class:`~repro.obs.instrument.Observability` to keep hold of the
+    run's metric registry (the telemetry seam: workers snapshot it into
+    their :class:`~repro.obs.campaign.CellSpan`); the schedule-order
+    sink is attached to it either way.
     """
     from repro.analyze.sanitize import DeterminismSink, _resolve_builder
     from repro.obs.instrument import Observability
 
+    if obs is None:
+        obs = Observability()
     sink = DeterminismSink(order_capacity=0) if spec.fingerprint_schedule else None
-    obs = Observability(extra_sinks=[sink] if sink is not None else [])
+    if sink is not None:
+        obs.extra_sinks.append(sink)
     if spec.campaign is not None:
         from repro.faults.campaign import run_with_campaign
 
@@ -96,6 +116,7 @@ def run_cell(spec: CellSpec) -> "RunResult":
             scale=spec.scale,
             seed=spec.seed,
             obs=obs,
+            statfx_interval_ns=spec.statfx_interval_ns,
             max_events=spec.max_events,
             max_sim_time=spec.max_sim_time,
         ).result
@@ -118,18 +139,55 @@ def run_cell(spec: CellSpec) -> "RunResult":
     return snapshot_result(result)
 
 
-def _worker(spec: CellSpec) -> tuple:
+def _worker(payload: "tuple[CellSpec, int, float, bool]") -> tuple:
     """Pool entry point: never raises, so futures never carry exceptions.
 
-    Returns ``("ok", snapshot)`` or ``("err", error_type, message)``.
-    Catching inside the worker keeps exotic exception types (whose
-    constructors don't round-trip through pickle) from wedging the
-    result pipe, and makes a failed cell cost exactly its own future.
+    *payload* is ``(spec, attempt, submit_s, ship_metrics)``; returns
+    ``("ok", snapshot, span)`` or ``("err", error_type, message, span)``
+    where *span* is the attempt's :class:`~repro.obs.campaign.CellSpan`
+    (carrying the worker registry's snapshot when *ship_metrics* is
+    set).  Catching inside the worker keeps exotic exception types
+    (whose constructors don't round-trip through pickle) from wedging
+    the result pipe, and makes a failed cell cost exactly its own
+    future.
     """
+    from repro.obs.instrument import Observability
+
+    spec, attempt, submit_s, ship_metrics = payload
+    obs = Observability()
+    start_s = host_clock_s()
     try:
-        return ("ok", run_cell(spec))
+        result = run_cell(spec, obs=obs)
     except BaseException as exc:  # noqa: BLE001 - isolation boundary
-        return ("err", type(exc).__name__, str(exc))
+        span = CellSpan(
+            app=spec.app,
+            n_processors=spec.n_processors,
+            seed=spec.seed,
+            attempt=attempt,
+            worker_pid=os.getpid(),
+            submit_s=submit_s,
+            start_s=start_s,
+            end_s=host_clock_s(),
+            run_wall_s=0.0,
+            failure_kind=type(exc).__name__,
+            metrics=obs.registry.snapshot() if ship_metrics else None,
+        )
+        return ("err", type(exc).__name__, str(exc), span)
+    span = CellSpan(
+        app=spec.app,
+        n_processors=spec.n_processors,
+        seed=spec.seed,
+        attempt=attempt,
+        worker_pid=os.getpid(),
+        submit_s=submit_s,
+        start_s=start_s,
+        end_s=host_clock_s(),
+        run_wall_s=result.wall_s,
+        schedule_hash=result.schedule_hash,
+        kernel_stats=dict(result.kernel_stats),
+        metrics=obs.registry.snapshot() if ship_metrics else None,
+    )
+    return ("ok", result, span)
 
 
 def _observe(metrics: "MetricsRegistry | None", attr: str, name: str, value) -> None:
@@ -149,6 +207,7 @@ def execute_cells(
     cache: ResultCache | None = None,
     retries: int = 1,
     metrics: "MetricsRegistry | None" = None,
+    telemetry: "CampaignTelemetry | None" = None,
 ) -> "tuple[dict[CellSpec, RunResult], list[CellFailure]]":
     """Run every spec, in parallel when ``jobs > 1``, behind the cache.
 
@@ -156,15 +215,25 @@ def execute_cells(
     spec to its snapshot and *failures* lists the cells that exhausted
     their ``1 + retries`` same-seed attempts, in input order.  Cache
     hits skip simulation entirely; fresh results are written back.
+
+    With *telemetry*, every submit/cache-hit/attempt/retry is logged
+    and aggregated as it completes (see :mod:`repro.obs.campaign`).
+    When *telemetry* is given without *metrics*, the ``parallel.*`` /
+    ``cache.*`` counters land in the telemetry's campaign registry.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
+    if metrics is None and telemetry is not None:
+        metrics = telemetry.registry
 
     results: "dict[CellSpec, RunResult]" = {}
     errors: dict[CellSpec, tuple[str, str]] = {}
     attempts: dict[CellSpec, int] = {}
+
+    if telemetry is not None:
+        telemetry.begin(specs, jobs)
 
     pending: list[CellSpec] = []
     for spec in specs:
@@ -172,33 +241,55 @@ def execute_cells(
             hit = cache.get(spec.key())
             if hit is not None:
                 results[spec] = hit
+                if telemetry is not None:
+                    telemetry.on_cache_hit(spec, hit)
                 continue
         pending.append(spec)
+
+    def _absorb(spec: CellSpec, payload: tuple) -> None:
+        """Fold one finished attempt in, the moment it completes."""
+        if payload[0] == "ok":
+            results[spec] = payload[1]
+            errors.pop(spec, None)
+            if cache is not None:
+                cache.put(spec.key(), payload[1])
+            will_retry = False
+        else:
+            errors[spec] = (payload[1], payload[2])
+            will_retry = attempts[spec] <= retries
+            if will_retry:
+                pending.append(spec)
+                _observe(metrics, "counter", "parallel.retries", 1)
+        if telemetry is not None:
+            telemetry.on_span(payload[-1], will_retry=will_retry)
 
     with WallTimer() as pool_wall:
         while pending:
             round_specs = pending
             pending = []
+            ship = telemetry is not None
+            batch: list[tuple[CellSpec, int, float, bool]] = []
+            for spec in round_specs:
+                attempts[spec] = attempts.get(spec, 0) + 1
+                submit_s = (
+                    telemetry.on_submit(spec, attempts[spec])
+                    if telemetry is not None
+                    else host_clock_s()
+                )
+                batch.append((spec, attempts[spec], submit_s, ship))
             if jobs == 1:
-                payloads = map(_worker, round_specs)
+                for payload_in in batch:
+                    _absorb(payload_in[0], _worker(payload_in))
             else:
                 # A fresh pool per retry round: a worker a wedged cell
                 # took down never poisons the retries of other cells.
                 with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    futures = [pool.submit(_worker, spec) for spec in round_specs]
-                    payloads = [future.result() for future in futures]
-            for spec, payload in zip(round_specs, payloads):
-                attempts[spec] = attempts.get(spec, 0) + 1
-                if payload[0] == "ok":
-                    results[spec] = payload[1]
-                    errors.pop(spec, None)
-                    if cache is not None:
-                        cache.put(spec.key(), payload[1])
-                else:
-                    errors[spec] = (payload[1], payload[2])
-                    if attempts[spec] <= retries:
-                        pending.append(spec)
-                        _observe(metrics, "counter", "parallel.retries", 1)
+                    futures = {
+                        pool.submit(_worker, payload_in): payload_in[0]
+                        for payload_in in batch
+                    }
+                    for future in as_completed(futures):
+                        _absorb(futures[future], future.result())
 
     failures = [
         CellFailure(
@@ -230,6 +321,8 @@ def execute_cells(
         )
     if cache is not None and metrics is not None:
         cache.collect(metrics)
+    if telemetry is not None:
+        telemetry.end()
     return results, failures
 
 
@@ -243,6 +336,7 @@ def parallel_sweep(
     campaign: "CampaignSpec | None" = None,
     retries: int = 1,
     metrics: "MetricsRegistry | None" = None,
+    telemetry: "CampaignTelemetry | None" = None,
     statfx_interval_ns: int = 200_000,
     max_events: int | None = None,
     max_sim_time: int | None = None,
@@ -252,8 +346,10 @@ def parallel_sweep(
     A drop-in sibling of :func:`~repro.core.resilience.resilient_sweep`
     returning the same :class:`SweepOutcome` (results in input order,
     per-cell failures isolated), plus per-cell ``schedule_hash`` values
-    on the results and ``parallel.*`` / ``cache.*`` metrics when a
-    registry is passed.
+    on the results, ``parallel.*`` / ``cache.*`` metrics when a
+    registry is passed, and full campaign telemetry (event log,
+    progress, Perfetto spans) when a
+    :class:`~repro.obs.campaign.CampaignTelemetry` is passed.
     """
     from repro.core.reference import CONFIGS
 
@@ -278,7 +374,12 @@ def parallel_sweep(
     ]
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     results, failures = execute_cells(
-        specs, jobs=jobs, cache=cache, retries=retries, metrics=metrics
+        specs,
+        jobs=jobs,
+        cache=cache,
+        retries=retries,
+        metrics=metrics,
+        telemetry=telemetry,
     )
     outcome = SweepOutcome(scale=scale, seed=seed, failures=failures)
     for app in apps:

@@ -24,6 +24,15 @@ The contract -- enforced by ``tests/parallel/test_snapshot.py`` -- is
 that every table/figure function and :func:`repro.obs.instrument.
 collect_run_metrics` produce identical output from the snapshot and
 from the live result.
+
+The same contract is what makes campaign telemetry free of side
+channels: a pool worker collects its metrics from the *snapshot*-bound
+``Observability`` registry and ships them inside a
+:class:`~repro.obs.campaign.CellSpan` *beside* the result, so the
+snapshot the coordinator caches and tabulates is byte-identical whether
+telemetry was on or off.  ``wall_s``, ``schedule_hash`` and
+``kernel_stats`` ride on the snapshot itself and are the only fields
+the span reads back out of it.
 """
 
 from __future__ import annotations

@@ -1,0 +1,349 @@
+"""Campaign telemetry: spans, progress, log round-trip, report, trace.
+
+The contract under test: :class:`~repro.obs.campaign.CampaignTelemetry`
+observes a campaign without touching its results -- the spans, the
+JSONL log, the SLO report and the Perfetto trace are all *derived*
+views that must agree with each other and with the header's
+provenance tags.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.campaign import (
+    CAMPAIGN_LOG_SCHEMA,
+    CAMPAIGN_REPORT_SCHEMA,
+    CampaignTelemetry,
+    CellSpan,
+    ProgressReporter,
+    build_campaign_report,
+    campaign_chrome_trace,
+    load_campaign_log,
+    percentile,
+    render_campaign_report,
+    save_campaign_report,
+    save_campaign_trace,
+    spans_from_log,
+)
+from repro.parallel.cache import code_fingerprint
+from repro.parallel.executor import CellSpec
+
+SPECS = [
+    CellSpec(app="FLO52", n_processors=1, scale=0.002, seed=1994),
+    CellSpec(app="FLO52", n_processors=4, scale=0.002, seed=1994),
+    CellSpec(app="OCEAN", n_processors=4, scale=0.002, seed=1994),
+]
+
+
+def make_span(
+    app: str = "FLO52",
+    p: int = 4,
+    attempt: int = 1,
+    pid: int = 101,
+    submit: float = 10.0,
+    start: float = 10.5,
+    end: float = 12.5,
+    **kwargs,
+) -> CellSpan:
+    return CellSpan(
+        app=app,
+        n_processors=p,
+        seed=1994,
+        attempt=attempt,
+        worker_pid=pid,
+        submit_s=submit,
+        start_s=start,
+        end_s=end,
+        run_wall_s=kwargs.pop("run_wall_s", end - start),
+        **kwargs,
+    )
+
+
+# -- CellSpan ----------------------------------------------------------------
+
+
+def test_span_derived_quantities():
+    span = make_span()
+    assert span.ok
+    assert span.queue_wait_s == pytest.approx(0.5)
+    assert span.span_s == pytest.approx(2.0)
+    assert span.label == "FLO52 P=4"
+
+
+def test_span_clamps_clock_skew():
+    """Cross-process clock jitter must never produce negative waits."""
+    span = make_span(submit=11.0, start=10.5, end=10.0)
+    assert span.queue_wait_s == 0.0
+    assert span.span_s == 0.0
+
+
+def test_failed_span():
+    span = make_span(failure_kind="RuntimeError")
+    assert not span.ok
+
+
+# -- percentile --------------------------------------------------------------
+
+
+def test_percentile_nearest_rank():
+    values = [0.1, 0.2, 0.3, 0.4]
+    assert percentile(values, 0.0) == 0.1
+    assert percentile(values, 0.5) == 0.2
+    assert percentile(values, 0.95) == 0.4
+    assert percentile(values, 1.0) == 0.4
+    assert percentile([7.0], 0.5) == 7.0
+
+
+def test_percentile_empty_and_invalid():
+    assert percentile([], 0.5) is None
+    with pytest.raises(ValueError):
+        percentile([1.0], 1.5)
+
+
+# -- ProgressReporter --------------------------------------------------------
+
+
+def test_progress_line_contents():
+    reporter = ProgressReporter(total=4, jobs=2, stream=io.StringIO())
+    reporter.note_cell(0.2, ok=True)
+    reporter.note_cell(0.0, ok=True, cache_hit=True)
+    reporter.note_cell(0.3, ok=False)
+    line = reporter.line()
+    assert line.startswith("[2/4]")
+    assert "cells/s" in line
+    assert "util" in line
+    assert "cache 1/2" in line
+    assert "failed 1" in line
+    assert "eta" in line
+
+
+def test_progress_disabled_on_non_tty():
+    stream = io.StringIO()  # not a TTY
+    reporter = ProgressReporter(total=2, stream=stream)
+    assert not reporter.enabled
+    reporter.note_cell(0.1, ok=True)
+    reporter.close()
+    assert stream.getvalue() == ""
+
+
+def test_progress_enabled_paints_in_place():
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=2, stream=stream, enabled=True)
+    reporter.note_cell(0.1, ok=True)
+    reporter.close()
+    out = stream.getvalue()
+    assert out.startswith("\r\x1b[2K[1/2]")
+    assert out.endswith("\n")
+
+
+# -- CampaignTelemetry lifecycle ---------------------------------------------
+
+
+def run_fake_campaign(tmp_path, log_name="campaign.jsonl"):
+    """Drive a telemetry object through a synthetic 3-cell campaign."""
+    telemetry = CampaignTelemetry(
+        log_path=tmp_path / log_name, progress=False, label="unit"
+    )
+    telemetry.begin(SPECS, jobs=2)
+    # Cell 1: clean success on worker 101.
+    telemetry.on_submit(SPECS[0], attempt=1)
+    telemetry.on_span(
+        make_span(app="FLO52", p=1, pid=101, schedule_hash="aaaa")
+    )
+    # Cell 2: one failed attempt (retried), then success on worker 102.
+    telemetry.on_submit(SPECS[1], attempt=1)
+    telemetry.on_span(
+        make_span(pid=102, failure_kind="RuntimeError"), will_retry=True
+    )
+    telemetry.on_submit(SPECS[1], attempt=2)
+    telemetry.on_span(
+        make_span(pid=102, attempt=2, start=13.0, end=14.0, schedule_hash="bbbb")
+    )
+    # Cell 3: served from the cache.
+    class FakeResult:
+        wall_s = 1.5
+        schedule_hash = "cccc"
+        kernel_stats = {"pool.reused": 3.0}
+
+    telemetry.on_cache_hit(SPECS[2], FakeResult())
+    telemetry.end()
+    return telemetry
+
+
+def test_begin_twice_raises(tmp_path):
+    telemetry = CampaignTelemetry(progress=False)
+    telemetry.begin(SPECS, jobs=1)
+    with pytest.raises(RuntimeError, match="twice"):
+        telemetry.begin(SPECS, jobs=1)
+
+
+def test_header_is_tagged_with_provenance(tmp_path):
+    telemetry = run_fake_campaign(tmp_path)
+    header = telemetry.header
+    assert header["schema"] == CAMPAIGN_LOG_SCHEMA
+    assert header["code_fingerprint"] == code_fingerprint()
+    assert header["seed"] == 1994
+    assert header["n_cells"] == 3
+    assert header["apps"] == ["FLO52", "OCEAN"]
+    assert header["configs"] == [1, 4]
+
+
+def test_log_round_trips(tmp_path):
+    telemetry = run_fake_campaign(tmp_path)
+    header, events = load_campaign_log(tmp_path / "campaign.jsonl")
+    assert header == telemetry.header
+    assert events == telemetry.events
+    kinds = [e["ev"] for e in events]
+    assert kinds.count("submit") == 3
+    assert kinds.count("start") == 3
+    assert kinds.count("finish") == 3
+    assert kinds.count("retry") == 1
+    assert kinds.count("cache_hit") == 1
+    assert kinds[-1] == "end"
+
+
+def test_campaign_metrics_aggregated(tmp_path):
+    telemetry = run_fake_campaign(tmp_path)
+    reg = telemetry.registry
+    assert reg.value("campaign.cells.attempts") == 4
+    assert reg.value("campaign.cells.completed") == 3
+    assert reg.value("campaign.cells.failed_attempts") == 1
+    assert reg.value("campaign.cells.cache_hits") == 1
+    assert reg.get("campaign.cell_wall_s").count == 3  # cache hit excluded
+    assert reg.value("campaign.wall_s") > 0
+    assert 0 < reg.value("campaign.pool.utilization") <= 1
+
+
+def test_worker_metric_snapshots_merge_under_campaign_prefix(tmp_path):
+    telemetry = CampaignTelemetry(progress=False)
+    telemetry.begin(SPECS[:1], jobs=1)
+    from repro.obs.registry import MetricsRegistry
+
+    worker = MetricsRegistry()
+    worker.counter("run.ct_ns").inc(42)
+    telemetry.on_span(make_span(metrics=worker.snapshot()))
+    telemetry.end()
+    assert telemetry.registry.value("campaign.run.ct_ns") == 42
+
+
+def test_report_from_synthetic_campaign(tmp_path):
+    telemetry = run_fake_campaign(tmp_path)
+    report = telemetry.report()
+    assert report["schema"] == CAMPAIGN_REPORT_SCHEMA
+    assert report["code_fingerprint"] == code_fingerprint()
+    assert report["seed"] == 1994
+    assert report["cells"] == {
+        "total": 3,
+        "completed": 3,
+        "simulated": 2,
+        "cache_hits": 1,
+        "failed": 0,
+        "failed_cells": [],
+        "retries": 1,
+    }
+    assert report["latency_s"]["p50"] == pytest.approx(1.0)
+    assert report["latency_s"]["p95"] == pytest.approx(2.0)
+    assert report["latency_s"]["p99"] == pytest.approx(2.0)
+    assert report["throughput"]["sustained_cells_per_s"] > 0
+    assert report["cache"]["hits"] == 1
+    assert report["failures"] == {"RuntimeError": 1}
+    assert set(report["pool"]["workers"]) == {"101", "102"}
+    assert report["pool"]["workers"]["102"]["attempts"] == 2
+
+
+def test_failed_cell_accounting():
+    """A cell whose every attempt failed is a failed cell; a cell that
+    eventually succeeded is not."""
+    header = {"jobs": 1, "n_cells": 2, "t0": 0.0}
+    events = [
+        {"ev": "finish", "t": 1.0, "app": "A", "p": 1, "ok": False,
+         "wall_s": 1.0, "error": "Boom", "pid": 9},
+        {"ev": "finish", "t": 2.0, "app": "A", "p": 1, "ok": True,
+         "wall_s": 1.0, "pid": 9},
+        {"ev": "finish", "t": 3.0, "app": "B", "p": 4, "ok": False,
+         "wall_s": 0.5, "error": "Boom", "pid": 9},
+    ]
+    report = build_campaign_report(header, events)
+    assert report["cells"]["failed"] == 1
+    assert report["cells"]["failed_cells"] == [["B", 4]]
+    assert report["failures"] == {"Boom": 2}
+
+
+def test_render_report_mentions_the_headline_numbers(tmp_path):
+    telemetry = run_fake_campaign(tmp_path)
+    text = render_campaign_report(telemetry.report())
+    assert "campaign unit: 3/3 cells" in text
+    assert "p95" in text
+    assert "RuntimeError: 1 attempt(s)" in text
+    assert f"code {code_fingerprint()}" in text
+    assert "seed 1994" in text
+
+
+def test_save_report_is_json(tmp_path):
+    telemetry = run_fake_campaign(tmp_path)
+    out = tmp_path / "report.json"
+    save_campaign_report(telemetry.report(), out)
+    assert json.loads(out.read_text())["schema"] == CAMPAIGN_REPORT_SCHEMA
+
+
+def test_load_rejects_foreign_and_empty_files(tmp_path):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"schema": "something-else"}\n')
+    with pytest.raises(ValueError, match="not a campaign log"):
+        load_campaign_log(bad)
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("\n")
+    with pytest.raises(ValueError, match="empty campaign log"):
+        load_campaign_log(empty)
+
+
+# -- Perfetto trace ----------------------------------------------------------
+
+
+def test_chrome_trace_tracks_and_slices(tmp_path):
+    telemetry = run_fake_campaign(tmp_path)
+    trace = telemetry.chrome_trace()
+    events = trace["traceEvents"]
+    meta = [e for e in events if e["ph"] == "M"]
+    slices = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    # One named track per worker PID (cache hit lands on the
+    # coordinator's own PID, adding a third track).
+    assert {e["args"]["name"] for e in meta} == {
+        "worker 101",
+        "worker 102",
+        f"worker {__import__('os').getpid()}",
+    }
+    assert len(slices) == 3
+    names = {e["name"] for e in instants}
+    assert any(n.startswith("cache-hit OCEAN") for n in names)
+    assert any(n.startswith("failed FLO52") for n in names)
+
+
+def test_spans_from_log_rebuild_the_same_trace(tmp_path):
+    telemetry = run_fake_campaign(tmp_path)
+    _, events = load_campaign_log(tmp_path / "campaign.jsonl")
+    rebuilt = spans_from_log(events)
+    assert len(rebuilt) == len(telemetry.spans)
+    direct = campaign_chrome_trace(
+        telemetry.spans, t0=telemetry.header["t0"]
+    )
+    from_log = campaign_chrome_trace(rebuilt, t0=telemetry.header["t0"])
+    direct_slices = [e for e in direct["traceEvents"] if e["ph"] == "X"]
+    log_slices = [e for e in from_log["traceEvents"] if e["ph"] == "X"]
+    assert [e["name"] for e in direct_slices] == [e["name"] for e in log_slices]
+    assert [e["dur"] for e in direct_slices] == pytest.approx(
+        [e["dur"] for e in log_slices]
+    )
+
+
+def test_save_campaign_trace(tmp_path):
+    out = tmp_path / "trace.json"
+    save_campaign_trace([make_span()], out)
+    trace = json.loads(out.read_text())
+    assert trace["otherData"]["spans"] == 1
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])

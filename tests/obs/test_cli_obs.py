@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.hpm import load_trace, load_trace_meta
 
@@ -58,3 +60,107 @@ def test_trace_command_writes_meta_header(tmp_path, capsys):
     events = load_trace(out_file)
     assert events
     assert len(events) == len(out_file.read_text().splitlines()) - 1
+
+
+def test_sweep_with_campaign_log_and_report_round_trip(tmp_path, capsys):
+    """sweep --log writes a campaign log; the report command rebuilds
+    the same summary and exports JSON + Perfetto artifacts."""
+    log = tmp_path / "campaign.jsonl"
+    main(
+        [
+            "sweep",
+            "flo52",
+            "--scale",
+            "0.002",
+            "--log",
+            str(log),
+        ]
+    )
+    sweep_out = capsys.readouterr().out
+    assert "Table 1" in sweep_out
+    assert "campaign sweep FLO52:" in sweep_out
+    assert f"wrote campaign log to {log}" in sweep_out
+    summary = [ln for ln in sweep_out.splitlines() if ln.startswith("campaign ")]
+
+    report_json = tmp_path / "report.json"
+    trace_json = tmp_path / "trace.json"
+    main(
+        [
+            "report",
+            str(log),
+            "--json",
+            str(report_json),
+            "--perfetto",
+            str(trace_json),
+        ]
+    )
+    report_out = capsys.readouterr().out
+    assert summary[0] in report_out
+    report = json.loads(report_json.read_text())
+    assert report["schema"] == "cedar-repro/campaign-report/v1"
+    assert report["cells"]["completed"] == 5
+    assert report["latency_s"]["p95"] is not None
+    assert report["code_fingerprint"]
+    trace = json.loads(trace_json.read_text())
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+
+def test_report_command_rejects_bad_files(tmp_path, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["report", str(tmp_path / "missing.jsonl")])
+    assert exc.value.code == 2
+    assert "error:" in capsys.readouterr().err
+
+    foreign = tmp_path / "foreign.jsonl"
+    foreign.write_text('{"schema": "other"}\n')
+    with pytest.raises(SystemExit) as exc:
+        main(["report", str(foreign)])
+    assert exc.value.code == 2
+
+
+def test_stats_surfaces_parallel_and_cache_counters(tmp_path, capsys):
+    """stats --jobs/--cache-dir prints the executor's own counters."""
+    cache_dir = tmp_path / "cache"
+    main(
+        [
+            "stats",
+            "flo52",
+            "4",
+            "--scale",
+            "0.002",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "parallel execution counters" in out
+    assert "parallel.cells.total" in out
+    assert "cache.misses" in out
+    assert "campaign stats FLO52" in out
+
+    # Warm rerun answers from the cache and says so.
+    main(
+        [
+            "stats",
+            "flo52",
+            "4",
+            "--scale",
+            "0.002",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(cache_dir),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "cache.hits" in out
+
+
+def test_run_with_progress_flag_forces_progress_line(capsys):
+    """--progress enables the reporter even without a TTY."""
+    main(["run", "flo52", "4", "--scale", "0.002", "--progress"])
+    captured = capsys.readouterr()
+    assert "[2/2]" in captured.err
+    assert "cells/s" in captured.err

@@ -115,3 +115,79 @@ def test_registry_snapshot_is_flat_and_sorted():
     assert list(snap) == ["a", "b"]
     assert snap["a"] == {"kind": "counter", "value": 1}
     assert snap["b"]["value"] == 2
+
+
+# -- merging (the cross-process seam) ---------------------------------------
+
+
+def test_counter_merge_sums():
+    a, b = Counter("c"), Counter("c")
+    a.inc(10)
+    b.inc(32)
+    a.merge(b.snapshot())
+    assert a.value == 42
+
+
+def test_gauge_merge_keeps_extremes_and_last_value():
+    a, b = Gauge("g"), Gauge("g")
+    a.set(5)
+    b.set(100)
+    b.set(2)
+    a.merge(b.snapshot())
+    assert a.value == 2
+    assert a.high_water == 100
+    assert a.low_water == 2
+
+
+def test_histogram_merge_adds_bucket_for_bucket():
+    bounds = (1.0, 10.0)
+    a, b = Histogram("h", bounds), Histogram("h", bounds)
+    a.observe(0.5)
+    b.observe(5.0)
+    b.observe(50.0)
+    a.merge(b.snapshot())
+    assert a.count == 3
+    assert a.min == 0.5
+    assert a.max == 50.0
+
+
+def test_histogram_merge_rejects_mismatched_boundaries():
+    a = Histogram("h", (1.0, 2.0))
+    b = Histogram("h", (1.0, 3.0))
+    with pytest.raises(ValueError):
+        a.merge(b.snapshot())
+
+
+def test_histogram_quantile_reports_bucket_edges():
+    h = Histogram("h", (1.0, 2.0, 4.0))
+    assert h.quantile(0.5) is None  # empty
+    for value in (0.5, 1.5, 1.6, 3.0):
+        h.observe(value)
+    assert h.quantile(0.0) == 1.0
+    assert h.quantile(0.5) == 2.0
+    assert h.quantile(1.0) == 4.0
+    h.observe(99.0)  # overflow bucket reports the observed max
+    assert h.quantile(1.0) == 99.0
+
+
+def test_registry_merge_snapshot_with_prefix():
+    worker = MetricsRegistry()
+    worker.counter("run.ct_ns").inc(7)
+    worker.gauge("run.wall_s").set(1.5)
+    worker.histogram("lat", (1.0,)).observe(0.5)
+    worker.timeseries("ts").sample(0, 1.0)  # timeseries must be skipped
+
+    coord = MetricsRegistry()
+    coord.counter("campaign.run.ct_ns").inc(1)
+    coord.merge_snapshot(worker.snapshot(), prefix="campaign")
+    assert coord.value("campaign.run.ct_ns") == 8
+    assert coord.value("campaign.run.wall_s") == 1.5
+    assert coord.get("campaign.lat").count == 1
+    assert coord.names("campaign.ts") == []
+
+
+def test_value_rejects_non_scalar_metrics():
+    reg = MetricsRegistry()
+    reg.histogram("h", (1.0,)).observe(0.5)
+    with pytest.raises(TypeError, match="not a scalar"):
+        reg.value("h")

@@ -122,3 +122,75 @@ def test_validation_errors():
 def test_empty_specs():
     results, failures = execute_cells([], jobs=1)
     assert results == {} and failures == []
+
+
+def test_telemetry_observes_without_perturbing(serial_outcome, tmp_path):
+    """A telemetered pooled sweep returns byte-identical results while
+    the telemetry object ends up with the spans, the log, the report
+    and the merged campaign metrics."""
+    from repro.obs.campaign import CAMPAIGN_LOG_SCHEMA, CampaignTelemetry
+    from repro.obs.campaign import load_campaign_log
+
+    log = tmp_path / "campaign.jsonl"
+    telemetry = CampaignTelemetry(log_path=log, progress=False, label="t")
+    pooled = parallel_sweep(
+        ["FLO52"],
+        configs=CONFIGS,
+        scale=SCALE,
+        seed=SEED,
+        jobs=2,
+        cache_dir=tmp_path / "cache",
+        telemetry=telemetry,
+    )
+    assert pooled.ok
+    assert table1(pooled.results)[1] == table1(serial_outcome.results)[1]
+    for n_proc in CONFIGS:
+        assert (
+            pooled.results["FLO52"][n_proc].schedule_hash
+            == serial_outcome.results["FLO52"][n_proc].schedule_hash
+        )
+
+    # Spans: one successful worker-side attempt per cell.
+    assert len(telemetry.spans) == len(CONFIGS)
+    assert all(s.ok and not s.cache_hit for s in telemetry.spans)
+    assert {s.n_processors for s in telemetry.spans} == set(CONFIGS)
+    assert all(s.schedule_hash for s in telemetry.spans)
+    assert all(s.run_wall_s > 0 for s in telemetry.spans)
+    assert all(s.metrics is not None for s in telemetry.spans)
+
+    # The default registry carries executor + cache + campaign metrics.
+    reg = telemetry.registry
+    assert reg.value("parallel.cells.total") == len(CONFIGS)
+    assert reg.value("cache.puts") == len(CONFIGS)
+    assert reg.value("campaign.cells.completed") == len(CONFIGS)
+    assert reg.value("campaign.run.ct_ns") > 0  # merged worker snapshot
+
+    # The log round-trips and the report sees the whole campaign.
+    header, events = load_campaign_log(log)
+    assert header["schema"] == CAMPAIGN_LOG_SCHEMA
+    assert header["jobs"] == 2
+    report = telemetry.report()
+    assert report["cells"]["completed"] == len(CONFIGS)
+    assert report["cells"]["simulated"] == len(CONFIGS)
+    assert report["latency_s"]["p95"] > 0
+    assert report["throughput"]["sustained_cells_per_s"] > 0
+
+    # Warm rerun: telemetry sees pure cache hits, results unchanged.
+    warm_telemetry = CampaignTelemetry(progress=False)
+    warm = parallel_sweep(
+        ["FLO52"],
+        configs=CONFIGS,
+        scale=SCALE,
+        seed=SEED,
+        jobs=2,
+        cache_dir=tmp_path / "cache",
+        telemetry=warm_telemetry,
+    )
+    assert warm.ok
+    assert table1(warm.results)[1] == table1(serial_outcome.results)[1]
+    warm_report = warm_telemetry.report()
+    assert warm_report["cache"]["hits"] == len(CONFIGS)
+    assert warm_report["cells"]["simulated"] == 0
+    assert warm_telemetry.registry.value("campaign.cells.cache_hits") == len(
+        CONFIGS
+    )
