@@ -16,6 +16,12 @@ over:
   ``cedar-repro sanitize`` runs a workload twice under one seed and
   diffs the hashes.
 
+The concurrency-hazard layer (:mod:`repro.analyze.race`) extends both
+ends: the CDR100-series rules flag shared-state races in process
+generators, and the tie-break perturbation sanitizer
+(``cedar-repro race``) permutes same-instant event order under K seeds
+and asserts byte-identical breakdowns and tables.
+
 See ``docs/static-analysis.md`` for the rule catalogue.
 """
 
@@ -26,8 +32,25 @@ from repro.analyze.engine import (
     lint_paths,
     lint_source,
 )
-from repro.analyze.findings import Finding, Suppressions, parse_suppressions
-from repro.analyze.reporters import render_json, render_text
+from repro.analyze.findings import (
+    Finding,
+    SuppressionRecord,
+    Suppressions,
+    parse_suppressions,
+)
+from repro.analyze.race import (
+    RaceReport,
+    ResultFingerprint,
+    SeedDivergence,
+    fingerprint_result,
+    plant_order_hazard,
+    race_app,
+)
+from repro.analyze.reporters import (
+    render_json,
+    render_suppression_stats,
+    render_text,
+)
 from repro.analyze.rules import RULE_REGISTRY, ModuleContext, Rule, all_rules
 from repro.analyze.sanitize import (
     SCHEDULE_HASH_DOMAIN,
@@ -50,17 +73,25 @@ __all__ = [
     "LintResult",
     "ModuleContext",
     "RULE_REGISTRY",
+    "RaceReport",
+    "ResultFingerprint",
     "Rule",
     "RunDigest",
     "SanitizeReport",
+    "SeedDivergence",
+    "SuppressionRecord",
     "Suppressions",
     "TieBreakRecord",
     "all_rules",
+    "fingerprint_result",
     "lint_file",
     "lint_paths",
     "lint_source",
     "parse_suppressions",
+    "plant_order_hazard",
+    "race_app",
     "render_json",
+    "render_suppression_stats",
     "render_text",
     "same_schedule",
     "sanitize_app",

@@ -17,7 +17,12 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analyze.findings import Finding, parse_suppressions
+from repro.analyze.findings import (
+    Finding,
+    SuppressionRecord,
+    Suppressions,
+    parse_suppressions,
+)
 from repro.analyze.rules import ModuleContext, all_rules
 
 __all__ = ["LintConfig", "LintResult", "lint_source", "lint_file", "lint_paths"]
@@ -54,11 +59,32 @@ class LintResult:
 
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
+    #: Path -> well-formed ``# cdr: noqa`` directives found there (only
+    #: files with at least one directive appear).  The raw material of
+    #: the ``cedar-repro lint --stats`` suppression audit: suppressions
+    #: are accepted debt, and debt should be countable.
+    suppressions: dict[str, list[SuppressionRecord]] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         """``True`` when no findings survived suppression."""
         return not self.findings
+
+    def suppression_stats(self) -> dict[str, dict[str, int]]:
+        """Per-file, per-code counts of suppression directives.
+
+        Bare ``# cdr: noqa`` directives (which silence every rule) are
+        tallied under the pseudo-code ``ALL``; a directive naming
+        several codes counts once per code.
+        """
+        stats: dict[str, dict[str, int]] = {}
+        for path, records in self.suppressions.items():
+            per_code: dict[str, int] = {}
+            for record in records:
+                for code in record.codes or ("ALL",):
+                    per_code[code] = per_code.get(code, 0) + 1
+            stats[path] = dict(sorted(per_code.items()))
+        return dict(sorted(stats.items()))
 
 
 def _relpath(path: Path) -> str:
@@ -77,30 +103,34 @@ def _relpath(path: Path) -> str:
     return path.as_posix()
 
 
-def lint_source(
+def _analyse(
     source: str,
-    path: str = "<string>",
-    config: LintConfig | None = None,
-    relpath: str | None = None,
-) -> list[Finding]:
-    """Lint Python *source* text; returns surviving findings, sorted.
+    path: str,
+    cfg: LintConfig,
+    relpath: str | None,
+) -> tuple[list[Finding], Suppressions | None]:
+    """Run every rule over *source*; returns (findings, suppressions).
 
-    A file that does not parse produces a single ``CDR000`` finding at
-    the error location rather than crashing the run.
+    Suppressions are ``None`` when the file did not parse.  Malformed
+    ``# cdr: noqa`` directives become ``CDR000`` findings that are
+    deliberately *not* run through suppression filtering: a broken
+    directive must not be able to silence its own diagnosis.
     """
-    cfg = config if config is not None else LintConfig()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
-                code="CDR000",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        return (
+            [
+                Finding(
+                    path=path,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                    code="CDR000",
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            None,
+        )
     ctx = ModuleContext(
         path=path,
         relpath=relpath if relpath is not None else _relpath(Path(path)),
@@ -114,7 +144,33 @@ def lint_source(
         for finding in rule.check(ctx)
         if not suppressions.suppressed(finding)
     ]
+    findings.extend(
+        Finding(
+            path=path,
+            line=lineno,
+            col=1,
+            code="CDR000",
+            message=f"{reason}: the directive suppresses nothing",
+        )
+        for lineno, reason in suppressions.malformed
+    )
     findings.sort()
+    return findings, suppressions
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+    relpath: str | None = None,
+) -> list[Finding]:
+    """Lint Python *source* text; returns surviving findings, sorted.
+
+    A file that does not parse produces a single ``CDR000`` finding at
+    the error location rather than crashing the run.
+    """
+    cfg = config if config is not None else LintConfig()
+    findings, _ = _analyse(source, path, cfg, relpath)
     return findings
 
 
@@ -141,9 +197,14 @@ def iter_python_files(paths: list[Path]) -> list[Path]:
 
 def lint_paths(paths: list[Path], config: LintConfig | None = None) -> LintResult:
     """Lint every Python file under *paths*."""
+    cfg = config if config is not None else LintConfig()
     result = LintResult()
     for file_path in iter_python_files(paths):
-        result.findings.extend(lint_file(file_path, config=config))
+        source = file_path.read_text(encoding="utf-8")
+        findings, suppressions = _analyse(source, str(file_path), cfg, None)
+        result.findings.extend(findings)
+        if suppressions is not None and suppressions.records:
+            result.suppressions[str(file_path)] = list(suppressions.records)
         result.files_checked += 1
     result.findings.sort()
     return result

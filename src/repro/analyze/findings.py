@@ -20,19 +20,39 @@ Two comment forms silence findings:
 A bare ``# cdr: noqa`` (no bracket) suppresses every rule for the line
 or file.  Suppressions are matched against the physical line the AST
 node starts on.
+
+Malformed directives -- an unclosed bracket (``# cdr: noqa[CDR001``),
+an empty code list (``# cdr: noqa[]``) or a code that is not
+``CDR``-shaped (``# cdr: noqa[BOGUS]``) -- suppress **nothing**: the
+author believed a rule was silenced when it was not (or, worse under
+the pre-audit behaviour, silenced *every* rule).  They are recorded in
+:attr:`Suppressions.malformed` and surfaced by the engine as
+un-suppressible ``CDR000`` findings.
+
+Every well-formed directive is also kept verbatim in
+:attr:`Suppressions.records`, the raw material for the
+``cedar-repro lint --stats`` suppression audit.
+
+Directives are recognised only inside genuine comment tokens: a
+docstring or string literal that merely *mentions* the syntax (such as
+this one) neither suppresses nor counts.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 from dataclasses import dataclass, field
 
-__all__ = ["Finding", "Suppressions", "parse_suppressions"]
+__all__ = ["Finding", "SuppressionRecord", "Suppressions", "parse_suppressions"]
 
 #: Shape of a valid rule code.
 CODE_RE = re.compile(r"^CDR\d{3}$")
 
-_NOQA_RE = re.compile(r"#\s*cdr:\s*noqa(?:\[(?P<codes>[A-Za-z0-9,\s]+)\])?")
+#: Anchored at the start of the comment: a comment that merely
+#: mentions the directive mid-sentence is prose, not a suppression.
+_NOQA_RE = re.compile(r"^#+:?\s*cdr:\s*noqa")
 
 
 @dataclass(frozen=True, order=True)
@@ -60,6 +80,17 @@ class Finding:
         }
 
 
+@dataclass(frozen=True)
+class SuppressionRecord:
+    """One well-formed ``# cdr: noqa`` directive, kept for auditing."""
+
+    lineno: int
+    #: Codes the directive names; empty means *every* rule.
+    codes: tuple[str, ...]
+    #: Whether the directive applies file-wide (comment-only line).
+    file_level: bool
+
+
 @dataclass
 class Suppressions:
     """Parsed ``# cdr: noqa`` directives of one source file."""
@@ -72,6 +103,11 @@ class Suppressions:
     line_codes: dict[int, set[str]] = field(default_factory=dict)
     #: Lines on which every rule is suppressed.
     line_all: set[int] = field(default_factory=set)
+    #: Every well-formed directive, in source order (the audit surface).
+    records: list[SuppressionRecord] = field(default_factory=list)
+    #: ``(lineno, reason)`` for directives that could not be parsed;
+    #: these suppress nothing.
+    malformed: list[tuple[int, str]] = field(default_factory=list)
 
     def suppressed(self, finding: Finding) -> bool:
         """Whether *finding* is silenced by a directive."""
@@ -87,30 +123,74 @@ class Suppressions:
         )
 
 
+def _iter_comments(source: str) -> list[tuple[int, str, bool]]:
+    """Every comment token as ``(lineno, text, is_whole_line)``.
+
+    Tokenizing (rather than scanning raw lines) keeps string literals
+    and docstrings out: only real comments can carry directives.
+    Tokenizer failures end the scan at the error point -- the engine
+    only parses suppressions for files that already compiled, so this
+    is a belt-and-braces fallback, not an expected path.
+    """
+    comments: list[tuple[int, str, bool]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                lineno, col = token.start
+                whole_line = not token.line[:col].strip()
+                comments.append((lineno, token.string, whole_line))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return comments
+
+
 def parse_suppressions(source: str) -> Suppressions:
     """Extract every ``# cdr: noqa`` directive from *source*.
 
-    A directive on a line that holds only a comment applies file-wide;
-    a trailing directive applies to its own line.
+    A directive in a comment that is alone on its line applies
+    file-wide; a trailing directive applies to its own line.  Malformed
+    directives (unclosed bracket, empty or invalid code list) are
+    collected in :attr:`Suppressions.malformed` and suppress nothing.
     """
     result = Suppressions()
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _NOQA_RE.search(text)
+    for lineno, text, file_level in _iter_comments(source):
+        match = _NOQA_RE.match(text)
         if match is None:
             continue
-        raw = match.group("codes")
-        codes = (
-            {c.strip().upper() for c in raw.split(",") if c.strip()}
-            if raw is not None
-            else None
-        )
-        file_level = text.lstrip().startswith("#")
-        if codes is None:
+        rest = text[match.end() :].lstrip()
+        if not rest.startswith("["):
+            result.records.append(SuppressionRecord(lineno, (), file_level))
             if file_level:
                 result.file_all = True
             else:
                 result.line_all.add(lineno)
-        elif file_level:
+            continue
+        closing = rest.find("]")
+        if closing == -1:
+            result.malformed.append(
+                (lineno, "unclosed '[' in '# cdr: noqa[...]' directive")
+            )
+            continue
+        codes = tuple(
+            sorted({c.strip().upper() for c in rest[1:closing].split(",") if c.strip()})
+        )
+        if not codes:
+            result.malformed.append(
+                (lineno, "empty code list in '# cdr: noqa[...]' directive")
+            )
+            continue
+        invalid = [code for code in codes if not CODE_RE.match(code)]
+        if invalid:
+            result.malformed.append(
+                (
+                    lineno,
+                    f"invalid rule code(s) {', '.join(invalid)} in "
+                    f"'# cdr: noqa[...]' directive",
+                )
+            )
+            continue
+        result.records.append(SuppressionRecord(lineno, codes, file_level))
+        if file_level:
             result.file_codes.update(codes)
         else:
             result.line_codes.setdefault(lineno, set()).update(codes)

@@ -1,4 +1,11 @@
-"""Render lint results for humans (text) and machines (JSON)."""
+"""Render lint results for humans (text) and machines (JSON).
+
+Beside the finding reports, :func:`render_suppression_stats` renders
+the ``cedar-repro lint --stats`` audit: every ``# cdr: noqa`` directive
+is accepted, documented debt, and this view keeps the ledger visible --
+per rule, per file, with bare catch-all directives called out under
+``ALL``.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +14,7 @@ from collections import Counter
 
 from repro.analyze.engine import LintResult
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_suppression_stats"]
 
 
 def render_text(result: LintResult) -> str:
@@ -33,5 +40,28 @@ def render_json(result: LintResult) -> str:
         "finding_count": len(result.findings),
         "by_code": dict(sorted(by_code.items())),
         "findings": [finding.as_dict() for finding in result.findings],
+        "suppressions": result.suppression_stats(),
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_suppression_stats(result: LintResult) -> str:
+    """The ``--stats`` suppression audit, one ``file: CODE xN`` per file."""
+    stats = result.suppression_stats()
+    total = sum(sum(per_code.values()) for per_code in stats.values())
+    by_code: Counter[str] = Counter()
+    for per_code in stats.values():
+        by_code.update(per_code)
+    lines = []
+    for path, per_code in stats.items():
+        tally = ", ".join(f"{code} x{count}" for code, count in per_code.items())
+        lines.append(f"{path}: {tally}")
+    if total:
+        tally = ", ".join(f"{code} x{count}" for code, count in sorted(by_code.items()))
+        lines.append(
+            f"{total} suppression(s) in {len(stats)} of "
+            f"{result.files_checked} file(s): {tally}"
+        )
+    else:
+        lines.append(f"0 suppressions in {result.files_checked} file(s)")
+    return "\n".join(lines)

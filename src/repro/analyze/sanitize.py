@@ -52,10 +52,12 @@ __all__ = [
 #: Version tag carried by every schedule hash.  Bump this whenever an
 #: intentional kernel or model change alters the processed-event stream
 #: (v1 -> v2: the batched vector fast path replaced per-packet events
-#: with per-stage milestones).  Hashes from different domains are
-#: *incomparable*: :func:`same_schedule` raises instead of reporting
-#: them as nondeterminism.
-SCHEDULE_HASH_DOMAIN = "cedar-repro/schedule/v2"
+#: with per-stage milestones; v2 -> v3: the end-of-tick tail bands added
+#: settle-point events -- burst observe slots, arbitration grants, VM
+#: fault commits -- to every run's stream).  Hashes from different
+#: domains are *incomparable*: :func:`same_schedule` raises instead of
+#: reporting them as nondeterminism.
+SCHEDULE_HASH_DOMAIN = "cedar-repro/schedule/v3"
 
 #: Domain assumed for hashes recorded before versioning existed.
 _LEGACY_DOMAIN = "cedar-repro/schedule/v1"

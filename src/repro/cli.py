@@ -17,10 +17,16 @@ Run as ``python -m repro.cli <command>``:
   simulated time.
 * ``lint [PATHS]`` -- statically check the determinism invariants
   (``CDR`` rule codes, ``docs/static-analysis.md``); exits non-zero on
-  any finding.
+  any finding.  ``--stats`` appends the suppression audit: counts of
+  ``# cdr: noqa[CODE]`` directives per rule per file.
 * ``sanitize --app APP --p N`` -- run a workload twice under one seed
   and diff the processed-event schedule hashes; exits non-zero if the
   runs diverge.
+* ``race --app APP --p N`` -- the tie-break perturbation sanitizer:
+  run a baseline plus K seeded runs with same-instant event order
+  permuted and assert byte-identical breakdowns and tables; any
+  divergence is a confirmed order-dependence hazard.  ``--self-test``
+  plants a deliberate hazard and exits non-zero unless it is caught.
 * ``inject APP N_PROC --campaign FILE`` -- run one application under a
   fault campaign and print the fault log plus the degraded breakdown.
 * ``campaign FILE`` -- run (or, with ``--generate``, create) a fault
@@ -438,7 +444,13 @@ def _cmd_report(args: argparse.Namespace) -> None:
 
 
 def _cmd_lint(args: argparse.Namespace) -> None:
-    from repro.analyze import LintConfig, lint_paths, render_json, render_text
+    from repro.analyze import (
+        LintConfig,
+        lint_paths,
+        render_json,
+        render_suppression_stats,
+        render_text,
+    )
 
     select = (
         frozenset(code.strip().upper() for code in args.select.split(","))
@@ -450,8 +462,41 @@ def _cmd_lint(args: argparse.Namespace) -> None:
         result = lint_paths([Path(p) for p in args.paths], config=config)
     except FileNotFoundError as exc:
         raise SystemExit(str(exc)) from None
-    print(render_json(result) if args.format == "json" else render_text(result))
+    if args.format == "json":
+        # The JSON document always embeds the suppression stats.
+        print(render_json(result))
+    else:
+        print(render_text(result))
+        if args.stats:
+            print(render_suppression_stats(result))
     if not result.ok:
+        raise SystemExit(1)
+
+
+def _cmd_race(args: argparse.Namespace) -> None:
+    from repro.analyze import plant_order_hazard, race_app
+
+    seeds = tuple(range(1, args.perturbations + 1))
+    hook = plant_order_hazard() if args.self_test else None
+    try:
+        report = race_app(
+            args.app,
+            args.processors,
+            scale=args.scale,
+            seeds=seeds,
+            os_seed=args.seed,
+            pre_run_hook=hook,
+        )
+    except ValueError as exc:
+        raise CLIError(str(exc)) from exc
+    print(report.format())
+    if args.self_test:
+        if report.hazard_free:
+            print("self-test FAILED: the planted hazard went undetected")
+            raise SystemExit(1)
+        print("self-test passed: the planted hazard was detected")
+        return
+    if not report.hazard_free:
         raise SystemExit(1)
 
 
@@ -752,6 +797,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--select", metavar="CODES", help="comma-separated rule codes to run"
     )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="append the suppression audit (noqa directives per rule per file)",
+    )
     lint.set_defaults(func=_cmd_lint)
 
     sanitize = sub.add_parser(
@@ -766,6 +816,29 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("--seed", type=int, default=1994)
     sanitize.add_argument("--runs", type=int, default=2)
     sanitize.set_defaults(func=_cmd_sanitize)
+
+    race = sub.add_parser(
+        "race",
+        help="perturb same-instant event order and assert identical results",
+    )
+    race.add_argument("--app", default="synthetic")
+    race.add_argument("--p", "--processors", dest="processors", type=int, default=8)
+    race.add_argument("--scale", type=float, default=0.02)
+    race.add_argument("--seed", type=int, default=1994, help="OS model seed")
+    race.add_argument(
+        "--perturbations",
+        "-k",
+        type=int,
+        default=5,
+        metavar="K",
+        help="number of seeded tie-break permutations to compare",
+    )
+    race.add_argument(
+        "--self-test",
+        action="store_true",
+        help="plant a deliberate order-dependence hazard and require detection",
+    )
+    race.set_defaults(func=_cmd_race)
     return parser
 
 

@@ -132,6 +132,7 @@ def run_phases(
     pre_run_hook: PreRunHook | None = None,
     max_events: int | None = None,
     max_sim_time: int | None = None,
+    tie_break_seed: int | None = None,
 ) -> RunResult:
     """Run an explicit phase list on a configuration (low-level entry).
 
@@ -145,8 +146,16 @@ def run_phases(
     ``repro.faults`` uses to arm injection processes.  *max_events* /
     *max_sim_time* are forwarded to :meth:`Simulator.run` as a runaway
     watchdog.
+
+    *tie_break_seed* arms the kernel's tie-break perturbation mode
+    (:meth:`Simulator.perturb_tie_breaks`) before the stack is
+    assembled: same-instant event order is permuted by the seed, and a
+    hazard-free model must produce byte-identical results for every
+    seed.  Used by the ``cedar-repro race`` sanitizer.
     """
     sim = Simulator(trace_sink=obs.sink if obs is not None else None)
+    if tie_break_seed is not None:
+        sim.perturb_tie_breaks(tie_break_seed)
     cfg = config if config is not None else paper_configuration(n_processors)
     machine = CedarMachine(sim, cfg)
     hpm = CedarHpm(sim)
@@ -223,6 +232,7 @@ def run_application(
     pre_run_hook: PreRunHook | None = None,
     max_events: int | None = None,
     max_sim_time: int | None = None,
+    tie_break_seed: int | None = None,
 ) -> RunResult:
     """Run an application model at *scale* on a paper configuration.
 
@@ -249,4 +259,5 @@ def run_application(
         pre_run_hook=pre_run_hook,
         max_events=max_events,
         max_sim_time=max_sim_time,
+        tie_break_seed=tie_break_seed,
     )

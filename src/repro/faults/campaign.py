@@ -13,13 +13,20 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.runner import DEFAULT_SCALE, RunResult, run_application
-from repro.faults.injector import FaultInjector
+from repro.faults.injector import FaultInjector, FaultLedger
 from repro.faults.spec import CampaignSpec
 from repro.xylem.params import XylemParams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Callable
+
+    from repro.apps.base import AppModel
+    from repro.hardware.machine import CedarMachine
     from repro.obs.instrument import Observability
+    from repro.runtime.library import CedarFortranRuntime
     from repro.runtime.params import RuntimeParams
+    from repro.sim import Simulator
+    from repro.xylem.kernel import XylemKernel
 
 __all__ = ["CampaignRunOutcome", "run_with_campaign"]
 
@@ -33,12 +40,12 @@ class CampaignRunOutcome:
     injector: FaultInjector
 
     @property
-    def ledger(self):
+    def ledger(self) -> FaultLedger:
         """The injector's fault ledger (records + counters)."""
         return self.injector.ledger
 
 
-def _resolve_app(app: str):
+def _resolve_app(app: str) -> "Callable[..., AppModel]":
     from repro.analyze.sanitize import _resolve_builder
 
     return _resolve_builder(app)
@@ -66,7 +73,12 @@ def run_with_campaign(
     builder = _resolve_app(app)
     injectors: list[FaultInjector] = []
 
-    def hook(sim, machine, kernel, runtime) -> None:
+    def hook(
+        sim: Simulator,
+        machine: CedarMachine,
+        kernel: XylemKernel,
+        runtime: CedarFortranRuntime,
+    ) -> None:
         injector = FaultInjector(sim, machine, kernel, runtime, spec)
         injector.arm()
         injectors.append(injector)

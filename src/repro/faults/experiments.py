@@ -11,6 +11,7 @@ imbalance absorbed by the runtime's self-scheduling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core.breakdown import ct_breakdown, memory_decomposition
 from repro.core.report import render_table
@@ -109,7 +110,7 @@ def degraded_mode_experiment(
     seed: int = 1994,
     campaign: CampaignSpec | None = None,
     jobs: int = 1,
-    cache_dir=None,
+    cache_dir: str | Path | None = None,
 ) -> DegradedModeReport:
     """Run each app healthy and degraded; report the breakdown shift.
 

@@ -12,11 +12,12 @@ inflated lock as kernel spin.
 
 from __future__ import annotations
 
-from collections.abc import Generator
+from collections.abc import Callable, Generator
 from dataclasses import dataclass, field
 
 from repro.faults.spec import CampaignSpec, FaultEvent
 from repro.hardware.machine import CedarMachine
+from repro.hardware.memory import GlobalMemorySystem
 from repro.obs.registry import MetricsRegistry
 from repro.runtime.library import CedarFortranRuntime
 from repro.sim import Simulator
@@ -141,12 +142,16 @@ class FaultInjector:
 
     # -- application per kind --------------------------------------------
 
-    def _apply(self, fault: FaultEvent, record: InjectedFault):
+    def _apply(
+        self, fault: FaultEvent, record: InjectedFault
+    ) -> Callable[[], None] | None:
         """Apply one fault; returns a revert callable or ``None``."""
-        handler = getattr(self, f"_apply_{fault.kind}")
+        handler: Callable[
+            [FaultEvent, InjectedFault], Callable[[], None] | None
+        ] = getattr(self, f"_apply_{fault.kind}")
         return handler(fault, record)
 
-    def _packet_memory(self):
+    def _packet_memory(self) -> GlobalMemorySystem | None:
         """The packet-level memory system, if this run built one."""
         return self.machine._memory
 
@@ -163,7 +168,9 @@ class FaultInjector:
             link_penalty_cycles=float(self._link_penalty_cycles),
         )
 
-    def _apply_bank_slow(self, fault: FaultEvent, record: InjectedFault):
+    def _apply_bank_slow(
+        self, fault: FaultEvent, record: InjectedFault
+    ) -> Callable[[], None] | None:
         target = fault.target
         factor = fault.factor
         assert target is not None and factor is not None
@@ -187,7 +194,9 @@ class FaultInjector:
 
         return revert
 
-    def _apply_bank_offline(self, fault: FaultEvent, record: InjectedFault):
+    def _apply_bank_offline(
+        self, fault: FaultEvent, record: InjectedFault
+    ) -> Callable[[], None] | None:
         target = fault.target
         assert target is not None
         n_modules = self.machine.config.n_memory_modules
@@ -210,7 +219,9 @@ class FaultInjector:
 
         return revert
 
-    def _apply_switch_degrade(self, fault: FaultEvent, record: InjectedFault):
+    def _apply_switch_degrade(
+        self, fault: FaultEvent, record: InjectedFault
+    ) -> Callable[[], None] | None:
         extra_cycles = fault.extra_cycles
         assert extra_cycles is not None
         self._link_penalty_cycles += extra_cycles
@@ -231,7 +242,9 @@ class FaultInjector:
 
         return revert
 
-    def _apply_switch_stall(self, fault: FaultEvent, record: InjectedFault):
+    def _apply_switch_stall(
+        self, fault: FaultEvent, record: InjectedFault
+    ) -> Callable[[], None] | None:
         target = fault.target
         assert target is not None
         memory = self._packet_memory()
@@ -252,14 +265,18 @@ class FaultInjector:
 
         return revert
 
-    def _apply_ce_deconfig(self, fault: FaultEvent, record: InjectedFault):
+    def _apply_ce_deconfig(
+        self, fault: FaultEvent, record: InjectedFault
+    ) -> Callable[[], None] | None:
         target = fault.target
         assert target is not None
         self.kernel.deconfigure_ce(target)
         record.note = f"CE {target} deconfigured (permanent)"
         return None
 
-    def _apply_lock_inflate(self, fault: FaultEvent, record: InjectedFault):
+    def _apply_lock_inflate(
+        self, fault: FaultEvent, record: InjectedFault
+    ) -> Callable[[], None] | None:
         factor = fault.factor
         assert factor is not None
         sections = self.kernel.critical_sections
@@ -273,7 +290,9 @@ class FaultInjector:
 
         return revert
 
-    def _apply_pagefault_storm(self, fault: FaultEvent, record: InjectedFault):
+    def _apply_pagefault_storm(
+        self, fault: FaultEvent, record: InjectedFault
+    ) -> Callable[[], None] | None:
         fraction = fault.fraction
         assert fraction is not None
         dropped = self.kernel.vm.invalidate_resident(fraction)

@@ -402,6 +402,16 @@ class LoadTracker:
     duration of each memory burst; the current count feeds the analytic
     model so that contention *emerges* from concurrency.  The tracker
     also accumulates a time-weighted average for reporting.
+
+    Live counters (:attr:`active` and friends) change mid-timestep as
+    same-instant enters and exits interleave, so their value seen by a
+    same-instant reader depends on event-queue tie order -- the DES
+    analog of an unsynchronized read (see ``repro.analyze.race``).
+    Pricing therefore reads the *settled* view: the state as of the end
+    of the previous timestep, committed lazily on the first mutation of
+    a new timestep, which every same-instant reader observes
+    identically.  High-water marks are likewise taken over settled
+    (end-of-timestep) states.
     """
 
     def __init__(self, sim, n_clusters: int = 4) -> None:
@@ -411,26 +421,55 @@ class LoadTracker:
         self._last_change_ns = 0
         self._weighted_sum = 0.0
         self._per_cluster = [0] * n_clusters
-        #: Most CEs ever streaming simultaneously (machine-wide).
+        #: Settled (start-of-current-timestep) copies of the counters,
+        #: valid while ``now == _mutation_tick``; otherwise the live
+        #: counters *are* settled.
+        self._settled_active = 0
+        self._settled_rate_sum = 0.0
+        self._settled_per_cluster = [0] * n_clusters
+        self._mutation_tick = -1
+        #: Most CEs streaming simultaneously at any settled instant.
         self.high_water = 0
-        #: Per-cluster streaming-CE high-water marks.
+        #: Per-cluster streaming-CE high-water marks (settled).
         self.cluster_high_water = [0] * n_clusters
 
     @property
     def active(self) -> int:
-        """Number of CEs currently streaming."""
+        """Number of CEs currently streaming (live, mid-timestep)."""
         return self._active
 
     def active_in_cluster(self, cluster_id: int) -> int:
-        """Number of streaming CEs in one cluster."""
+        """Number of streaming CEs in one cluster (live, mid-timestep)."""
+        return self._per_cluster[cluster_id]
+
+    @property
+    def settled_active(self) -> int:
+        """Streaming-CE count as of the start of the current timestep."""
+        if self._sim.now == self._mutation_tick:
+            return self._settled_active
+        return self._active
+
+    def settled_in_cluster(self, cluster_id: int) -> int:
+        """Cluster streaming-CE count as of the start of the timestep."""
+        if self._sim.now == self._mutation_tick:
+            return self._settled_per_cluster[cluster_id]
         return self._per_cluster[cluster_id]
 
     @property
     def mean_rate(self) -> float:
-        """Mean offered rate of the currently streaming CEs."""
+        """Mean offered rate of the currently streaming CEs (live)."""
         if self._active == 0:
             return 0.0
         return self._rate_sum / self._active
+
+    @property
+    def settled_mean_rate(self) -> float:
+        """Mean offered rate as of the start of the current timestep."""
+        if self._sim.now == self._mutation_tick:
+            if self._settled_active == 0:
+                return 0.0
+            return self._settled_rate_sum / self._settled_active
+        return self.mean_rate
 
     @property
     def busiest_cluster_count(self) -> int:
@@ -442,16 +481,37 @@ class LoadTracker:
         self._weighted_sum += self._active * (now - self._last_change_ns)
         self._last_change_ns = now
 
+    def _settle(self) -> None:
+        """Commit the previous timestep's end state before a mutation.
+
+        Runs once per mutated timestep; the snapshot it takes is what
+        :attr:`settled_active` serves for the rest of the tick, and is
+        the granularity at which high-water marks are recorded (purely
+        intra-timestep spikes -- zero-duration overlap -- don't count).
+        """
+        now = self._sim.now
+        if now == self._mutation_tick:
+            return
+        self._mutation_tick = now
+        active = self._active
+        self._settled_active = active
+        self._settled_rate_sum = self._rate_sum
+        per_cluster = self._per_cluster
+        self._settled_per_cluster[:] = per_cluster
+        if active > self.high_water:
+            self.high_water = active
+        cluster_high = self.cluster_high_water
+        for cluster_id, count in enumerate(per_cluster):
+            if count > cluster_high[cluster_id]:
+                cluster_high[cluster_id] = count
+
     def enter(self, rate: float = 0.5, cluster_id: int = 0) -> None:
         """Register one more streaming CE offering *rate* req/cycle."""
+        self._settle()
         self._accumulate()
         self._active += 1
         self._rate_sum += rate
         self._per_cluster[cluster_id] += 1
-        if self._active > self.high_water:
-            self.high_water = self._active
-        if self._per_cluster[cluster_id] > self.cluster_high_water[cluster_id]:
-            self.cluster_high_water[cluster_id] = self._per_cluster[cluster_id]
 
     def exit(self, rate: float = 0.5, cluster_id: int = 0) -> None:
         """Deregister a streaming CE (pass the enter arguments back)."""
@@ -459,6 +519,7 @@ class LoadTracker:
             raise ValueError("LoadTracker.exit() without matching enter()")
         if self._per_cluster[cluster_id] <= 0:
             raise ValueError(f"no streaming CEs registered in cluster {cluster_id}")
+        self._settle()
         self._accumulate()
         self._active -= 1
         self._rate_sum = max(0.0, self._rate_sum - rate)

@@ -172,26 +172,43 @@ class CedarMachine:
         an instant before its peers would be priced at an artificially
         low load for its whole burst.  Returns the total duration in
         nanoseconds.
+
+        Load observations are tie-stable (``repro.analyze.race``): the
+        first segment waits for the end-of-tick observe slot, so every
+        CE of a simultaneously-starting cohort prices against the full
+        cohort -- not against however many happened to enter first in
+        event-queue order; later segments start at arbitrary instants
+        mid-stream and price at the tracker's settled view.
         """
         start = self.sim.now
         segments = min(self.BURST_SEGMENTS, n_words)
         base = n_words // segments
         remainder = n_words - base * segments
-        self.load.enter(rate, cluster_id)
+        load = self.load
+        load.enter(rate, cluster_id)
         try:
+            first = True
             for index in range(segments):
                 words = base + (1 if index < remainder else 0)
                 if words == 0:
                     continue
+                if first:
+                    first = False
+                    yield self.sim.tail_event()
+                    requesters = load.active
+                    cluster_requesters = load.active_in_cluster(cluster_id)
+                else:
+                    requesters = load.settled_active
+                    cluster_requesters = load.settled_in_cluster(cluster_id)
                 cycles = self.contention.vector_time_cycles(
                     words,
-                    requesters=self.load.active,
+                    requesters=requesters,
                     rate=rate,
-                    cluster_requesters=self.load.active_in_cluster(cluster_id),
+                    cluster_requesters=cluster_requesters,
                 )
                 yield self.config.cycles_to_ns(cycles)
         finally:
-            self.load.exit(rate, cluster_id)
+            load.exit(rate, cluster_id)
         elapsed = self.sim.now - start
         ledger = self.mem_ledger
         ledger.busy_ns[cluster_id] += elapsed
@@ -227,10 +244,13 @@ class CedarMachine:
 
         Used for synchronisation traffic (lock test&set probes,
         barrier-flag checks): the probe queues behind whatever vector
-        streams are in flight right now.
+        streams are in flight right now.  Priced at the load tracker's
+        settled view -- the streams in flight as of the start of this
+        timestep -- so the synchronous read is independent of
+        same-instant burst enter/exit order (``repro.analyze.race``).
         """
         cycles = self.contention.scalar_round_trip_cycles(
-            self.load.active, self.load.mean_rate
+            self.load.settled_active, self.load.settled_mean_rate
         )
         ns = self.config.cycles_to_ns(cycles)
         self.mem_ledger.scalar_round_trips += 1

@@ -31,6 +31,7 @@ from repro.obs.exporters import (
     save_chrome_trace,
     save_report,
 )
+from repro.obs.hazard import TieBreakAuditSink
 from repro.obs.hostclock import WallTimer, host_clock_s
 from repro.obs.instrument import (
     Observability,
@@ -70,6 +71,7 @@ __all__ = [
     "ProcessProfileRecord",
     "ProcessProfiler",
     "ProgressReporter",
+    "TieBreakAuditSink",
     "Timeseries",
     "TraceSink",
     "WallTimer",

@@ -1,0 +1,92 @@
+"""Tie-break audit: where same-instant ambiguity concentrates.
+
+The perturbation sanitizer (:mod:`repro.analyze.race`) answers *whether*
+a model's results depend on same-``(time, priority)`` event order; this
+sink answers *where* the order pressure is.  It aggregates the kernel's
+``on_tie_break`` notifications into per-site counts -- a site being the
+unordered pair of event labels that tied -- so a diverging run can be
+traced to the handful of model locations generating most of the
+ambiguity, and a clean run documents how much ambiguity the sanitizer
+actually exercised.
+
+The sink is aggregation-only (counts, no per-occurrence records), so it
+is safe to leave attached for full-length runs; capacity only bounds
+the number of *distinct* sites tracked.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING
+
+from repro.obs.tracing import TraceSink
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.core import Event
+
+__all__ = ["TieBreakAuditSink"]
+
+
+def _label(event: "Event") -> str:
+    """Run-independent event label: class name plus process name."""
+    name = getattr(event, "name", "")
+    kind = type(event).__name__
+    return f"{kind}:{name}" if name else kind
+
+
+class TieBreakAuditSink(TraceSink):
+    """Aggregate tie-break occurrences by site.
+
+    Parameters
+    ----------
+    max_sites:
+        Bound on distinct ``(first, second)`` label pairs tracked; ties
+        at sites beyond the bound are still counted in :attr:`total`
+        (and in :attr:`overflow`), just not attributed.
+    """
+
+    def __init__(self, max_sites: int = 4096) -> None:
+        if max_sites <= 0:
+            raise ValueError(f"max_sites must be positive, got {max_sites}")
+        self.max_sites = max_sites
+        #: Unordered label pair -> number of ties between the two.
+        self.sites: Counter[tuple[str, str]] = Counter()
+        #: Every tie observed, attributed or not.
+        self.total = 0
+        #: Ties not attributed because :attr:`max_sites` was reached.
+        self.overflow = 0
+
+    def on_tie_break(
+        self, when: int, priority: int, first: "Event", second: "Event"
+    ) -> None:
+        self.total += 1
+        a, b = sorted((_label(first), _label(second)))
+        site = (a, b)
+        if site not in self.sites and len(self.sites) >= self.max_sites:
+            self.overflow += 1
+            return
+        self.sites[site] += 1
+
+    def top_sites(self, n: int = 10) -> list[tuple[str, str, int]]:
+        """The *n* hottest tie sites as ``(first, second, count)``.
+
+        Sites with equal counts order lexicographically so the report
+        is stable across runs.
+        """
+        ranked = sorted(self.sites.items(), key=lambda item: (-item[1], item[0]))
+        return [(a, b, count) for (a, b), count in ranked[:n]]
+
+    def report(self, top: int = 10) -> str:
+        """Human-readable audit summary."""
+        lines = [
+            f"tie-break audit: {self.total} same-(time, priority) tie(s) "
+            f"across {len(self.sites)} site(s)"
+        ]
+        if self.overflow:
+            lines.append(
+                f"  ({self.overflow} tie(s) unattributed: more than "
+                f"{self.max_sites} distinct sites)"
+            )
+        for first, second, count in self.top_sites(top):
+            lines.append(f"  {count:>8}  {first} <-> {second}")
+        return "\n".join(lines)

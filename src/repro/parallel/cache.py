@@ -35,6 +35,8 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.runner import RunResult
+    from repro.obs.registry import MetricsRegistry
+    from repro.parallel.executor import CellSpec
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -99,7 +101,7 @@ def code_fingerprint() -> str:
     return _code_fingerprint
 
 
-def cell_key(spec, code: str | None = None) -> str:
+def cell_key(spec: CellSpec, code: str | None = None) -> str:
     """Content fingerprint of one sweep cell.
 
     *spec* is a :class:`~repro.parallel.executor.CellSpec`; *code*
@@ -190,7 +192,7 @@ class ResultCache:
         self.puts += 1
         return path
 
-    def collect(self, registry) -> None:
+    def collect(self, registry: MetricsRegistry) -> None:
         """Fold the hit/miss counters into ``cache.*`` metrics."""
         registry.counter("cache.hits").inc(self.hits)
         registry.counter("cache.misses").inc(self.misses)

@@ -37,6 +37,7 @@ never perturbs the tables.
 from __future__ import annotations
 
 import os
+from collections.abc import Iterable
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, replace
 from pathlib import Path
@@ -190,7 +191,9 @@ def _worker(payload: "tuple[CellSpec, int, float, bool]") -> tuple:
     return ("ok", result, span)
 
 
-def _observe(metrics: "MetricsRegistry | None", attr: str, name: str, value) -> None:
+def _observe(
+    metrics: "MetricsRegistry | None", attr: str, name: str, value: int | float
+) -> None:
     if metrics is None:
         return
     if attr == "counter":
@@ -327,8 +330,8 @@ def execute_cells(
 
 
 def parallel_sweep(
-    apps,
-    configs=None,
+    apps: "Iterable[str]",
+    configs: "Iterable[int] | None" = None,
     scale: float = DEFAULT_SCALE,
     seed: int = 1994,
     jobs: int = 1,

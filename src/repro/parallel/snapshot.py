@@ -45,6 +45,7 @@ from repro.core.runner import RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hpm.events import TraceEvent
+    from repro.xylem.locks import KernelLock
     from repro.xylem.params import XylemParams
 
 __all__ = ["snapshot_result", "is_snapshot"]
@@ -207,7 +208,7 @@ class HpmView:
         return self.events
 
 
-def _lock_view(lock) -> LockView:
+def _lock_view(lock: KernelLock) -> LockView:
     return LockView(
         name=lock.name,
         acquisitions=lock.acquisitions,

@@ -34,7 +34,7 @@ from repro.hpm.events import EventType
 from repro.hpm.monitor import CedarHpm
 from repro.runtime.loops import LoopConstruct, ParallelLoop, Phase, SerialPhase
 from repro.runtime.params import RuntimeParams
-from repro.sim import DeadlockSuspected, Event, Resource, Simulator
+from repro.sim import ArbitratedResource, DeadlockSuspected, Event, Resource, Simulator
 from repro.xylem.kernel import XylemKernel
 from repro.xylem.task import ClusterTask, XylemProcess, create_process
 
@@ -76,7 +76,7 @@ class _CombiningNode:
     __slots__ = ("lock", "arrivals", "size")
 
     def __init__(self, sim: Simulator, size: int) -> None:
-        self.lock = Resource(sim, capacity=1)
+        self.lock = ArbitratedResource(sim, capacity=1)
         self.arrivals = 0
         self.size = size
 
@@ -108,8 +108,9 @@ class _LoopState:
         #: Central barrier counter lock: detaching tasks RMW a single
         #: global-memory location, so detaches serialise here -- the
         #: hot-spot seed the paper's clustering discussion worries
-        #: about for a flat 32-task machine.
-        self.barrier_lock = Resource(sim, capacity=1)
+        #: about for a flat 32-task machine.  Arbitrated so same-instant
+        #: detaches resolve by task id, not event-queue insertion order.
+        self.barrier_lock = ArbitratedResource(sim, capacity=1)
         self._tree_nodes: dict[tuple[int, int], _CombiningNode] = {}
         self._sim = sim
         if n_helpers == 0:
@@ -179,10 +180,16 @@ class CedarFortranRuntime:
         self.params = params or RuntimeParams()
         config = machine.config
         self.config = config
-        #: Lock protecting the XDOALL loop iteration index (global memory).
-        self._iter_lock = Resource(sim, capacity=1)
-        #: Lock protecting the SDOALL outer iteration index.
-        self._outer_lock = Resource(sim, capacity=1)
+        #: Lock protecting the XDOALL loop iteration index (global
+        #: memory).  Arbitrated: when several CEs' test&set requests
+        #: land in the same nanosecond, the grant resolves by CE id
+        #: rather than event-queue insertion order, so iteration
+        #: assignment is independent of the kernel's tie-breaker (the
+        #: hazard class ``repro.analyze.race`` checks for).
+        self._iter_lock = ArbitratedResource(sim, capacity=1)
+        #: Lock protecting the SDOALL outer iteration index (same
+        #: tie-stable arbitration, keyed by cluster task id).
+        self._outer_lock = ArbitratedResource(sim, capacity=1)
         self._post_event: Event = sim.event()
         self._loop_seq = 0
         self.process: XylemProcess | None = None
@@ -407,7 +414,7 @@ class CedarFortranRuntime:
         fanout = self.params.barrier_fanout
         rmw_ns = self._round_trips_ns(self.params.detach_round_trips)
         if fanout is None:
-            request = state.barrier_lock.request()
+            request = state.barrier_lock.request(key=task.task_id)
             yield request
             yield rmw_ns
             state.barrier_lock.release(request)
@@ -419,7 +426,7 @@ class CedarFortranRuntime:
         while True:
             group = index // fanout
             node = state.tree_node(level, group, fanout)
-            request = node.lock.request()
+            request = node.lock.request(key=task.task_id)
             yield request
             yield rmw_ns
             node.arrivals += 1
@@ -440,7 +447,7 @@ class CedarFortranRuntime:
         payload = (state.seq, state.loop.construct.value, state.loop.label)
         while True:
             self._record(EventType.PICKUP_ENTER, lead, task, payload=payload)
-            request = self._outer_lock.request()
+            request = self._outer_lock.request(key=task.task_id)
             yield from self._await_pickup(request, self._outer_lock, state, "sdoall")
             hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
             hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)
@@ -587,7 +594,7 @@ class CedarFortranRuntime:
             # parallel-loop concurrency of XDOALL codes drops below 8
             # per cluster (Table 3).
             self._record(EventType.PICKUP_ENTER, ce_id, task, payload=payload)
-            request = self._iter_lock.request()
+            request = self._iter_lock.request(key=ce_id)
             yield from self._await_pickup(request, self._iter_lock, state, "xdoall")
             hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
             hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)

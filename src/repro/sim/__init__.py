@@ -26,7 +26,9 @@ from repro.sim.errors import (
     StopSimulation,
 )
 from repro.sim.resources import (
+    ArbitratedResource,
     Gate,
+    KeyedRequest,
     PriorityRequest,
     PriorityResource,
     Request,
@@ -37,12 +39,14 @@ from repro.sim.resources import (
 __all__ = [
     "AllOf",
     "AnyOf",
+    "ArbitratedResource",
     "Condition",
     "DeadlockSuspected",
     "EmptySchedule",
     "Event",
     "Gate",
     "Interrupt",
+    "KeyedRequest",
     "PENDING",
     "PriorityRequest",
     "PriorityResource",

@@ -105,6 +105,48 @@ NORMAL = 1
 #: Maximum number of recycled :class:`Timeout` objects kept per simulator.
 _POOL_LIMIT = 256
 
+#: Base of the end-of-tick eid band used by :meth:`Simulator.schedule_at_tail`.
+#: Normal eids stay below ``1 << 128`` (the sequential counter trivially;
+#: perturbed eids by construction), so tail entries lose every same-key
+#: tie deterministically, in both normal and perturbed modes.
+_TAIL_EID_BASE = 1 << 128
+
+#: Base of the *observe* sub-band: tail entries that only read settled
+#: state.  It sits above the commit band so every end-of-tick commit
+#: (arbitration grants, fault resolutions) -- including commits that
+#: cascade into fresh same-instant normal events -- runs before any
+#: observer, keeping observations pure and order-independent.
+_TAIL_OBSERVE_EID_BASE = 1 << 129
+
+
+def _perturbed_eids(seed: int) -> Callable[[], int]:
+    """Seeded eid source for the tie-break perturbation sanitizer.
+
+    Returns a drop-in replacement for the sequential eid counter that
+    emits ``(splitmix64(seed, n) << 64) | n``: unique, deterministic for
+    a given *seed*, and *scrambled* -- so same-``(time, priority)`` heap
+    entries pop in a seed-dependent permutation instead of insertion
+    order.  Entries with distinct keys are untouched (the eid only
+    breaks exact key ties), which is what makes result divergence under
+    different seeds a confirmed order-dependence hazard rather than a
+    timing artefact.  See ``repro.analyze.race``.
+    """
+    mask = (1 << 64) - 1
+    state = seed & mask
+    counter = 0
+
+    def next_eid() -> int:
+        nonlocal state, counter
+        state = (state + 0x9E3779B97F4A7C15) & mask
+        z = state
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+        z ^= z >> 31
+        counter += 1
+        return (z << 64) | counter
+
+    return next_eid
+
 #: A single event callback.
 _Callback = Callable[["Event"], None]
 
@@ -591,6 +633,7 @@ class Simulator:
         "_now",
         "_queue",
         "_eid_next",
+        "_tail_seq",
         "_active_process",
         "_timeout_pool",
         "timeouts_created",
@@ -610,6 +653,7 @@ class Simulator:
         #: Heap of ``((when << 1) | priority, eid, event)`` entries.
         self._queue: list[tuple[int, int, Event]] = []
         self._eid_next = itertools.count().__next__
+        self._tail_seq = 0
         self._active_process: Process | None = None
         self._timeout_pool: list[Timeout] = []
         self.timeouts_created = 0
@@ -725,6 +769,90 @@ class Simulator:
         hook = self._sched_hook
         if hook is not None:
             hook(event, when, self._active_process)
+
+    def schedule_at_tail(self, event: Event, observe: bool = False) -> None:
+        """Schedule *event* at the current time, after every other event
+        of this timestep.
+
+        Tail entries draw their eid from a dedicated band above every
+        normal eid, so they lose all same-``(time, priority)`` ties --
+        deterministically, whether or not the tie-break perturbation of
+        :meth:`perturb_tie_breaks` is active.  This is the end-of-tick
+        slot :class:`repro.sim.resources.ArbitratedResource` uses to see
+        *all* requests issued in a timestep before deciding a grant.
+
+        Multiple tail events of one timestep run in scheduling order.
+        *event* must already carry its value (like a triggered event);
+        use the ``Initialize`` pattern: set ``_ok``/``_value`` and the
+        callback before calling.
+
+        With ``observe=True`` the event lands in the *observe* sub-band
+        instead: it runs after every commit-band tail event of the
+        timestep, even ones scheduled later (or cascading out of earlier
+        commits), so it sees fully settled state.  Observe-band waiters
+        must not mutate model state another observer could read.
+        """
+        self._tail_seq += 1
+        base = _TAIL_OBSERVE_EID_BASE if observe else _TAIL_EID_BASE
+        _heappush(
+            self._queue, ((self._now << 1) | NORMAL, base + self._tail_seq, event)
+        )
+        hook = self._sched_hook
+        if hook is not None:
+            hook(event, self._now, self._active_process)
+
+    def tail_event(self, observe: bool = True) -> Event:
+        """A pre-triggered event delivered at the end of the current tick.
+
+        A process that yields it resumes once the timestep has settled
+        -- after every same-instant normal event and (for the default
+        observe band) every end-of-tick commit -- making whatever it
+        reads next independent of same-instant event order.  This is the
+        seam :meth:`repro.hardware.machine.CedarMachine.memory_burst`
+        uses to price a burst against the full simultaneous cohort.
+        """
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        self.schedule_at_tail(event, observe=observe)
+        return event
+
+    def call_at_tail(self, callback: Callable[[Event], None]) -> Event:
+        """Run *callback* at the end of the current timestep.
+
+        Convenience wrapper over :meth:`schedule_at_tail`: builds the
+        pre-triggered carrier event and subscribes *callback* as its
+        sole waiter.  Used for state transitions that must observe
+        every same-instant occurrence before committing (deterministic
+        arbitration, fault-resolution boundaries).
+        """
+        event = Event(self)
+        event._ok = True
+        event._value = None
+        event.callbacks = callback
+        self.schedule_at_tail(event)
+        return event
+
+    def perturb_tie_breaks(self, seed: int) -> None:
+        """Arm the tie-break perturbation mode with a seeded eid source.
+
+        Replaces the sequential eid counter with the seeded scrambler of
+        :func:`_perturbed_eids`: events scheduled for the same
+        ``(time, priority)`` pop in a seed-dependent permutation instead
+        of insertion order, while every cross-key ordering is untouched.
+        A model free of order-dependence hazards produces byte-identical
+        results under every seed; any divergence is a confirmed hazard
+        (see ``repro.analyze.race``).
+
+        Must be armed before the first event is scheduled: mixing
+        counter eids with perturbed eids would pin pre-existing events
+        to the front of every tie and weaken the permutation.
+        """
+        if self._queue:
+            raise SimulationError(
+                "perturb_tie_breaks() must be armed before any event is scheduled"
+            )
+        self._eid_next = _perturbed_eids(seed)
 
     def peek(self) -> int | float:
         """Time of the next scheduled event (``inf`` if none)."""
@@ -895,9 +1023,15 @@ class Simulator:
         try:
             while True:
                 if head_event is not None:
-                    if not queue or head_key <= queue[0][0]:
-                        # The parked event is still first: queue entries
-                        # were pushed after it, so it wins key ties.
+                    if (
+                        not queue
+                        or head_key < queue[0][0]
+                        or (head_key == queue[0][0] and head_eid < queue[0][1])
+                    ):
+                        # The parked event is still first.  Key ties fall
+                        # back to the eid draw: sequential in the normal
+                        # mode (the parked entry was pushed first, so it
+                        # wins), seed-permuted under perturb_tie_breaks().
                         event = head_event
                         head_event = None
                         now = head_key >> 1

@@ -32,7 +32,15 @@ from types import TracebackType
 from repro.sim.core import Event, Simulator
 from repro.sim.errors import SimulationError
 
-__all__ = ["Request", "PriorityRequest", "Resource", "PriorityResource", "Store"]
+__all__ = [
+    "ArbitratedResource",
+    "KeyedRequest",
+    "PriorityRequest",
+    "PriorityResource",
+    "Request",
+    "Resource",
+    "Store",
+]
 
 
 class Request(Event):
@@ -156,6 +164,93 @@ class Resource:
         req = self.request()
         yield req
         return req
+
+
+class KeyedRequest(Request):
+    """A :class:`Request` carrying a stable arbitration key."""
+
+    __slots__ = ("key", "arrival")
+
+    def __init__(self, resource: "ArbitratedResource", key: int) -> None:
+        super().__init__(resource)
+        self.key = key
+        self.arrival = resource.sim.now
+
+
+class ArbitratedResource(Resource):
+    """A :class:`Resource` whose same-instant grants are tie-stable.
+
+    A plain :class:`Resource` grants in *arrival order*: when several
+    processes request in the same nanosecond, whoever's event happened
+    to pop first wins.  That order is decided only by queue insertion --
+    the DES analog of an unsynchronized data race -- so any model
+    quantity downstream of the winner (e.g. which cluster picks which
+    self-scheduled iteration) silently depends on the kernel's
+    tie-breaker.  The tie-break perturbation sanitizer
+    (``repro.analyze.race``) flags exactly this.
+
+    This subclass instead *defers* every grant decision to the end of
+    the current timestep (via :meth:`Simulator.schedule_at_tail`), by
+    which point all same-instant requests are queued, and grants to the
+    lowest ``(arrival, key)``: FIFO across distinct instants, stable
+    caller-chosen key within an instant.  Grants still trigger within
+    the same nanosecond, so simulated timing is unchanged; only the
+    arbitrary component of same-instant ordering is removed.
+
+    Callers must pass keys unique among simultaneous requesters (e.g.
+    the requesting CE or task id); duplicate keys fall back to arrival
+    order, which re-opens the hazard.
+    """
+
+    __slots__ = ("_arb_pending",)
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        super().__init__(sim, capacity)
+        self._arb_pending = False
+
+    def request(self, key: int = 0) -> KeyedRequest:  # type: ignore[override]
+        """Request one slot with arbitration *key* (lower wins a tie)."""
+        req = KeyedRequest(self, key)
+        self._waiting.append(req)
+        self._schedule_arbitration()
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a granted slot (or withdraw a queued request)."""
+        try:
+            self._users.remove(request)
+        except ValueError:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass
+            return
+        if self._waiting:
+            self._schedule_arbitration()
+
+    def _schedule_arbitration(self) -> None:
+        if self._arb_pending or len(self._users) >= self._capacity:
+            return
+        self._arb_pending = True
+        self.sim.call_at_tail(self._arbitrate)
+
+    def _arbitrate(self, _event: Event) -> None:
+        """End-of-tick grant pass (runs after all same-instant requests)."""
+        self._arb_pending = False
+        waiting = self._waiting
+        while waiting and len(self._users) < self._capacity:
+            best = min(waiting, key=_keyed_order)
+            waiting.remove(best)
+            self._users.append(best)
+            best.succeed()
+
+    def _grant_next(self) -> None:  # pragma: no cover - defensive
+        # Grants go through _arbitrate(); nothing must bypass it.
+        raise SimulationError("ArbitratedResource grants only via arbitration")
+
+
+def _keyed_order(req: Request) -> tuple[int, int]:
+    return (req.arrival, req.key)  # type: ignore[attr-defined]
 
 
 class PriorityResource(Resource):

@@ -24,13 +24,14 @@ interrupt + kspin.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from collections.abc import Generator
 
 from repro.hardware.config import CedarConfig
 from repro.hpm.events import EventType
 from repro.hpm.monitor import CedarHpm
-from repro.sim import Gate, Resource, SimulationError, Simulator
+from repro.sim import ArbitratedResource, Gate, SimulationError, Simulator
 from repro.xylem.accounting import TimeAccounting
 from repro.xylem.categories import OsActivity
 from repro.xylem.locks import CriticalSections
@@ -38,6 +39,20 @@ from repro.xylem.params import XylemParams
 from repro.xylem.vm import VirtualMemory
 
 __all__ = ["ClusterState", "XylemKernel"]
+
+#: Arbitration keys for the per-cluster OS-service lock.  Each kind of
+#: service section passes its own key so same-instant requests are
+#: granted in a stable, named order rather than event-queue arrival
+#: order (see :class:`repro.sim.ArbitratedResource`).  Only one section
+#: of each kind can be pending per cluster (the daemons are singletons;
+#: syscall/fault CPI gathers thin to well-spaced instants), so the keys
+#: stay unique among simultaneous requesters.
+_SERVICE_CTX_GATHER = 0
+_SERVICE_CTX_SWITCH = 1
+_SERVICE_SCHED_GATHER = 2
+_SERVICE_SCHED_CRSECT = 3
+_SERVICE_AST = 4
+_SERVICE_CPI = 5
 
 
 class ClusterState:
@@ -104,16 +119,29 @@ class XylemKernel:
             critical_sections=self.critical_sections,
             cpi_handler=self.cpi_gather,
         )
-        # The jitter stream is part of the calibrated operating point
-        # (EXPERIMENTS.md): swapping the RNG backend would shift every
-        # Table 1-4 value.  The instance is constructed exactly once from
-        # XylemParams.seed, so the single-seed determinism invariant holds.
-        self._rng = random.Random(self.params.seed)  # cdr: noqa[CDR002]
+        # The jitter streams are part of the calibrated operating point
+        # (EXPERIMENTS.md): swapping the RNG backend or the keying would
+        # shift every Table 1-4 value.  Each daemon owns an independent
+        # stream keyed by (seed, kind, cluster) -- see
+        # :meth:`jitter_stream` -- so a draw depends only on the owning
+        # daemon's own wakeup count, never on how concurrently-armed
+        # daemons interleave.  A shared stream consumed in schedule
+        # order would make every jitter value depend on same-timestamp
+        # tie-break order (the hazard ``repro.analyze.race`` hunts).
+        self._seed = self.params.seed
         self._daemons_started = False
         self._syscall_counter = 0
-        # A cluster can only be gathered into one single-CE execution
-        # thread at a time; concurrent gather requests serialise.
-        self._gather_locks = [Resource(sim, capacity=1) for _ in range(config.n_clusters)]
+        # One OS-server thread per cluster: every service section that
+        # freezes user work (CPI gathers, the context-switch body, the
+        # sched daemon's critical-section visit, ASTs) serialises here.
+        # Disjoint freeze windows make the accounting exact -- time
+        # charged to a cluster's ledger equals the wall time its user
+        # work is frozen, so :meth:`execute` repays OS overhead exactly
+        # once -- and the arbitrated grant keeps same-instant service
+        # requests tie-stable (see :data:`_SERVICE_CTX_GATHER` ff.).
+        self._service_locks = [
+            ArbitratedResource(sim, capacity=1) for _ in range(config.n_clusters)
+        ]
         # CEs the OS has deconfigured (fault injection); the runtime
         # consults ce_available() when spreading / self-scheduling work.
         self._deconfigured_ces: set[int] = set()
@@ -176,18 +204,37 @@ class XylemKernel:
             self.sim.process(self._ast_daemon(cluster_id), name=f"ast-daemon-{cluster_id}")
             self.sim.process(self._sched_daemon(cluster_id), name=f"sched-daemon-{cluster_id}")
 
-    def _jittered(self, interval_ns: int) -> int:
+    def jitter_stream(self, kind: str, cluster_id: int) -> random.Random:
+        """Independent jitter RNG for one ``(daemon kind, cluster)``.
+
+        The stream is keyed -- not shared: its seed is a BLAKE2 digest
+        of ``(XylemParams.seed, kind, cluster_id)``, so the n-th draw of
+        one daemon is a pure function of its own wakeup count.  With a
+        single sequential stream, the schedule order of *other* daemons
+        would decide which draw each consumer receives, and a
+        same-``(time, priority)`` tie-break permutation
+        (``cedar-repro race``) would cascade into different intervals
+        everywhere.
+        """
+        material = f"{self._seed}|{kind}|{cluster_id}".encode()
+        digest = hashlib.blake2b(material, digest_size=8).digest()
+        # Seeded from run parameters via the keyed digest above; the
+        # stdlib Mersenne Twister is the calibrated backend.
+        return random.Random(int.from_bytes(digest, "big"))  # cdr: noqa[CDR002]
+
+    def _jittered(self, rng: random.Random, interval_ns: int) -> int:
         jitter = self.params.interval_jitter
         if jitter == 0.0:
             return interval_ns
-        factor = 1.0 + self._rng.uniform(-jitter, jitter)
+        factor = 1.0 + rng.uniform(-jitter, jitter)
         return max(1, int(interval_ns * factor))
 
     def _ctx_daemon(self, cluster_id: int) -> Generator:
         """OS-server bookkeeping: periodic context switches + CPIs."""
         params = self.params
+        rng = self.jitter_stream("ctx", cluster_id)
         while True:
-            yield self._jittered(params.ctx_interval_ns)
+            yield self._jittered(rng, params.ctx_interval_ns)
             yield self.sim.process(self.context_switch(cluster_id), name="ctx")
 
     def _sched_daemon(self, cluster_id: int) -> Generator:
@@ -200,12 +247,19 @@ class XylemKernel:
         critical section (occasionally a global one).
         """
         params = self.params
+        rng = self.jitter_stream("sched", cluster_id)
         count = 0
         while True:
-            yield self._jittered(params.sched_interval_ns)
+            yield self._jittered(rng, params.sched_interval_ns)
             self._record(EventType.SCHED_ENTER, cluster_id)
-            yield self.sim.process(self.cpi_gather(cluster_id), name="sched-cpi")
+            yield self.sim.process(
+                self.cpi_gather(cluster_id, key=_SERVICE_SCHED_GATHER),
+                name="sched-cpi",
+            )
             state = self.clusters[cluster_id]
+            lock = self._service_locks[cluster_id]
+            request = lock.request(key=_SERVICE_SCHED_CRSECT)
+            yield request
             state.freeze()
             try:
                 yield self.sim.process(
@@ -224,21 +278,27 @@ class XylemKernel:
                     )
             finally:
                 state.unfreeze()
+                lock.release(request)
             self._record(EventType.SCHED_EXIT, cluster_id)
 
     def _ast_daemon(self, cluster_id: int) -> Generator:
         """Asynchronous system traps: rare, cheap."""
         params = self.params
+        rng = self.jitter_stream("ast", cluster_id)
         while True:
-            yield self._jittered(params.ast_interval_ns)
+            yield self._jittered(rng, params.ast_interval_ns)
             self._record(EventType.AST_ENTER, cluster_id)
             state = self.clusters[cluster_id]
+            lock = self._service_locks[cluster_id]
+            request = lock.request(key=_SERVICE_AST)
+            yield request
             state.freeze()
             try:
                 yield params.ast_cost_ns
                 self.accounting.charge(cluster_id, OsActivity.AST, params.ast_cost_ns)
             finally:
                 state.unfreeze()
+                lock.release(request)
             self._record(EventType.AST_EXIT, cluster_id)
 
     # -- OS services ------------------------------------------------------------
@@ -252,8 +312,13 @@ class XylemKernel:
         """
         params = self.params
         self._record(EventType.CTX_SWITCH_ENTER, cluster_id)
-        yield self.sim.process(self.cpi_gather(cluster_id), name="ctx-cpi")
+        yield self.sim.process(
+            self.cpi_gather(cluster_id, key=_SERVICE_CTX_GATHER), name="ctx-cpi"
+        )
         state = self.clusters[cluster_id]
+        lock = self._service_locks[cluster_id]
+        request = lock.request(key=_SERVICE_CTX_SWITCH)
+        yield request
         state.freeze()
         try:
             yield params.ctx_cost_ns
@@ -267,9 +332,10 @@ class XylemKernel:
                 )
         finally:
             state.unfreeze()
+            lock.release(request)
         self._record(EventType.CTX_SWITCH_EXIT, cluster_id)
 
-    def cpi_gather(self, cluster_id: int) -> Generator:
+    def cpi_gather(self, cluster_id: int, key: int = _SERVICE_CPI) -> Generator:
         """Process: gather a single CE execution thread on a cluster.
 
         Every CE saves/restores registers and does its accounting
@@ -281,8 +347,8 @@ class XylemKernel:
         """
         params = self.params
         state = self.clusters[cluster_id]
-        lock = self._gather_locks[cluster_id]
-        request = lock.request()
+        lock = self._service_locks[cluster_id]
+        request = lock.request(key=key)
         yield request
         self._record(EventType.INTERRUPT_ENTER, cluster_id)
         state.freeze()

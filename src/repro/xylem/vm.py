@@ -124,19 +124,50 @@ class VirtualMemory:
                     name="vm-crsect",
                 )
         yield params.pgflt_sequential_cost_ns
-        concurrent = fault.participants > 1
-        if concurrent:
+        # Classify and resolve at the end of the tick: a CE touching the
+        # page in the same nanosecond the service completes would
+        # otherwise race both the participant count and the residency
+        # transition -- event-queue insertion order deciding between
+        # "join the fault" and "page already resident" (an order-
+        # dependence hazard, see repro.analyze.race).  Deferring the
+        # commit makes every same-instant toucher a joiner.
+        self.sim.call_at_tail(lambda _event: self._classify(cluster_id, page, fault))
+        # The faulting CE stays trapped until the commit (which a
+        # concurrent fault's CPI gather may extend).
+        yield fault.resolved
+
+    def _classify(self, cluster_id: int, page: int, fault: _InFlightFault) -> None:
+        """Commit a serviced fault (end-of-tick, all joiners counted)."""
+        params = self.params
+        if fault.participants > 1:
             self.stats.concurrent += 1
             self.accounting.charge(
                 cluster_id, OsActivity.PGFLT_CONCURRENT, params.pgflt_concurrent_cost_ns
             )
             if self.cpi_handler is not None and self._want_cpi(fault):
-                yield self.sim.process(self.cpi_handler(cluster_id), name="vm-cpi")
+                # The CPI gather extends the fault's service: resolution
+                # waits for it, and late touchers keep joining meanwhile.
+                self.sim.process(
+                    self._cpi_then_resolve(cluster_id, page, fault), name="vm-cpi"
+                )
+                return
         else:
             self.stats.sequential += 1
             self.accounting.charge(
                 cluster_id, OsActivity.PGFLT_SEQUENTIAL, params.pgflt_sequential_cost_ns
             )
+        self._resolve(page, fault)
+
+    def _cpi_then_resolve(
+        self, cluster_id: int, page: int, fault: _InFlightFault
+    ) -> Generator:
+        """Process: run the fault-triggered CPI gather, then resolve."""
+        assert self.cpi_handler is not None
+        yield self.sim.process(self.cpi_handler(cluster_id), name="vm-cpi-gather")
+        self.sim.call_at_tail(lambda _event: self._resolve(page, fault))
+
+    def _resolve(self, page: int, fault: _InFlightFault) -> None:
+        """Commit a serviced fault: admit the page, release the joiners."""
         self._admit(page)
         del self._in_flight[page]
         # Single trigger: the fault is deleted from _in_flight on the

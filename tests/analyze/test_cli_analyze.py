@@ -51,6 +51,49 @@ def test_lint_select_restricts_codes(tmp_path, capsys):
     assert "CDR001" not in out
 
 
+def test_lint_stats_appends_suppression_audit(tmp_path, capsys):
+    src = tmp_path / "ok.py"
+    src.write_text("import time\nstamp = time.time()  # cdr: noqa[CDR001]\n")
+    main(["lint", str(src), "--stats"])
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+    assert f"{src}: CDR001 x1" in out
+    assert "1 suppression(s) in 1 of 1 file(s)" in out
+
+
+def test_race_cli_passes_on_synthetic(capsys):
+    main(["race", "--app", "synthetic", "--p", "4", "--scale", "0.02", "-k", "2"])
+    out = capsys.readouterr().out
+    assert "PASS" in out
+    assert "byte-identical" in out or "identical" in out
+
+
+def test_race_cli_self_test_detects_planted_hazard(capsys):
+    main(
+        [
+            "race",
+            "--app",
+            "FLO52",
+            "--p",
+            "8",
+            "--scale",
+            "0.002",
+            "-k",
+            "2",
+            "--self-test",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert "FAIL" in out  # the report flags the hazard...
+    assert "self-test passed" in out  # ...which is exactly what the self-test wants
+
+
+def test_race_cli_unknown_app_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["race", "--app", "NOSUCH", "-k", "1"])
+    assert excinfo.value.code == 2
+
+
 def test_sanitize_reports_identical_hashes(capsys):
     main(["sanitize", "--app", "synthetic", "--p", "4", "--scale", "0.004"])
     out = capsys.readouterr().out

@@ -207,8 +207,19 @@ def test_noqa_does_not_hide_other_codes():
 # -- registry, selection, engine ---------------------------------------------
 
 
-def test_registry_has_all_five_rules_with_stable_codes():
-    assert set(RULE_REGISTRY) == {"CDR001", "CDR002", "CDR003", "CDR004", "CDR005"}
+def test_registry_has_all_rules_with_stable_codes():
+    assert set(RULE_REGISTRY) == {
+        "CDR001",
+        "CDR002",
+        "CDR003",
+        "CDR004",
+        "CDR005",
+        # The CDR100 series: concurrency-hazard rules (repro.analyze.race).
+        "CDR101",
+        "CDR102",
+        "CDR103",
+        "CDR104",
+    }
     for code, cls in RULE_REGISTRY.items():
         assert cls.code == code
         assert cls.summary

@@ -1,0 +1,246 @@
+"""Per-rule tests for the CDR100 concurrency-hazard rules.
+
+Each positive fixture contains exactly one simulated-race hazard; the
+linter must report it with the right code and location, and must stay
+silent on the compliant twin (guarded, re-read, sorted, owner-mediated).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyze import LintConfig, lint_source
+
+# -- fixtures: one hazard each ----------------------------------------------
+
+HAZARDS = {
+    "CDR101": (
+        "def proc(self, sim):\n"
+        "    count = self.tracker.active\n"
+        "    yield sim.timeout(10)\n"
+        "    self.tracker.active = count + 1\n"
+    ),
+    "CDR102": "import heapq\n\ndef hack(pending, entry):\n    heapq.heappush(pending, entry)\n",
+    "CDR103": (
+        "def drain(waiters, ready):\n"
+        "    pending = set(waiters)\n"
+        "    for proc in pending:\n"
+        "        ready.append(proc)\n"
+    ),
+    "CDR104": (
+        "def proc(self, sim, bank):\n"
+        "    yield sim.timeout(5)\n"
+        "    bank._pending.append(self)\n"
+    ),
+}
+
+CLEAN = {
+    # Re-reads the state after resuming instead of using the snapshot.
+    "CDR101": (
+        "def proc(self, sim):\n"
+        "    count = self.tracker.active\n"
+        "    yield sim.timeout(10)\n"
+        "    self.tracker.active = self.tracker.active + 1\n"
+    ),
+    # Schedules through the public API.
+    "CDR102": "def ok(sim):\n    return sim.timeout(10)\n",
+    # Orders the set before iterating.
+    "CDR103": (
+        "def drain(waiters, ready):\n"
+        "    pending = set(waiters)\n"
+        "    for proc in sorted(pending):\n"
+        "        ready.append(proc)\n"
+    ),
+    # Mutates its *own* state, which no other process owns.
+    "CDR104": (
+        "def proc(self, sim):\n"
+        "    yield sim.timeout(5)\n"
+        "    self._pending.append(1)\n"
+    ),
+}
+
+
+@pytest.mark.parametrize("code", sorted(HAZARDS))
+def test_each_rule_fires_with_location(code):
+    findings = lint_source(HAZARDS[code], path=f"hazard_{code}.py")
+    assert [f.code for f in findings] == [code]
+    assert findings[0].line >= 1
+    assert f"hazard_{code}.py:{findings[0].line}" in findings[0].format()
+
+
+@pytest.mark.parametrize("code", sorted(CLEAN))
+def test_each_rule_stays_silent_on_compliant_code(code):
+    assert lint_source(CLEAN[code], path=f"clean_{code}.py") == []
+
+
+# -- CDR101 shapes -----------------------------------------------------------
+
+
+def test_cdr101_acquisition_guard_silences():
+    source = (
+        "def proc(self, sim):\n"
+        "    yield self.lock.request()\n"
+        "    count = self.tracker.active\n"
+        "    yield sim.timeout(10)\n"
+        "    self.tracker.active = count + 1\n"
+    )
+    assert lint_source(source, path="guarded.py") == []
+
+
+def test_cdr101_with_request_guard_silences():
+    source = (
+        "def proc(self, sim):\n"
+        "    with self.lock.request() as req:\n"
+        "        yield req\n"
+        "    count = self.tracker.active\n"
+        "    yield sim.timeout(10)\n"
+        "    self.tracker.active = count + 1\n"
+    )
+    assert lint_source(source, path="guarded_with.py") == []
+
+
+def test_cdr101_no_yield_between_is_atomic():
+    source = (
+        "def proc(self, sim):\n"
+        "    yield sim.timeout(10)\n"
+        "    count = self.tracker.active\n"
+        "    self.tracker.active = count + 1\n"
+    )
+    assert lint_source(source, path="atomic.py") == []
+
+
+def test_cdr101_augmented_assign_is_atomic():
+    source = (
+        "def proc(self, sim):\n"
+        "    yield sim.timeout(10)\n"
+        "    self.tracker.active += 1\n"
+    )
+    assert lint_source(source, path="augassign.py") == []
+
+
+def test_cdr101_plain_function_not_checked():
+    # Only process generators interleave; a plain callback runs atomically.
+    source = (
+        "def callback(self):\n"
+        "    count = self.tracker.active\n"
+        "    self.tracker.active = count + 1\n"
+    )
+    assert lint_source(source, path="plain.py") == []
+
+
+# -- CDR102 shapes -----------------------------------------------------------
+
+
+def test_cdr102_resolves_from_import():
+    source = (
+        "from heapq import heappush\n"
+        "\n"
+        "def hack(sim, entry):\n"
+        "    heappush(sim._queue, entry)\n"
+    )
+    findings = lint_source(source, path="fromimport.py")
+    assert [f.code for f in findings] == ["CDR102", "CDR102"]  # call + _queue
+
+
+def test_cdr102_internal_attribute_read_flagged():
+    findings = lint_source(
+        "def peek(sim):\n    return sim._eid_next\n", path="peek.py"
+    )
+    assert [f.code for f in findings] == ["CDR102"]
+
+
+def test_cdr102_kernel_module_is_exempt():
+    source = "import heapq\n\ndef push(queue, entry):\n    heapq.heappush(queue, entry)\n"
+    assert lint_source(source, path="repro/sim/core.py") == []
+
+
+# -- CDR103 shapes -----------------------------------------------------------
+
+
+def test_cdr103_set_literal_and_comprehension():
+    source = (
+        "names = [n for n in {'a', 'b'}]\n"
+        "for item in frozenset((1, 2)):\n"
+        "    print(item)\n"
+    )
+    findings = lint_source(source, path="sets.py")
+    assert [f.code for f in findings] == ["CDR103", "CDR103"]
+
+
+def test_cdr103_set_pop_flagged():
+    source = (
+        "def take(items):\n"
+        "    live = set(items)\n"
+        "    live.pop()\n"
+    )
+    findings = lint_source(source, path="pop.py")
+    assert [f.code for f in findings] == ["CDR103"]
+
+
+def test_cdr103_reassigned_local_forgotten():
+    source = (
+        "def drain(items):\n"
+        "    live = set(items)\n"
+        "    live = sorted(live)\n"
+        "    for item in live:\n"
+        "        print(item)\n"
+    )
+    assert lint_source(source, path="reassigned.py") == []
+
+
+def test_cdr103_set_operation_result():
+    source = "for item in left.union(right):\n    print(item)\n"
+    findings = lint_source(source, path="union.py")
+    assert [f.code for f in findings] == ["CDR103"]
+
+
+# -- CDR104 shapes -----------------------------------------------------------
+
+
+def test_cdr104_assignment_and_del_flagged():
+    source = (
+        "def proc(self, sim, gate):\n"
+        "    yield sim.timeout(1)\n"
+        "    gate._owner = self\n"
+        "    del gate._waiters[0]\n"
+    )
+    findings = lint_source(source, path="foreign.py")
+    assert [f.code for f in findings] == ["CDR104", "CDR104"]
+
+
+def test_cdr104_acquisition_guard_silences():
+    source = (
+        "def proc(self, sim, bank):\n"
+        "    yield bank.lock.acquire()\n"
+        "    bank._pending.append(self)\n"
+    )
+    assert lint_source(source, path="guarded104.py") == []
+
+
+def test_cdr104_public_method_call_allowed():
+    source = (
+        "def proc(self, sim, bank):\n"
+        "    yield sim.timeout(1)\n"
+        "    bank.enqueue(self)\n"
+    )
+    assert lint_source(source, path="owner.py") == []
+
+
+# -- select / suppression integration ---------------------------------------
+
+
+def test_select_restricts_to_cdr100_series():
+    cfg = LintConfig(select=frozenset({"CDR101", "CDR104"}))
+    source = HAZARDS["CDR101"] + "\n" + HAZARDS["CDR103"]
+    findings = lint_source(source, path="mixed.py", config=cfg)
+    assert [f.code for f in findings] == ["CDR101"]
+
+
+def test_trailing_noqa_suppresses_cdr101():
+    source = (
+        "def proc(self, sim):\n"
+        "    count = self.tracker.active\n"
+        "    yield sim.timeout(10)\n"
+        "    self.tracker.active = count + 1  # cdr: noqa[CDR101]\n"
+    )
+    assert lint_source(source, path="suppressed.py") == []

@@ -1,0 +1,155 @@
+"""Suppression parsing edge cases and the ``lint --stats`` audit.
+
+Directives are accepted, documented debt -- so the parser must neither
+over-match (prose and docstrings that merely mention the syntax) nor
+silently drop malformed directives (which suppress nothing and surface
+as un-suppressible CDR000 findings).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analyze import (
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    render_json,
+    render_suppression_stats,
+)
+from repro.analyze.findings import SuppressionRecord
+
+
+# -- well-formed directives ---------------------------------------------------
+
+
+def test_multiple_codes_in_one_directive():
+    sup = parse_suppressions("x = 1  # cdr: noqa[CDR001, CDR002]\n")
+    assert sup.line_codes[1] == {"CDR001", "CDR002"}
+    assert not sup.malformed
+    assert sup.records == [
+        SuppressionRecord(lineno=1, codes=("CDR001", "CDR002"), file_level=False)
+    ]
+
+
+def test_file_level_versus_trailing_records():
+    source = "# cdr: noqa[CDR001]\nx = 1  # cdr: noqa\n"
+    sup = parse_suppressions(source)
+    assert sup.file_codes == {"CDR001"}
+    assert 2 in sup.line_all
+    assert [r.file_level for r in sup.records] == [True, False]
+    assert sup.records[1].codes == ()  # bare directive: every rule
+
+
+def test_whitespace_tolerant_forms():
+    sup = parse_suppressions("x = 1  #cdr:noqa[ CDR003 ]\n")
+    assert sup.line_codes[1] == {"CDR003"}
+
+
+# -- malformed directives suppress nothing ------------------------------------
+
+
+@pytest.mark.parametrize(
+    ("source", "reason_part"),
+    [
+        ("import time  # cdr: noqa[CDR001\nstamp = time.time()\n", "unclosed"),
+        ("import time  # cdr: noqa[]\nstamp = time.time()\n", "empty"),
+        ("import time  # cdr: noqa[BOGUS]\nstamp = time.time()\n", "invalid"),
+    ],
+)
+def test_malformed_directive_does_not_suppress(source, reason_part):
+    sup = parse_suppressions(source)
+    assert not sup  # suppresses nothing
+    assert len(sup.malformed) == 1
+    lineno, reason = sup.malformed[0]
+    assert lineno == 1
+    assert reason_part in reason
+
+    findings = lint_source(source, path="bad.py")
+    codes = sorted(f.code for f in findings)
+    # The original violation still fires AND the bad directive is called out.
+    assert codes == ["CDR000", "CDR001"]
+    cdr000 = next(f for f in findings if f.code == "CDR000")
+    assert "suppresses nothing" in cdr000.message
+
+
+def test_malformed_directive_finding_cannot_be_suppressed():
+    source = "# cdr: noqa\nimport time  # cdr: noqa[CDR001\nstamp = time.time()\n"
+    findings = lint_source(source, path="bad.py")
+    # The file-wide bare noqa silences CDR001 but not the CDR000 audit.
+    assert [f.code for f in findings] == ["CDR000"]
+
+
+# -- prose is not a directive -------------------------------------------------
+
+
+def test_docstring_mention_is_not_a_directive():
+    source = '"""Docs: write ``# cdr: noqa[CDR001]`` to suppress."""\nx = 1\n'
+    sup = parse_suppressions(source)
+    assert not sup
+    assert not sup.records
+    assert not sup.malformed
+
+
+def test_string_literal_mention_is_not_a_directive():
+    sup = parse_suppressions('text = "# cdr: noqa"\n')
+    assert not sup
+
+
+def test_mid_comment_mention_is_not_a_directive():
+    # The directive must *start* the comment; a comment discussing the
+    # syntax mid-sentence is prose.
+    sup = parse_suppressions("#: well-formed # cdr: noqa directives count\nx = 1\n")
+    assert not sup
+    assert not sup.records
+
+
+def test_unparseable_source_yields_no_suppressions():
+    assert not parse_suppressions("def broken(:\n")
+
+
+# -- the --stats audit --------------------------------------------------------
+
+
+@pytest.fixture
+def audited_tree(tmp_path):
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    (tmp_path / "one.py").write_text(
+        "import time\nstamp = time.time()  # cdr: noqa[CDR001]\n"
+    )
+    (tmp_path / "two.py").write_text(
+        "# cdr: noqa[CDR002]\n"
+        "import random\n"
+        "import time\n"
+        "value = random.random()\n"
+        "stamp = time.time()  # cdr: noqa\n"
+    )
+    return tmp_path
+
+
+def test_suppression_stats_per_file_and_total(audited_tree):
+    result = lint_paths([audited_tree])
+    assert result.findings == []
+    stats = result.suppression_stats()
+    assert stats == {
+        str(audited_tree / "one.py"): {"CDR001": 1},
+        str(audited_tree / "two.py"): {"ALL": 1, "CDR002": 1},
+    }
+
+    text = render_suppression_stats(result)
+    assert f"{audited_tree / 'one.py'}: CDR001 x1" in text
+    assert "3 suppression(s) in 2 of 3 file(s): ALL x1, CDR001 x1, CDR002 x1" in text
+
+
+def test_suppression_stats_embedded_in_json(audited_tree):
+    result = lint_paths([audited_tree])
+    document = json.loads(render_json(result))
+    assert document["suppressions"][str(audited_tree / "one.py")] == {"CDR001": 1}
+
+
+def test_stats_render_with_no_suppressions(tmp_path):
+    (tmp_path / "clean.py").write_text("x = 1\n")
+    result = lint_paths([tmp_path])
+    assert render_suppression_stats(result) == "0 suppressions in 1 file(s)"

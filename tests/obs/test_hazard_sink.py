@@ -1,0 +1,68 @@
+"""Unit tests for the tie-break audit sink."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import TieBreakAuditSink
+
+
+class _FakeEvent:
+    def __init__(self, name: str = "") -> None:
+        if name:
+            self.name = name
+
+
+class _FakeTimeout:
+    pass
+
+
+def test_sites_aggregate_as_unordered_pairs():
+    sink = TieBreakAuditSink()
+    a, b = _FakeEvent("reader"), _FakeEvent("writer")
+    sink.on_tie_break(100, 0, a, b)
+    sink.on_tie_break(200, 0, b, a)  # same site, either order
+    assert sink.total == 2
+    assert sink.sites[("_FakeEvent:reader", "_FakeEvent:writer")] == 2
+    assert len(sink.sites) == 1
+
+
+def test_label_falls_back_to_class_name():
+    sink = TieBreakAuditSink()
+    sink.on_tie_break(0, 0, _FakeTimeout(), _FakeEvent("p"))
+    assert sink.sites[("_FakeEvent:p", "_FakeTimeout")] == 1
+
+
+def test_top_sites_rank_by_count_then_lexicographically():
+    sink = TieBreakAuditSink()
+    for _ in range(3):
+        sink.on_tie_break(0, 0, _FakeEvent("hot"), _FakeEvent("hot"))
+    sink.on_tie_break(0, 0, _FakeEvent("a"), _FakeEvent("b"))
+    sink.on_tie_break(0, 0, _FakeEvent("c"), _FakeEvent("d"))
+    top = sink.top_sites(2)
+    assert top[0] == ("_FakeEvent:hot", "_FakeEvent:hot", 3)
+    assert top[1] == ("_FakeEvent:a", "_FakeEvent:b", 1)  # lexicographic tie-break
+
+
+def test_overflow_counts_but_does_not_attribute():
+    sink = TieBreakAuditSink(max_sites=1)
+    sink.on_tie_break(0, 0, _FakeEvent("a"), _FakeEvent("a"))
+    sink.on_tie_break(0, 0, _FakeEvent("b"), _FakeEvent("b"))  # beyond the bound
+    sink.on_tie_break(0, 0, _FakeEvent("a"), _FakeEvent("a"))  # known site still counts
+    assert sink.total == 3
+    assert sink.overflow == 1
+    assert sink.sites[("_FakeEvent:a", "_FakeEvent:a")] == 2
+    assert "unattributed" in sink.report()
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        TieBreakAuditSink(max_sites=0)
+
+
+def test_report_mentions_totals_and_sites():
+    sink = TieBreakAuditSink()
+    sink.on_tie_break(0, 0, _FakeEvent("x"), _FakeEvent("y"))
+    text = sink.report()
+    assert "1 same-(time, priority) tie(s)" in text
+    assert "_FakeEvent:x <-> _FakeEvent:y" in text

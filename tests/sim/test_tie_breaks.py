@@ -1,0 +1,161 @@
+"""Kernel seams behind the perturbation sanitizer: eid scrambling and
+the end-of-tick tail bands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def _record(sim, log, tag, delay=0):
+    def proc():
+        yield sim.timeout(delay)
+        log.append(tag)
+
+    sim.process(proc(), name=tag)
+
+
+# -- perturb_tie_breaks ------------------------------------------------------
+
+
+def _tied_order(seed):
+    sim = Simulator()
+    if seed is not None:
+        sim.perturb_tie_breaks(seed)
+    log = []
+    for tag in "abcdefgh":
+        _record(sim, log, tag, delay=10)
+    sim.run()
+    return log
+
+
+def test_natural_tie_break_is_insertion_order():
+    assert _tied_order(None) == list("abcdefgh")
+
+
+def test_perturbation_permutes_ties_reproducibly():
+    first = _tied_order(3)
+    assert sorted(first) == list("abcdefgh")  # a permutation, nothing lost
+    assert first != list("abcdefgh")  # ...that actually permutes
+    assert _tied_order(3) == first  # ...reproducibly
+
+
+def test_different_seeds_give_different_permutations():
+    permutations = {tuple(_tied_order(seed)) for seed in range(1, 6)}
+    assert len(permutations) > 1
+
+
+def test_perturbation_preserves_cross_time_order():
+    sim = Simulator()
+    sim.perturb_tie_breaks(7)
+    log = []
+    _record(sim, log, "late", delay=20)
+    _record(sim, log, "early", delay=10)
+    sim.run()
+    assert log == ["early", "late"]
+
+
+def test_perturbation_must_precede_scheduling():
+    sim = Simulator()
+    sim.timeout(5)
+    with pytest.raises(SimulationError):
+        sim.perturb_tie_breaks(1)
+
+
+# -- tail bands --------------------------------------------------------------
+
+
+def test_tail_event_runs_after_all_same_tick_events():
+    sim = Simulator()
+    log = []
+
+    def observer():
+        yield sim.timeout(10)
+        yield sim.tail_event()
+        log.append("tail")
+
+    sim.process(observer(), name="observer")
+    for tag in ("a", "b"):
+        _record(sim, log, tag, delay=10)
+    sim.run()
+    assert log == ["a", "b", "tail"]
+
+
+def test_tail_event_outruns_perturbation():
+    """Tail entries lose every tie even under eid scrambling."""
+    for seed in range(1, 6):
+        sim = Simulator()
+        sim.perturb_tie_breaks(seed)
+        log = []
+
+        def observer():
+            yield sim.timeout(10)
+            yield sim.tail_event()
+            log.append("tail")
+
+        sim.process(observer(), name="observer")
+        for tag in "abcd":
+            _record(sim, log, tag, delay=10)
+        sim.run()
+        assert log[-1] == "tail"
+        assert sorted(log[:-1]) == list("abcd")
+
+
+def test_observe_band_runs_after_commit_band():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(10)
+        # Observe scheduled *before* the commit: band, not insertion
+        # order, decides.
+        yield sim.tail_event(observe=True)
+        log.append("observe")
+
+    sim.process(proc(), name="p")
+
+    def committer():
+        yield sim.timeout(10)
+        sim.call_at_tail(lambda event: log.append("commit"))
+
+    sim.process(committer(), name="c")
+    sim.run()
+    assert log == ["commit", "observe"]
+
+
+def test_call_at_tail_sees_all_same_tick_mutations():
+    sim = Simulator()
+    counter = {"n": 0}
+    seen = []
+
+    def bump(tag, delay):
+        def proc():
+            yield sim.timeout(delay)
+            counter["n"] += 1
+
+        sim.process(proc(), name=tag)
+
+    def arm():
+        yield sim.timeout(10)
+        sim.call_at_tail(lambda event: seen.append(counter["n"]))
+
+    sim.process(arm(), name="arm")
+    for index in range(3):
+        bump(f"bump{index}", 10)
+    sim.run()
+    assert seen == [3]
+
+
+def test_tail_events_of_one_tick_run_in_scheduling_order():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(5)
+        sim.call_at_tail(lambda event: log.append("first"))
+        sim.call_at_tail(lambda event: log.append("second"))
+
+    sim.process(proc(), name="p")
+    sim.run()
+    assert log == ["first", "second"]
