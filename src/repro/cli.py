@@ -33,7 +33,11 @@ Run as ``python -m repro.cli <command>``:
   campaign over its app/config grid with per-cell failure isolation.
 * ``report LOG`` -- distil a campaign event log into the SLO report
   (sustained cells/s, p50/p95/p99 cell latency, utilization, cache and
-  failure breakdown; ``docs/observability.md``).
+  failure breakdown, recovery events; ``docs/observability.md``).
+* ``resume JOURNAL`` -- resume an interrupted campaign from its
+  write-ahead journal: completed cells come from the result cache,
+  only incomplete cells re-run, and a code-fingerprint mismatch is
+  refused (``docs/resilience.md``).
 
 ``run``, ``sweep`` and ``tables`` additionally accept ``--stats FILE``
 to write the run report(s) of the runs they perform.  ``run``,
@@ -43,8 +47,13 @@ DIR`` (a content-addressed result cache: warm reruns skip simulation
 entirely; see ``docs/parallel-execution.md``), and the campaign
 telemetry flags ``--log FILE`` (JSONL event log), ``--progress`` (force
 the live progress line) and ``--perfetto FILE`` (campaign-wide Chrome
-trace).  Bad inputs (unknown application, malformed campaign file)
-exit with status 2 and a one-line ``error:`` message.
+trace).  ``sweep``, ``tables`` and ``campaign`` additionally accept the
+durable-execution flags ``--checkpoint JOURNAL`` (crash-safe journaled
+execution; SIGINT/SIGTERM checkpoint and exit 130 with the resume
+command), ``--chaos FILE`` (a host-chaos plan), ``--cell-deadline S``
+and ``--recovery-report FILE``.  Bad inputs (unknown application,
+malformed campaign file, resuming across a code change) exit with
+status 2 and a one-line ``error:`` message.
 """
 
 from __future__ import annotations
@@ -119,6 +128,51 @@ def _telemetry_requested(args: argparse.Namespace) -> bool:
         or getattr(args, "perfetto", None)
         or getattr(args, "progress", False)
     )
+
+
+def _durable_options(args: argparse.Namespace):
+    """``(checkpoint, chaos, policy)`` from the durable-execution flags.
+
+    Loads the host-chaos plan and builds the
+    :class:`~repro.parallel.durable.DurablePolicy` when the relevant
+    flags are set; enforces that chaos and deadlines make sense only
+    with a checkpoint journal (the crash-safe layer owns recovery).
+    """
+    checkpoint = getattr(args, "checkpoint", None)
+    chaos_path = getattr(args, "chaos", None)
+    deadline = getattr(args, "cell_deadline", None)
+    chaos = None
+    if chaos_path:
+        if not checkpoint:
+            raise CLIError("--chaos requires --checkpoint (journaled execution)")
+        from repro.faults.host import HostChaosError, load_host_chaos
+
+        try:
+            chaos = load_host_chaos(chaos_path)
+        except HostChaosError as exc:
+            raise CLIError(str(exc)) from exc
+    policy = None
+    if deadline is not None:
+        if not checkpoint:
+            raise CLIError("--cell-deadline requires --checkpoint")
+        from repro.parallel import DurablePolicy
+
+        policy = DurablePolicy(cell_deadline_s=deadline)
+    return checkpoint, chaos, policy
+
+
+def _write_recovery_report(args: argparse.Namespace, outcome) -> None:
+    """Write ``outcome.recovery`` when ``--recovery-report`` asked for it."""
+    path = getattr(args, "recovery_report", None)
+    if not path:
+        return
+    if outcome.recovery is None:
+        print("no recovery report: the sweep did not run durably")
+        return
+    from repro.parallel import save_recovery_report
+
+    save_recovery_report(outcome.recovery, path)
+    print(f"wrote recovery report to {path}")
 
 
 def _make_telemetry(args: argparse.Namespace, label: str):
@@ -256,6 +310,7 @@ def _report_failures(outcome) -> None:
 def _cmd_sweep(args: argparse.Namespace) -> None:
     _app_builder(args.app)  # validate
     app = args.app.upper()
+    checkpoint, chaos, policy = _durable_options(args)
     telemetry = (
         _make_telemetry(args, label=f"sweep {app}")
         if _telemetry_requested(args)
@@ -268,6 +323,9 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         telemetry=telemetry,
+        checkpoint=checkpoint,
+        chaos=chaos,
+        durable_policy=policy,
     )
     results = outcome.results[app]
     if outcome.ok:
@@ -279,6 +337,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
     if args.stats:
         _write_stats([results[n] for n in sorted(results)], args.stats)
     _finish_telemetry(args, telemetry)
+    _write_recovery_report(args, outcome)
     if not outcome.ok:
         _report_failures(outcome)
 
@@ -286,6 +345,7 @@ def _cmd_sweep(args: argparse.Namespace) -> None:
 def _cmd_tables(args: argparse.Namespace) -> None:
     from repro.core import reference
 
+    checkpoint, chaos, policy = _durable_options(args)
     telemetry = (
         _make_telemetry(args, label="tables")
         if _telemetry_requested(args)
@@ -298,6 +358,9 @@ def _cmd_tables(args: argparse.Namespace) -> None:
         jobs=args.jobs,
         cache_dir=args.cache_dir,
         telemetry=telemetry,
+        checkpoint=checkpoint,
+        chaos=chaos,
+        durable_policy=policy,
     )
     sweep = outcome.results
     if outcome.ok:
@@ -318,6 +381,35 @@ def _cmd_tables(args: argparse.Namespace) -> None:
         ]
         _write_stats(reports, args.stats)
     _finish_telemetry(args, telemetry)
+    _write_recovery_report(args, outcome)
+    if not outcome.ok:
+        _report_failures(outcome)
+
+
+def _cmd_resume(args: argparse.Namespace) -> None:
+    from repro.parallel import resume_sweep
+
+    telemetry = (
+        _make_telemetry(args, label=f"resume {Path(args.journal).name}")
+        if _telemetry_requested(args)
+        else None
+    )
+    outcome = resume_sweep(
+        args.journal,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        telemetry=telemetry,
+    )
+    print(render_partial_table(outcome))
+    recovery = outcome.recovery or {}
+    cells = recovery.get("cells", {})
+    print(
+        f"\nresumed {cells.get('resumed_from_journal', 0)} of "
+        f"{cells.get('total', 0)} cell(s) from the journal; "
+        f"{cells.get('completed', 0)} completed"
+    )
+    _finish_telemetry(args, telemetry)
+    _write_recovery_report(args, outcome)
     if not outcome.ok:
         _report_failures(outcome)
 
@@ -596,12 +688,13 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
     for app in apps:
         _app_builder(app)
 
+    checkpoint, chaos, policy = _durable_options(args)
     telemetry = (
         _make_telemetry(args, label=f"campaign {spec.name}")
         if _telemetry_requested(args)
         else None
     )
-    if _parallel_requested(args) or telemetry is not None:
+    if _parallel_requested(args) or telemetry is not None or checkpoint is not None:
         outcome = resilient_sweep(
             apps,
             configs=configs,
@@ -611,6 +704,9 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
             jobs=args.jobs,
             cache_dir=args.cache_dir,
             telemetry=telemetry,
+            checkpoint=checkpoint,
+            chaos=chaos,
+            durable_policy=policy,
         )
     else:
 
@@ -625,6 +721,7 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
     print(f"campaign {spec.name!r}: {len(spec.faults)} faults, seed {seed}")
     print(render_partial_table(outcome))
     _finish_telemetry(args, telemetry)
+    _write_recovery_report(args, outcome)
     if args.report:
         save_failure_report(outcome, args.report)
         print(f"wrote failure report to {args.report}")
@@ -677,6 +774,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a campaign-wide Chrome/Perfetto trace",
         )
 
+    def add_durable_flags(command) -> None:
+        command.add_argument(
+            "--checkpoint",
+            metavar="JOURNAL",
+            default=None,
+            help="write-ahead journal: crash-safe execution, resumable "
+            "with `resume JOURNAL` (docs/resilience.md)",
+        )
+        command.add_argument(
+            "--chaos",
+            metavar="FILE",
+            default=None,
+            help="host-chaos plan JSON: kill/hang/straggle workers "
+            "(requires --checkpoint)",
+        )
+        command.add_argument(
+            "--cell-deadline",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="wall budget per cell attempt; over-deadline cells are "
+            "killed and retried (requires --checkpoint)",
+        )
+        command.add_argument(
+            "--recovery-report",
+            metavar="FILE",
+            default=None,
+            help="write the cedar-repro/recovery-report/v1 JSON",
+        )
+
     run = sub.add_parser("run", help="run one application on one configuration")
     run.add_argument("app")
     run.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
@@ -694,6 +821,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", metavar="FILE", help="also write the JSON run reports"
     )
     add_parallel_flags(sweep)
+    add_durable_flags(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     tables = sub.add_parser("tables", help="regenerate Tables 1-4 and Figure 3")
@@ -703,7 +831,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", metavar="FILE", help="also write the JSON run reports"
     )
     add_parallel_flags(tables)
+    add_durable_flags(tables)
     tables.set_defaults(func=_cmd_tables)
+
+    resume = sub.add_parser(
+        "resume", help="resume an interrupted campaign from its journal"
+    )
+    resume.add_argument("journal", help="write-ahead journal (from --checkpoint)")
+    add_parallel_flags(resume)
+    resume.add_argument(
+        "--recovery-report",
+        metavar="FILE",
+        default=None,
+        help="write the cedar-repro/recovery-report/v1 JSON",
+    )
+    resume.set_defaults(func=_cmd_resume)
 
     trace = sub.add_parser("trace", help="off-load a run's event trace to a file")
     trace.add_argument("app")
@@ -785,6 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", metavar="FILE", help="also write the JSON failure report"
     )
     add_parallel_flags(campaign)
+    add_durable_flags(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     lint = sub.add_parser(
@@ -850,11 +993,24 @@ def main(argv: list[str] | None = None) -> None:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.parallel.durable import CampaignInterrupted
+    from repro.parallel.journal import JournalError
+
     try:
         args.func(args)
     except CLIError as exc:
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2) from exc
+    except JournalError as exc:
+        # Covers JournalMismatchError: resume across a code change is
+        # refused, like any other bad input.
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    except CampaignInterrupted as exc:
+        # The conventional 128+SIGINT exit; the message carries the
+        # exact resume command.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        raise SystemExit(130) from exc
 
 
 if __name__ == "__main__":

@@ -51,6 +51,10 @@ class SweepOutcome:
     seed: int
     results: dict[str, dict[int, RunResult]] = field(default_factory=dict)
     failures: list[CellFailure] = field(default_factory=list)
+    #: ``cedar-repro/recovery-report/v1`` dict when the sweep ran through
+    #: the durable layer (:mod:`repro.parallel.durable`); ``None``
+    #: otherwise.
+    recovery: dict | None = None
 
     @property
     def ok(self) -> bool:
@@ -74,6 +78,9 @@ def resilient_sweep(
     campaign=None,
     metrics=None,
     telemetry=None,
+    checkpoint: str | Path | None = None,
+    chaos=None,
+    durable_policy=None,
     **run_kwargs,
 ) -> SweepOutcome:
     """Sweep ``apps x configs``, isolating each cell's failures.
@@ -94,6 +101,14 @@ def resilient_sweep(
     :class:`~repro.obs.campaign.CampaignTelemetry` as *telemetry* also
     routes through the parallel path, so resilient campaign sweeps log
     through the same event-log/progress/report seam as pooled ones.
+
+    A *checkpoint* journal path routes through the crash-safe layer
+    (:mod:`repro.parallel.durable`): cells are journaled before
+    dispatch, an existing journal resumes, and the outcome carries a
+    recovery report; *chaos* (a
+    :class:`~repro.faults.host.HostChaosPlan`) and *durable_policy*
+    (a :class:`~repro.parallel.durable.DurablePolicy`) configure the
+    host-fault harness and health monitor (``docs/resilience.md``).
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
@@ -103,6 +118,9 @@ def resilient_sweep(
         or cache_dir is not None
         or campaign is not None
         or telemetry is not None
+        or checkpoint is not None
+        or chaos is not None
+        or durable_policy is not None
     ):
         if run_cell is not None:
             raise ValueError(
@@ -128,6 +146,9 @@ def resilient_sweep(
             retries=retries,
             metrics=metrics,
             telemetry=telemetry,
+            checkpoint=checkpoint,
+            chaos=chaos,
+            durable_policy=durable_policy,
             **run_kwargs,
         )
 

@@ -15,10 +15,27 @@ Entry points:
 * :func:`degraded_mode_experiment` -- the healthy-vs-degraded breakdown
   comparison (``docs/fault-injection.md``).
 * ``cedar-repro inject`` / ``cedar-repro campaign`` -- the CLI.
+
+:mod:`repro.faults.host` is the *other* fault plane: seeded chaos
+against the **host** running the campaign (SIGKILLed workers, hangs,
+stragglers, corrupted cache entries), used to exercise the crash-safe
+execution layer in :mod:`repro.parallel.durable` rather than the
+simulated machine (``docs/resilience.md``).
 """
 
 from repro.faults.campaign import CampaignRunOutcome, run_with_campaign
 from repro.faults.experiments import degraded_campaign, degraded_mode_experiment
+from repro.faults.host import (
+    HOST_CHAOS_SCHEMA,
+    HOST_FAULT_KINDS,
+    HostChaosError,
+    HostChaosPlan,
+    HostFault,
+    corrupt_cache_entry,
+    generate_host_chaos,
+    load_host_chaos,
+    save_host_chaos,
+)
 from repro.faults.injector import FaultInjectionError, FaultInjector, FaultLedger, InjectedFault
 from repro.faults.spec import (
     FAULT_KINDS,
@@ -32,6 +49,8 @@ from repro.faults.spec import (
 
 __all__ = [
     "FAULT_KINDS",
+    "HOST_CHAOS_SCHEMA",
+    "HOST_FAULT_KINDS",
     "CampaignError",
     "CampaignRunOutcome",
     "CampaignSpec",
@@ -39,11 +58,18 @@ __all__ = [
     "FaultInjectionError",
     "FaultInjector",
     "FaultLedger",
+    "HostChaosError",
+    "HostChaosPlan",
+    "HostFault",
     "InjectedFault",
+    "corrupt_cache_entry",
     "degraded_campaign",
     "degraded_mode_experiment",
     "generate_campaign",
+    "generate_host_chaos",
     "load_campaign",
+    "load_host_chaos",
     "run_with_campaign",
     "save_campaign",
+    "save_host_chaos",
 ]

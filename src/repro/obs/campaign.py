@@ -258,6 +258,7 @@ class CampaignTelemetry:
         self.reporter: ProgressReporter | None = None
         self._log: IO[str] | None = None
         self._begun = False
+        self._ended = False
         self._t0 = 0.0
 
     # -- lifecycle (called by the executor) ---------------------------------
@@ -383,8 +384,28 @@ class CampaignTelemetry:
         if self.reporter is not None and not will_retry:
             self.reporter.note_cell(span.span_s, ok=span.ok)
 
+    def on_recovery(self, kind: str, **fields: object) -> None:
+        """Log one recovery event (respawn, straggler, checkpoint, ...).
+
+        The durable execution layer (:mod:`repro.parallel.durable`)
+        narrates its self-healing through this seam: each event lands
+        in the JSONL log as ``{"ev": "recovery", "kind": kind, ...}``
+        and bumps the ``campaign.recovery.<kind>`` counter, so SLO
+        reports and recovery reports read from one surface.
+        """
+        self._event({"ev": "recovery", "kind": kind, "t": host_clock_s(), **fields})
+        self.registry.counter(f"campaign.recovery.{kind}").inc()
+
     def end(self) -> None:
-        """Close the campaign: summary gauges, end event, log + TTY."""
+        """Close the campaign: summary gauges, end event, log + TTY.
+
+        Idempotent: the executor finalizes telemetry on *every* exit
+        path (including exceptional ones), so a second call -- e.g.
+        after a checkpoint already closed the campaign -- is a no-op.
+        """
+        if self._ended:
+            return
+        self._ended = True
         wall = max(1e-9, host_clock_s() - self._t0)
         reg = self.registry
         completed = sum(1 for s in self.spans if s.ok)
@@ -532,6 +553,15 @@ def build_campaign_report(header: dict, events: list[dict]) -> dict:
         value = percentile(values, q)
         return round(value, 6) if value is not None else None
 
+    recovery: dict | None = None
+    recovery_events = [e for e in events if e.get("ev") == "recovery"]
+    if recovery_events:
+        by_kind = _TallyCounter(str(e.get("kind")) for e in recovery_events)
+        recovery = {
+            "events": len(recovery_events),
+            "by_kind": dict(sorted(by_kind.items())),
+        }
+
     return {
         "schema": CAMPAIGN_REPORT_SCHEMA,
         "label": header.get("label"),
@@ -579,6 +609,7 @@ def build_campaign_report(header: dict, events: list[dict]) -> dict:
                 ).items()
             )
         ),
+        "recovery": recovery,
     }
 
 
@@ -607,6 +638,12 @@ def render_campaign_report(report: dict) -> str:
     ]
     for kind, count in report.get("failures", {}).items():
         lines.append(f"    {kind}: {count} attempt(s)")
+    recovery = report.get("recovery")
+    if recovery:
+        pieces = ", ".join(
+            f"{kind} x{count}" for kind, count in recovery["by_kind"].items()
+        )
+        lines.append(f"  recovery  {recovery['events']} event(s): {pieces}")
     fingerprint = report.get("code_fingerprint")
     seed = report.get("seed")
     lines.append(f"  provenance code {fingerprint or '?'}  seed {seed}")

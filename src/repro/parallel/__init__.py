@@ -18,6 +18,9 @@ and every cell carries its schedule hash to prove it).
   fingerprinting rules.
 * :func:`~repro.parallel.snapshot.snapshot_result` -- detached,
   picklable run results.
+* :mod:`repro.parallel.journal` / :mod:`repro.parallel.durable` -- the
+  crash-safe layer: write-ahead journal, resume, worker health and
+  self-healing pools, straggler speculation, recovery reports.
 """
 
 from repro.parallel.cache import (
@@ -27,24 +30,58 @@ from repro.parallel.cache import (
     code_fingerprint,
     default_cache_dir,
 )
+from repro.parallel.durable import (
+    RECOVERY_REPORT_SCHEMA,
+    CampaignInterrupted,
+    DurablePolicy,
+    RecoveryLedger,
+    backoff_s,
+    durable_execute_cells,
+    durable_sweep,
+    resume_sweep,
+    save_recovery_report,
+)
 from repro.parallel.executor import (
     CellSpec,
     execute_cells,
     parallel_sweep,
     run_cell,
 )
+from repro.parallel.journal import (
+    JOURNAL_SCHEMA,
+    CampaignJournal,
+    JournalError,
+    JournalMismatchError,
+    JournalState,
+    load_journal,
+)
 from repro.parallel.snapshot import is_snapshot, snapshot_result
 
 __all__ = [
     "CACHE_SCHEMA",
+    "JOURNAL_SCHEMA",
+    "RECOVERY_REPORT_SCHEMA",
+    "CampaignInterrupted",
+    "CampaignJournal",
     "CellSpec",
+    "DurablePolicy",
+    "JournalError",
+    "JournalMismatchError",
+    "JournalState",
+    "RecoveryLedger",
     "ResultCache",
+    "backoff_s",
     "cell_key",
     "code_fingerprint",
     "default_cache_dir",
+    "durable_execute_cells",
+    "durable_sweep",
     "execute_cells",
     "is_snapshot",
+    "load_journal",
     "parallel_sweep",
+    "resume_sweep",
     "run_cell",
+    "save_recovery_report",
     "snapshot_result",
 ]

@@ -21,6 +21,20 @@ Invalidation rules
 Writes are atomic (temp file + ``os.replace``), so concurrent writers
 -- e.g. two pytest sessions sharing one cache directory -- can race
 safely: last writer wins with an identical payload.
+
+Degradation rules
+-----------------
+The cache is an accelerator, never a dependency, so *no* cache-side
+I/O trouble may abort a sweep:
+
+* Any :class:`OSError` on write (ENOSPC, EROFS, a yanked network
+  mount) degrades that put to a no-op -- counted in
+  ``cache.write_errors`` with a one-time warning -- and after
+  :data:`ResultCache.MAX_WRITE_ERRORS` consecutive failures the cache
+  stops attempting writes entirely (``cache.disabled``).
+* A corrupt envelope is *quarantined*: moved aside to
+  ``<dir>/quarantine/`` (so the damage stays inspectable and is never
+  re-read), counted in ``cache.quarantined``, and treated as a miss.
 """
 
 from __future__ import annotations
@@ -30,6 +44,7 @@ import json
 import os
 import pickle
 import sys
+import warnings
 from pathlib import Path
 from typing import TYPE_CHECKING
 
@@ -136,16 +151,39 @@ class ResultCache:
     BLAKE2 checksum; :meth:`get` re-verifies all three before serving.
     """
 
+    #: Consecutive write failures before the cache stops trying writes.
+    MAX_WRITE_ERRORS = 3
+
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.puts = 0
+        self.write_errors = 0
+        self.quarantined = 0
+        #: Writes disabled after repeated failures (degrade-to-off).
+        self.disabled = False
+        self._consecutive_write_errors = 0
+        self._warned_write = False
 
     def path_for(self, key: str) -> Path:
         """Where the entry for *key* lives (whether or not it exists)."""
         return self.directory / key[:2] / f"{key}.pkl"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt envelope aside so it is never re-read.
+
+        Best-effort: if even the move fails (read-only disk), the entry
+        stays in place and simply keeps counting as corrupt on reads.
+        """
+        target = self.directory / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            return
+        self.quarantined += 1
 
     def get(self, key: str) -> "RunResult | None":
         """The cached result for *key*, or ``None`` on miss/corruption."""
@@ -171,12 +209,21 @@ class ResultCache:
         except Exception:  # noqa: BLE001 - any damage means "not cached"
             self.corrupt += 1
             self.misses += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return result
 
-    def put(self, key: str, result: "RunResult") -> Path:
-        """Store a detached *result* under *key* (atomic replace)."""
+    def put(self, key: str, result: "RunResult") -> Path | None:
+        """Store a detached *result* under *key* (atomic replace).
+
+        Returns the entry path, or ``None`` when the write failed or
+        writes are disabled.  A cache write failure (ENOSPC, EROFS,
+        ...) must never abort the sweep that produced the result: it is
+        counted, warned about once, and the sweep continues cache-less.
+        """
+        if self.disabled:
+            return None
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
         envelope = {
             "schema": CACHE_SCHEMA,
@@ -185,10 +232,38 @@ class ResultCache:
             "payload": payload,
         }
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
-        os.replace(tmp, path)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(pickle.dumps(envelope, protocol=pickle.HIGHEST_PROTOCOL))
+            os.replace(tmp, path)
+        except OSError as exc:
+            self.write_errors += 1
+            self._consecutive_write_errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            if not self._warned_write:
+                self._warned_write = True
+                warnings.warn(
+                    f"result cache write to {self.directory} failed "
+                    f"({type(exc).__name__}: {exc}); continuing without "
+                    f"caching this result",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            if self._consecutive_write_errors >= self.MAX_WRITE_ERRORS:
+                self.disabled = True
+                warnings.warn(
+                    f"result cache at {self.directory} disabled after "
+                    f"{self._consecutive_write_errors} consecutive write "
+                    f"failures; the sweep continues cache-off",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            return None
+        self._consecutive_write_errors = 0
         self.puts += 1
         return path
 
@@ -198,3 +273,6 @@ class ResultCache:
         registry.counter("cache.misses").inc(self.misses)
         registry.counter("cache.corrupt").inc(self.corrupt)
         registry.counter("cache.puts").inc(self.puts)
+        registry.counter("cache.write_errors").inc(self.write_errors)
+        registry.counter("cache.quarantined").inc(self.quarantined)
+        registry.gauge("cache.disabled").set(1 if self.disabled else 0)

@@ -266,66 +266,103 @@ def execute_cells(
         if telemetry is not None:
             telemetry.on_span(payload[-1], will_retry=will_retry)
 
-    with WallTimer() as pool_wall:
-        while pending:
-            round_specs = pending
-            pending = []
-            ship = telemetry is not None
-            batch: list[tuple[CellSpec, int, float, bool]] = []
-            for spec in round_specs:
-                attempts[spec] = attempts.get(spec, 0) + 1
-                submit_s = (
-                    telemetry.on_submit(spec, attempts[spec])
-                    if telemetry is not None
-                    else host_clock_s()
-                )
-                batch.append((spec, attempts[spec], submit_s, ship))
-            if jobs == 1:
-                for payload_in in batch:
-                    _absorb(payload_in[0], _worker(payload_in))
-            else:
-                # A fresh pool per retry round: a worker a wedged cell
-                # took down never poisons the retries of other cells.
-                with ProcessPoolExecutor(max_workers=jobs) as pool:
-                    futures = {
-                        pool.submit(_worker, payload_in): payload_in[0]
-                        for payload_in in batch
-                    }
-                    for future in as_completed(futures):
-                        _absorb(futures[future], future.result())
+    def _broken_payload(payload_in: "tuple[CellSpec, int, float, bool]", exc: BaseException) -> tuple:
+        """Synthesize an err payload for a cell whose worker died.
 
-    failures = [
-        CellFailure(
+        A SIGKILLed or crashed worker never returns its span; the
+        coordinator stands one up so telemetry and the retry machinery
+        see the death like any other failed attempt -- the campaign
+        must outlive its workers.
+        """
+        spec, attempt, submit_s, _ship = payload_in
+        now = host_clock_s()
+        span = CellSpan(
             app=spec.app,
             n_processors=spec.n_processors,
-            attempts=attempts[spec],
-            error_type=errors[spec][0],
-            message=errors[spec][1],
+            seed=spec.seed,
+            attempt=attempt,
+            worker_pid=0,
+            submit_s=submit_s,
+            start_s=submit_s,
+            end_s=now,
+            run_wall_s=0.0,
+            failure_kind=type(exc).__name__,
         )
-        for spec in specs
-        if spec in errors
-    ]
+        _observe(metrics, "counter", "parallel.worker_deaths", 1)
+        return ("err", type(exc).__name__, str(exc), span)
 
-    _observe(metrics, "gauge", "parallel.jobs", jobs)
-    _observe(metrics, "counter", "parallel.cells.total", len(specs))
-    _observe(metrics, "counter", "parallel.cells.completed", len(results))
-    _observe(metrics, "counter", "parallel.cells.failed", len(failures))
-    _observe(metrics, "gauge", "parallel.wall_s", pool_wall.elapsed_s)
-    cell_wall = 0.0
-    for result in results.values():
-        _observe(metrics, "histogram", "parallel.cell_wall_s", result.wall_s)
-        cell_wall += result.wall_s
-    if pool_wall.elapsed_s > 0 and jobs > 1:
-        _observe(
-            metrics,
-            "gauge",
-            "parallel.pool.utilization",
-            min(1.0, cell_wall / (jobs * pool_wall.elapsed_s)),
-        )
-    if cache is not None and metrics is not None:
-        cache.collect(metrics)
-    if telemetry is not None:
-        telemetry.end()
+    try:
+        with WallTimer() as pool_wall:
+            while pending:
+                round_specs = pending
+                pending = []
+                ship = telemetry is not None
+                batch: list[tuple[CellSpec, int, float, bool]] = []
+                for spec in round_specs:
+                    attempts[spec] = attempts.get(spec, 0) + 1
+                    submit_s = (
+                        telemetry.on_submit(spec, attempts[spec])
+                        if telemetry is not None
+                        else host_clock_s()
+                    )
+                    batch.append((spec, attempts[spec], submit_s, ship))
+                if jobs == 1:
+                    for payload_in in batch:
+                        _absorb(payload_in[0], _worker(payload_in))
+                else:
+                    # A fresh pool per retry round: a worker a wedged cell
+                    # took down never poisons the retries of other cells.
+                    # A worker death (BrokenProcessPool) costs the attempts
+                    # that were in flight, never the campaign: each affected
+                    # cell absorbs a synthetic failure and retries on the
+                    # next round's fresh pool.
+                    with ProcessPoolExecutor(max_workers=jobs) as pool:
+                        futures = {
+                            pool.submit(_worker, payload_in): payload_in
+                            for payload_in in batch
+                        }
+                        for future in as_completed(futures):
+                            payload_in = futures[future]
+                            try:
+                                payload = future.result()
+                            except Exception as exc:  # noqa: BLE001 - pool breakage
+                                payload = _broken_payload(payload_in, exc)
+                            _absorb(payload_in[0], payload)
+    finally:
+        # Finalize on *any* exit path -- an escaping exception must
+        # still leave a closed, valid campaign log and flushed metrics
+        # (partial logs are still ``cedar-repro/campaign-log/v1``).
+        failures = [
+            CellFailure(
+                app=spec.app,
+                n_processors=spec.n_processors,
+                attempts=attempts[spec],
+                error_type=errors[spec][0],
+                message=errors[spec][1],
+            )
+            for spec in specs
+            if spec in errors
+        ]
+        _observe(metrics, "gauge", "parallel.jobs", jobs)
+        _observe(metrics, "counter", "parallel.cells.total", len(specs))
+        _observe(metrics, "counter", "parallel.cells.completed", len(results))
+        _observe(metrics, "counter", "parallel.cells.failed", len(failures))
+        _observe(metrics, "gauge", "parallel.wall_s", pool_wall.elapsed_s)
+        cell_wall = 0.0
+        for result in results.values():
+            _observe(metrics, "histogram", "parallel.cell_wall_s", result.wall_s)
+            cell_wall += result.wall_s
+        if pool_wall.elapsed_s > 0 and jobs > 1:
+            _observe(
+                metrics,
+                "gauge",
+                "parallel.pool.utilization",
+                min(1.0, cell_wall / (jobs * pool_wall.elapsed_s)),
+            )
+        if cache is not None and metrics is not None:
+            cache.collect(metrics)
+        if telemetry is not None:
+            telemetry.end()
     return results, failures
 
 
@@ -343,6 +380,9 @@ def parallel_sweep(
     statfx_interval_ns: int = 200_000,
     max_events: int | None = None,
     max_sim_time: int | None = None,
+    checkpoint: "str | Path | None" = None,
+    chaos=None,
+    durable_policy=None,
 ) -> SweepOutcome:
     """Sweep ``apps x configs`` through the pool and the cache.
 
@@ -353,8 +393,41 @@ def parallel_sweep(
     registry is passed, and full campaign telemetry (event log,
     progress, Perfetto spans) when a
     :class:`~repro.obs.campaign.CampaignTelemetry` is passed.
+
+    With *checkpoint*, the sweep routes through the crash-safe layer
+    (:func:`repro.parallel.durable.durable_sweep`): every cell is
+    journaled before dispatch, an interrupted campaign resumes from the
+    journal re-running only incomplete cells, and the outcome carries a
+    recovery report.
     """
     from repro.core.reference import CONFIGS
+
+    if checkpoint is None and (chaos is not None or durable_policy is not None):
+        raise ValueError(
+            "host chaos / durable policy require a checkpoint journal "
+            "(pass checkpoint=...)"
+        )
+    if checkpoint is not None:
+        from repro.parallel.durable import durable_sweep
+
+        return durable_sweep(
+            apps,
+            checkpoint,
+            configs=configs,
+            scale=scale,
+            seed=seed,
+            jobs=max(jobs, 1),
+            cache_dir=cache_dir,
+            campaign=campaign,
+            retries=retries,
+            policy=durable_policy,
+            metrics=metrics,
+            telemetry=telemetry,
+            chaos=chaos,
+            statfx_interval_ns=statfx_interval_ns,
+            max_events=max_events,
+            max_sim_time=max_sim_time,
+        )
 
     if configs is None:
         configs = CONFIGS

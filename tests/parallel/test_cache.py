@@ -14,6 +14,7 @@ import dataclasses
 import pickle
 import sys
 import types
+import warnings
 
 import pytest
 from hypothesis import given, settings
@@ -199,6 +200,92 @@ def test_overwrite_is_atomic_and_idempotent(cache):
     cache.put(key, PAYLOAD)
     assert cache.get(key) == PAYLOAD
     assert not list(path.parent.glob("*.tmp.*"))
+
+
+# -- degrade-to-miss on write failure ----------------------------------------
+
+
+def _breaking_replace(monkeypatch):
+    """Make every cache write fail at the atomic-replace step."""
+    from repro.parallel import cache as cache_mod
+
+    def boom(src, dst):
+        raise OSError(28, "No space left on device")
+
+    monkeypatch.setattr(cache_mod.os, "replace", boom)
+
+
+def test_write_failure_degrades_to_miss_with_one_warning(cache, monkeypatch):
+    _breaking_replace(monkeypatch)
+    key = cell_key(CellSpec(app="FLO52", n_processors=4), code=CODE)
+    with pytest.warns(RuntimeWarning, match="continuing without"):
+        assert cache.put(key, PAYLOAD) is None
+    assert cache.write_errors == 1
+    assert cache.get(key) is None  # nothing was stored
+    # The second failure is counted but not re-warned.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        assert cache.put(key, PAYLOAD) is None
+    assert not any(
+        "continuing without" in str(w.message) for w in caught
+    )
+    assert cache.write_errors == 2
+    assert not cache.disabled
+
+
+def test_cache_disables_after_consecutive_write_failures(cache, monkeypatch):
+    _breaking_replace(monkeypatch)
+    key = cell_key(CellSpec(app="FLO52", n_processors=4), code=CODE)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(ResultCache.MAX_WRITE_ERRORS):
+            assert cache.put(key, PAYLOAD) is None
+    assert cache.disabled
+    assert any("disabled" in str(w.message) for w in caught)
+    # Disabled: further puts are silent no-ops, not new errors.
+    assert cache.put(key, PAYLOAD) is None
+    assert cache.write_errors == ResultCache.MAX_WRITE_ERRORS
+
+    registry = MetricsRegistry()
+    cache.collect(registry)
+    assert registry.value("cache.write_errors") == ResultCache.MAX_WRITE_ERRORS
+    assert registry.value("cache.disabled") == 1
+
+
+def test_successful_write_resets_the_consecutive_counter(cache, monkeypatch):
+    from repro.parallel import cache as cache_mod
+
+    key = cell_key(CellSpec(app="FLO52", n_processors=4), code=CODE)
+    real_replace = cache_mod.os.replace
+    for _ in range(ResultCache.MAX_WRITE_ERRORS - 1):
+        _breaking_replace(monkeypatch)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            cache.put(key, PAYLOAD)
+        monkeypatch.setattr(cache_mod.os, "replace", real_replace)
+        assert cache.put(key, PAYLOAD) is not None  # success resets
+    assert not cache.disabled
+    assert cache.write_errors == ResultCache.MAX_WRITE_ERRORS - 1
+
+
+# -- quarantine of corrupt entries -------------------------------------------
+
+
+def test_corrupt_entry_is_quarantined_not_reread(cache):
+    key, path = _store(cache)
+    path.write_bytes(b"damaged beyond recognition")
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+    assert not path.exists()  # moved aside, never re-read
+    quarantine = cache.directory / "quarantine"
+    assert quarantine.is_dir() and any(quarantine.iterdir())
+    # The next get is a plain miss: no double-count.
+    assert cache.get(key) is None
+    assert cache.quarantined == 1
+
+    registry = MetricsRegistry()
+    cache.collect(registry)
+    assert registry.value("cache.quarantined") == 1
 
 
 def test_code_fingerprint_covers_interpreter_version(monkeypatch):

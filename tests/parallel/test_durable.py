@@ -1,0 +1,129 @@
+"""Durable-layer units: backoff, health sensing, ledger accounting.
+
+The process-level recovery paths (kills, hangs, interrupt + resume)
+live in ``tests/integration/test_crash_resume.py``; this module pins
+the deterministic pieces the coordinator is built from.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.parallel import (
+    RECOVERY_REPORT_SCHEMA,
+    DurablePolicy,
+    RecoveryLedger,
+    backoff_s,
+)
+from repro.parallel.durable import stale_workers
+
+# -- deterministic backoff ---------------------------------------------------
+
+
+def test_backoff_is_deterministic_and_capped():
+    waits = [backoff_s(a, base_s=0.25, cap_s=4.0) for a in range(1, 7)]
+    assert waits == [0.25, 0.5, 1.0, 2.0, 4.0, 4.0]
+    # Same inputs, same waits -- there is deliberately no jitter, so a
+    # re-run of a failing campaign reproduces its own timing.
+    assert waits == [backoff_s(a, base_s=0.25, cap_s=4.0) for a in range(1, 7)]
+
+
+def test_backoff_rejects_non_positive_attempts():
+    with pytest.raises(ValueError, match="attempt"):
+        backoff_s(0, base_s=0.25, cap_s=4.0)
+
+
+def test_policy_is_frozen():
+    policy = DurablePolicy()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        policy.cell_deadline_s = 1.0
+
+
+# -- heartbeat staleness -----------------------------------------------------
+
+
+def test_stale_workers_flags_only_aged_wellformed_beats(tmp_path):
+    now = 1000.0
+    (tmp_path / "hb-101").write_text(str(now - 60.0))  # genuinely stale
+    (tmp_path / "hb-102").write_text(str(now - 1.0))  # fresh
+    (tmp_path / "hb-103").write_text("")  # torn mid-write: alive
+    (tmp_path / "hb-104").write_text("not-a-float")  # unparsable: alive
+    (tmp_path / "hb-tmp.x").write_text(str(now - 60.0))  # writer temp file
+    assert stale_workers(tmp_path, now_s=now, timeout_s=30.0) == [101]
+
+
+def test_stale_workers_on_missing_dir_is_empty(tmp_path):
+    assert stale_workers(tmp_path / "nope", now_s=0.0, timeout_s=1.0) == []
+
+
+# -- recovery ledger ---------------------------------------------------------
+
+
+def test_ledger_report_schema_and_overhead_math():
+    ledger = RecoveryLedger(
+        resumed_cells=2,
+        retries=3,
+        respawns=1,
+        worker_deaths=2,
+        deadline_kills=1,
+        fault_dwell_s=1.0,
+        lost_work_s=2.0,
+    )
+    report = ledger.report(
+        label="t",
+        cells_total=10,
+        cells_completed=10,
+        wall_s=10.0,
+        clean_wall_s=4.0,
+        injected_dwell_s=1.0,
+    )
+    assert report["schema"] == RECOVERY_REPORT_SCHEMA
+    assert report["cells"] == {
+        "total": 10,
+        "completed": 10,
+        "resumed_from_journal": 2,
+    }
+    assert report["recovery"]["worker_deaths"] == 2
+    wall = report["wall"]
+    # Raw overhead: (10 - 4) / 4.  Recovery overhead excludes what the
+    # faults themselves cost (1 backoff + 2 destroyed + 1 injected):
+    # (10 - 4 - 4) / 4.
+    assert wall["overhead_pct"] == pytest.approx(150.0)
+    assert wall["recovery_overhead_pct"] == pytest.approx(50.0)
+    assert wall["fault_dwell_s"] == pytest.approx(1.0)
+    assert wall["lost_work_s"] == pytest.approx(2.0)
+
+
+def test_ledger_recovery_overhead_clamps_at_zero():
+    ledger = RecoveryLedger(fault_dwell_s=1.0, lost_work_s=8.0)
+    report = ledger.report(
+        label="t", cells_total=1, cells_completed=1, wall_s=6.0, clean_wall_s=4.0
+    )
+    # Excluded dwell exceeds the raw overhead (the destroyed work
+    # overlapped useful work on a shared host): clamp, don't go negative.
+    assert report["wall"]["recovery_overhead_pct"] == 0.0
+
+
+def test_ledger_report_without_clean_wall_has_no_overhead():
+    report = RecoveryLedger().report(
+        label="t", cells_total=1, cells_completed=1, wall_s=1.0
+    )
+    assert report["wall"]["clean_wall_s"] is None
+    assert report["wall"]["overhead_pct"] is None
+    assert report["wall"]["recovery_overhead_pct"] is None
+
+
+def test_ledger_collect_emits_recovery_metrics():
+    ledger = RecoveryLedger(
+        resumed_cells=4, retries=2, respawns=1, worker_deaths=1, fault_dwell_s=0.5
+    )
+    registry = MetricsRegistry()
+    ledger.collect(registry)
+    assert registry.value("parallel.recovery.resumed_cells") == 4
+    assert registry.value("parallel.recovery.retries") == 2
+    assert registry.value("parallel.recovery.respawns") == 1
+    assert registry.value("parallel.recovery.worker_deaths") == 1
+    assert registry.value("parallel.recovery.fault_dwell_s") == pytest.approx(0.5)
