@@ -45,6 +45,7 @@ from repro.analyze.race import (
     fingerprint_result,
     plant_order_hazard,
     race_app,
+    race_model,
 )
 from repro.analyze.reporters import (
     render_json,
@@ -90,6 +91,7 @@ __all__ = [
     "parse_suppressions",
     "plant_order_hazard",
     "race_app",
+    "race_model",
     "render_json",
     "render_suppression_stats",
     "render_text",

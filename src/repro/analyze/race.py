@@ -35,7 +35,7 @@ from __future__ import annotations
 import ast
 import hashlib
 import json
-from collections.abc import Generator, Iterator, Sequence
+from collections.abc import Callable, Generator, Iterator, Sequence
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -49,7 +49,9 @@ from repro.analyze.rules import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.apps.base import AppModel
     from repro.core.runner import PreRunHook, RunResult
+    from repro.hardware.config import CedarConfig
     from repro.hardware.machine import CedarMachine
     from repro.runtime.library import CedarFortranRuntime
     from repro.sim import Simulator
@@ -65,6 +67,7 @@ __all__ = [
     "RaceReport",
     "fingerprint_result",
     "race_app",
+    "race_model",
     "plant_order_hazard",
 ]
 
@@ -701,16 +704,25 @@ class RaceReport:
         return "\n".join(lines)
 
 
-def race_app(
-    app: str,
+def race_model(
+    builder: "Callable[[], AppModel]",
+    name: str,
     n_processors: int = 8,
     scale: float = 0.02,
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     os_seed: int = 1994,
     order_capacity: int = 100_000,
     pre_run_hook: "PreRunHook | None" = None,
+    config: "CedarConfig | None" = None,
 ) -> RaceReport:
-    """Hunt order-dependence hazards in *app* by perturbing tie-breaks.
+    """Hunt order-dependence hazards in a model by perturbing tie-breaks.
+
+    The general engine behind :func:`race_app`: *builder* is any
+    zero-argument callable producing a fresh
+    :class:`~repro.apps.base.AppModel` -- a hand-coded app builder or a
+    compiled scenario's :meth:`~repro.scenario.compiler.CompiledScenario.
+    builder` -- and *config* optionally overrides the machine topology
+    (``None`` keeps the paper configuration for *n_processors*).
 
     Runs a baseline (natural insertion-order tie-break), then one run
     per entry of *seeds* with
@@ -723,15 +735,14 @@ def race_app(
     *pre_run_hook* is forwarded to every run; pass
     :func:`plant_order_hazard` to self-test the detector.
     """
-    from repro.analyze.sanitize import DeterminismSink, _resolve_builder
+    from repro.analyze.sanitize import DeterminismSink
     from repro.core.runner import run_application
     from repro.obs.hazard import TieBreakAuditSink
     from repro.obs.instrument import Observability
     from repro.xylem.params import XylemParams
 
-    builder = _resolve_builder(app)
     report = RaceReport(
-        app=app.upper(),
+        app=name,
         n_processors=n_processors,
         scale=scale,
         seeds=tuple(seeds),
@@ -751,6 +762,7 @@ def race_app(
             builder(),
             n_processors,
             scale=scale,
+            config=config,
             os_params=XylemParams(seed=os_seed),
             obs=Observability(extra_sinks=extra),
             pre_run_hook=pre_run_hook,
@@ -783,6 +795,36 @@ def race_app(
             )
         )
     return report
+
+
+def race_app(
+    app: str,
+    n_processors: int = 8,
+    scale: float = 0.02,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    os_seed: int = 1994,
+    order_capacity: int = 100_000,
+    pre_run_hook: "PreRunHook | None" = None,
+) -> RaceReport:
+    """Hunt order-dependence hazards in a *named* app (see
+    :func:`race_model`).
+
+    Resolves *app* through the builder registry (the five Perfect apps
+    plus the synthetic workload) and runs the perturbation campaign on
+    the stock paper configuration.
+    """
+    from repro.analyze.sanitize import _resolve_builder
+
+    return race_model(
+        _resolve_builder(app),
+        name=app.upper(),
+        n_processors=n_processors,
+        scale=scale,
+        seeds=seeds,
+        os_seed=os_seed,
+        order_capacity=order_capacity,
+        pre_run_hook=pre_run_hook,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -3,7 +3,16 @@
 Run as ``python -m repro.cli <command>``:
 
 * ``run APP N_PROC`` -- run one application on one configuration and
-  print every decomposition the paper reports for it.
+  print every decomposition the paper reports for it.  ``run
+  --scenario FILE`` runs a declarative scenario document instead
+  (``docs/scenarios.md``); processor count, scale and seed then
+  default to the scenario's own ``defaults`` section, and the output
+  is byte-identical to running the equivalent built-in app.
+* ``scenario validate FILES...`` -- parse + compile scenario
+  documents, printing one verdict line per file; ``scenario export
+  (--app NAME | --all) [-o PATH]`` writes the built-in apps as
+  scenario files; ``scenario generate -o DIR --seed S -n N`` writes
+  seeded fuzz scenarios.
 * ``sweep APP`` -- run one application on all five configurations and
   print its Table 1/3/4 columns.
 * ``tables`` -- run everything and print Tables 1-4 and Figure 3.
@@ -226,28 +235,91 @@ def _print_metric_block(registry, prefixes, title: str) -> None:
         print(f"  {name:40s} {text}")
 
 
+def _resolve_run_workload(args: argparse.Namespace):
+    """``(compiled, builder, app_name, processors, scale, seed)`` for ``run``.
+
+    The workload comes either from a named built-in application
+    (positional ``APP`` or ``--app``) or from a scenario document
+    (``--scenario``); processor count, scale and seed fall back to the
+    scenario's ``defaults`` section when a scenario supplies them, and
+    to the historical CLI defaults (0.02, 1994) otherwise.  Exactly one
+    of *compiled* / *builder* is non-``None``.
+    """
+    if args.app is not None and args.app_opt is not None:
+        raise CLIError("give the application positionally or via --app, not both")
+    app = args.app if args.app is not None else args.app_opt
+    if args.processors is not None and args.processors_opt is not None:
+        raise CLIError("give the processor count positionally or via --p, not both")
+    processors = (
+        args.processors if args.processors is not None else args.processors_opt
+    )
+    if args.scenario is not None:
+        if app is not None:
+            raise CLIError("--scenario replaces the application; drop APP/--app")
+        from repro.scenario import compile_scenario, load_scenario
+
+        doc = load_scenario(args.scenario)
+        compiled = compile_scenario(doc)
+        return (
+            compiled,
+            None,
+            doc.name,
+            processors if processors is not None else doc.defaults.n_processors,
+            args.scale if args.scale is not None else doc.defaults.scale,
+            args.seed if args.seed is not None else doc.defaults.seed,
+        )
+    if app is None:
+        raise CLIError("give an application (APP or --app) or --scenario FILE")
+    if processors is None:
+        raise CLIError("give a processor count (N_PROC or --p N)")
+    builder = _app_builder(app)
+    return (
+        None,
+        builder,
+        app.upper(),
+        processors,
+        args.scale if args.scale is not None else 0.02,
+        args.seed if args.seed is not None else 1994,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
-    builder = _app_builder(args.app)
+    compiled, builder, app_name, processors, scale, seed = _resolve_run_workload(args)
+
+    def run_serial(n_proc: int):
+        if compiled is not None:
+            return compiled.run(n_proc, scale, seed)
+        return run_application(
+            builder(), n_proc, scale=scale, os_params=XylemParams(seed=seed)
+        )
+
     telemetry = None
     if _parallel_requested(args) or _telemetry_requested(args):
         from repro.parallel import CellSpec, ResultCache, execute_cells
 
         if _telemetry_requested(args):
-            telemetry = _make_telemetry(args, label=f"run {args.app.upper()}")
+            telemetry = _make_telemetry(args, label=f"run {app_name}")
+        scenario_json = None
+        if compiled is not None:
+            from repro.scenario import canonical_scenario_json
+
+            scenario_json = canonical_scenario_json(compiled.doc)
         spec = CellSpec(
-            app=args.app.upper(),
-            n_processors=args.processors,
-            scale=args.scale,
-            seed=args.seed,
+            app=app_name,
+            n_processors=processors,
+            scale=scale,
+            seed=seed,
+            scenario=scenario_json,
         )
         specs = [spec]
-        if args.processors > 1:
+        if processors > 1:
             specs.append(
                 CellSpec(
-                    app=args.app.upper(),
+                    app=app_name,
                     n_processors=1,
-                    scale=args.scale,
-                    seed=args.seed,
+                    scale=scale,
+                    seed=seed,
+                    scenario=scenario_json,
                 )
             )
         cache = ResultCache(args.cache_dir) if args.cache_dir else None
@@ -264,15 +336,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
             )
             raise SystemExit(1)
         result = cells[specs[0]]
-        base = cells[specs[1]] if args.processors > 1 else None
+        base = cells[specs[1]] if processors > 1 else None
     else:
-        result = run_application(
-            builder(), args.processors, scale=args.scale, os_params=_os_params(args)
-        )
+        result = run_serial(processors)
         base = None
     if args.stats:
         _write_stats(result, args.stats)
-    print(f"{result.app_name} on {args.processors} processors (scale {args.scale})")
+    print(f"{result.app_name} on {processors} processors (scale {scale})")
     print(f"completion time: {result.ct_seconds:.1f} s (extrapolated)")
     print("\ncompletion-time breakdown (main cluster):")
     breakdown = ct_breakdown(result, 0)
@@ -282,11 +352,9 @@ def _cmd_run(args: argparse.Namespace) -> None:
     b = user_breakdown(result, 0)
     for name, ns in b.as_dict().items():
         print(f"  {name:14s} {b.fraction(ns):7.2%}")
-    if args.processors > 1:
+    if processors > 1:
         if base is None:
-            base = run_application(
-                builder(), 1, scale=args.scale, os_params=_os_params(args)
-            )
+            base = run_serial(1)
         row = contention_overhead(result, base)
         print(f"\ncontention overhead: {row.ov_cont_pct:.1f} % of CT")
         for task in range(result.config.n_clusters):
@@ -734,6 +802,55 @@ def _cmd_campaign(args: argparse.Namespace) -> None:
         raise SystemExit(1)
 
 
+def _cmd_scenario_validate(args: argparse.Namespace) -> None:
+    from repro.scenario import ScenarioError, compile_scenario, load_scenario
+
+    invalid = 0
+    for path in args.files:
+        try:
+            doc = load_scenario(path)
+            compiled = compile_scenario(doc)
+        except ScenarioError as exc:
+            invalid += 1
+            print(f"{path}: INVALID: {exc}")
+            continue
+        print(
+            f"{path}: ok -- {doc.name} [{compiled.digest[:12]}] "
+            f"{doc.n_steps} step(s) x {len(doc.loops)} loop(s), "
+            f"defaults P={doc.defaults.n_processors} "
+            f"scale={doc.defaults.scale} seed={doc.defaults.seed}"
+        )
+    if invalid:
+        print(f"{invalid} of {len(args.files)} scenario(s) invalid")
+        raise SystemExit(1)
+
+
+def _cmd_scenario_export(args: argparse.Namespace) -> None:
+    from repro.scenario import export_app, save_scenario, write_examples
+
+    if args.all:
+        directory = args.output if args.output else "examples/scenarios"
+        for path in write_examples(directory):
+            print(f"wrote {path}")
+        return
+    doc = export_app(args.export_app)
+    path = Path(args.output) if args.output else Path(f"{doc.name.lower()}.json")
+    save_scenario(doc, path)
+    print(f"wrote {doc.name} scenario to {path}")
+
+
+def _cmd_scenario_generate(args: argparse.Namespace) -> None:
+    from repro.scenario import generate_scenarios, save_scenario
+
+    if args.n < 1:
+        raise CLIError(f"-n must be >= 1, got {args.n}")
+    directory = Path(args.output)
+    directory.mkdir(parents=True, exist_ok=True)
+    for doc in generate_scenarios(args.seed, args.n):
+        save_scenario(doc, directory / f"{doc.name}.json")
+    print(f"wrote {args.n} scenario(s) (seed {args.seed}) to {directory}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -804,14 +921,91 @@ def build_parser() -> argparse.ArgumentParser:
             help="write the cedar-repro/recovery-report/v1 JSON",
         )
 
-    run = sub.add_parser("run", help="run one application on one configuration")
-    run.add_argument("app")
-    run.add_argument("processors", type=int, choices=(1, 4, 8, 16, 32))
-    run.add_argument("--scale", type=float, default=0.02)
-    run.add_argument("--seed", type=int, default=1994, help="OS jitter seed")
+    run = sub.add_parser(
+        "run", help="run one application or scenario on one configuration"
+    )
+    run.add_argument("app", nargs="?", default=None, metavar="APP")
+    run.add_argument(
+        "processors",
+        nargs="?",
+        type=int,
+        choices=(1, 4, 8, 16, 32),
+        default=None,
+        metavar="N_PROC",
+    )
+    run.add_argument(
+        "--app",
+        dest="app_opt",
+        default=None,
+        metavar="APP",
+        help="application by name (same as the positional)",
+    )
+    run.add_argument(
+        "--p",
+        "--processors",
+        dest="processors_opt",
+        type=int,
+        choices=(1, 4, 8, 16, 32),
+        default=None,
+        metavar="N",
+        help="processor count (same as the positional)",
+    )
+    run.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="run a scenario document (docs/scenarios.md) instead of a "
+        "named app; P/scale/seed default to the scenario's own defaults",
+    )
+    run.add_argument(
+        "--scale", type=float, default=None, help="problem scale (default 0.02)"
+    )
+    run.add_argument(
+        "--seed", type=int, default=None, help="OS jitter seed (default 1994)"
+    )
     run.add_argument("--stats", metavar="FILE", help="also write the JSON run report")
     add_parallel_flags(run)
     run.set_defaults(func=_cmd_run)
+
+    scenario = sub.add_parser(
+        "scenario", help="validate, export or generate scenario documents"
+    )
+    scenario_sub = scenario.add_subparsers(dest="scenario_command", required=True)
+    validate = scenario_sub.add_parser(
+        "validate", help="parse + compile scenario files; one verdict line each"
+    )
+    validate.add_argument("files", nargs="+", metavar="FILE")
+    validate.set_defaults(func=_cmd_scenario_validate)
+    export = scenario_sub.add_parser(
+        "export", help="write built-in application models as scenario files"
+    )
+    export_which = export.add_mutually_exclusive_group(required=True)
+    export_which.add_argument(
+        "--app", dest="export_app", metavar="NAME", help="one application"
+    )
+    export_which.add_argument(
+        "--all",
+        action="store_true",
+        help="all five apps plus the synthetic examples",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="output file for --app (default NAME.json) or directory for "
+        "--all (default examples/scenarios)",
+    )
+    export.set_defaults(func=_cmd_scenario_export)
+    generate = scenario_sub.add_parser(
+        "generate", help="write seeded fuzz scenarios (docs/scenarios.md)"
+    )
+    generate.add_argument("-o", "--output", required=True, metavar="DIR")
+    generate.add_argument("--seed", type=int, default=1994)
+    generate.add_argument(
+        "-n", "--count", dest="n", type=int, default=10, help="how many to write"
+    )
+    generate.set_defaults(func=_cmd_scenario_generate)
 
     sweep = sub.add_parser("sweep", help="run one application on all configurations")
     sweep.add_argument("app")
@@ -995,10 +1189,16 @@ def main(argv: list[str] | None = None) -> None:
     args = parser.parse_args(argv)
     from repro.parallel.durable import CampaignInterrupted
     from repro.parallel.journal import JournalError
+    from repro.scenario import ScenarioError
 
     try:
         args.func(args)
     except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from exc
+    except ScenarioError as exc:
+        # A malformed scenario document is bad input like any other:
+        # the message already carries the precise document path.
         print(f"error: {exc}", file=sys.stderr)
         raise SystemExit(2) from exc
     except JournalError as exc:

@@ -11,6 +11,9 @@ Invalidation rules
 ------------------
 * Any change to a key field (app, processor count, scale, seed,
   campaign spec, statfx interval, watchdog limits) changes the key.
+* A scenario cell additionally keys on the BLAKE2 digest of its
+  canonical scenario document -- never on the scenario's display name
+  -- so two different documents named alike can never collide.
 * Any change to the source tree under ``src/repro`` changes
   :func:`code_fingerprint` and therefore every key: a new code version
   never reads an old version's results.
@@ -62,7 +65,8 @@ __all__ = [
 ]
 
 CACHE_SCHEMA = "cedar-repro/cell-cache/v1"
-KEY_SCHEMA = "cedar-repro/cell-key/v1"
+# v1 -> v2: scenario cells added a "scenario" document-digest field.
+KEY_SCHEMA = "cedar-repro/cell-key/v2"
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "CEDAR_REPRO_CACHE"
@@ -123,6 +127,16 @@ def cell_key(spec: CellSpec, code: str | None = None) -> str:
     overrides :func:`code_fingerprint` (the property-test seam).
     """
     campaign = spec.campaign.to_dict() if spec.campaign is not None else None
+    # Scenario cells are keyed by the *document digest*, never the
+    # display name: two different scenario files that happen to share a
+    # name can never collide, and renaming a document without changing
+    # its program does not change its key beyond the name field itself.
+    scenario = getattr(spec, "scenario", None)
+    scenario_digest = (
+        hashlib.blake2b(scenario.encode("utf-8"), digest_size=16).hexdigest()
+        if scenario is not None
+        else None
+    )
     payload = {
         "schema": KEY_SCHEMA,
         "app": spec.app,
@@ -132,6 +146,7 @@ def cell_key(spec: CellSpec, code: str | None = None) -> str:
         "scale": repr(float(spec.scale)),
         "seed": spec.seed,
         "campaign": campaign,
+        "scenario": scenario_digest,
         "statfx_interval_ns": spec.statfx_interval_ns,
         "max_events": spec.max_events,
         "max_sim_time": spec.max_sim_time,

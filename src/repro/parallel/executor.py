@@ -83,6 +83,20 @@ class CellSpec:
     #: Attach a :class:`~repro.analyze.sanitize.DeterminismSink` and
     #: record the schedule hash on the result (cheap; on by default).
     fingerprint_schedule: bool = True
+    #: Canonical scenario JSON (see
+    #: :func:`repro.scenario.schema.canonical_scenario_json`) when this
+    #: cell runs a compiled scenario instead of a named built-in app;
+    #: ``app`` then carries the scenario name for display/grouping only
+    #: -- the cache key is derived from the document digest, never the
+    #: name.  A plain string keeps the spec hashable and picklable.
+    scenario: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.scenario is not None and self.campaign is not None:
+            raise ValueError(
+                "a cell cannot combine a scenario with a fault campaign: "
+                "express background interference in the scenario document"
+            )
 
     def key(self) -> str:
         """Content-addressed cache key of this cell."""
@@ -107,7 +121,21 @@ def run_cell(spec: CellSpec, obs: "Observability | None" = None) -> "RunResult":
     sink = DeterminismSink(order_capacity=0) if spec.fingerprint_schedule else None
     if sink is not None:
         obs.extra_sinks.append(sink)
-    if spec.campaign is not None:
+    if spec.scenario is not None:
+        import json
+
+        from repro.scenario.compiler import compile_scenario
+
+        result = compile_scenario(json.loads(spec.scenario)).run(
+            spec.n_processors,
+            spec.scale,
+            spec.seed,
+            obs=obs,
+            statfx_interval_ns=spec.statfx_interval_ns,
+            max_events=spec.max_events,
+            max_sim_time=spec.max_sim_time,
+        )
+    elif spec.campaign is not None:
         from repro.faults.campaign import run_with_campaign
 
         result = run_with_campaign(

@@ -85,6 +85,7 @@ def spec_to_dict(spec: CellSpec) -> dict:
         "max_events": spec.max_events,
         "max_sim_time": spec.max_sim_time,
         "fingerprint_schedule": spec.fingerprint_schedule,
+        "scenario": spec.scenario,
     }
 
 
@@ -103,6 +104,7 @@ def spec_from_dict(data: dict) -> CellSpec:
         max_events=data.get("max_events"),
         max_sim_time=data.get("max_sim_time"),
         fingerprint_schedule=bool(data.get("fingerprint_schedule", True)),
+        scenario=data.get("scenario"),
     )
 
 

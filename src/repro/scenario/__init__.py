@@ -1,0 +1,79 @@
+"""The declarative scenario DSL: workloads as versioned, validated data.
+
+The paper characterizes five hand-ported Perfect Benchmarks; the north
+star is a contention-characterization engine serving *arbitrary*
+workloads.  This package opens the workload space: a scenario is a
+JSON/YAML document (schema ``cedar-repro/scenario/v1``,
+:mod:`repro.scenario.schema`) describing a phase program -- init
+section, step template of serial sections and parallel loops, machine
+topology overrides, background traffic, seeds -- that compiles
+(:mod:`repro.scenario.compiler`) onto the existing
+:class:`~repro.apps.base.AppModel` API, so sweeps, golden tables, cache
+keys, telemetry and durable campaigns all work unchanged.
+
+Correctness of the front-end is test-led:
+
+* :mod:`repro.scenario.export` round-trips the five built-in apps into
+  scenario files that recompile and run **byte-identically**;
+* :mod:`repro.scenario.generate` draws seeded random-but-valid
+  scenarios (the fuzz corpus);
+* :mod:`repro.scenario.verify` is the per-scenario gauntlet -- two-run
+  determinism, tie-break race sanitizing, pooled/cached byte-identity
+  -- that CI's ``scenario-fuzz`` job maps over hundreds of draws.
+
+See ``docs/scenarios.md`` for the schema reference and authoring guide,
+and ``examples/scenarios/`` for ready-to-run documents.
+"""
+
+from repro.scenario.compiler import CompiledScenario, compile_scenario
+from repro.scenario.export import (
+    export_app,
+    scenario_from_model,
+    synthetic_examples,
+    write_examples,
+)
+from repro.scenario.generate import generate_scenario, generate_scenarios
+from repro.scenario.schema import (
+    SCENARIO_SCHEMA,
+    BackgroundTraffic,
+    InitSection,
+    LoopSpec,
+    ScenarioDefaults,
+    ScenarioDoc,
+    ScenarioError,
+    SerialSection,
+    canonical_scenario_json,
+    load_scenario,
+    parse_scenario,
+    save_scenario,
+    scenario_digest,
+    scenario_to_dict,
+)
+from repro.scenario.verify import ScenarioVerification, verify_scenario
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "BackgroundTraffic",
+    "CompiledScenario",
+    "InitSection",
+    "LoopSpec",
+    "ScenarioDefaults",
+    "ScenarioDoc",
+    "ScenarioError",
+    "ScenarioVerification",
+    "SerialSection",
+    "canonical_scenario_json",
+    "compile_scenario",
+    "export_app",
+    "generate_scenario",
+    "generate_scenarios",
+    "load_scenario",
+    "parse_scenario",
+    "save_scenario",
+    "scenario_digest",
+    "scenario_from_model",
+    "scenario_to_dict",
+    "synthetic_examples",
+    "verify_scenario",
+    "write_examples",
+]

@@ -1,0 +1,200 @@
+"""Round-tripping the built-in application models into scenario files.
+
+:func:`scenario_from_model` reads an :class:`~repro.apps.base.AppModel`
+back into a :class:`~repro.scenario.schema.ScenarioDoc`;
+:func:`export_app` does it for the five Perfect-Benchmark builders.
+The round trip is *exact*: compiling an exported scenario rebuilds a
+model with identical phase programs, so runs -- and therefore golden
+tables, fingerprints and schedule hashes -- are byte-identical to the
+hand-coded originals.  ``tests/scenario/test_export.py`` and the golden
+differential suite hold that contract.
+
+:func:`write_examples` materialises the committed
+``examples/scenarios/`` directory: the five exported apps plus two
+synthetic scenarios exercising the document features the apps do not
+(topology overrides, background traffic).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.apps import PAPER_APPS
+from repro.apps.base import AppModel
+from repro.scenario.schema import (
+    BackgroundTraffic,
+    InitSection,
+    LoopSpec,
+    ScenarioDefaults,
+    ScenarioDoc,
+    ScenarioError,
+    SerialSection,
+    save_scenario,
+)
+
+__all__ = [
+    "export_app",
+    "scenario_from_model",
+    "synthetic_examples",
+    "write_examples",
+]
+
+
+def scenario_from_model(
+    model: AppModel,
+    description: str = "",
+    defaults: ScenarioDefaults | None = None,
+) -> ScenarioDoc:
+    """Describe *model* as a scenario document (the inverse compiler)."""
+    loops = tuple(
+        LoopSpec(
+            construct=shape.construct.value,
+            n_outer=shape.n_outer,
+            n_inner=shape.n_inner,
+            iter_time_ns=shape.iter_time_ns,
+            mem_fraction=shape.mem_fraction,
+            mem_rate=shape.mem_rate,
+            iters_per_page=shape.iters_per_page,
+            fresh_pages_each_step=shape.fresh_pages_each_step,
+            work_skew=shape.work_skew,
+            cluster_ws_bytes=shape.cluster_ws_bytes,
+            label=shape.label,
+        )
+        for shape in model.loops_per_step
+    )
+    return ScenarioDoc(
+        name=model.name,
+        n_steps=model.n_steps,
+        loops=loops,
+        description=description,
+        defaults=defaults if defaults is not None else ScenarioDefaults(),
+        init=InitSection(serial_ns=model.init_serial_ns, pages=model.init_pages),
+        serial=SerialSection(
+            per_step_ns=model.serial_per_step_ns,
+            pages=model.serial_pages_per_step,
+            syscalls=model.serial_syscalls_per_step,
+            mem_fraction=model.serial_mem_fraction,
+            mem_rate=model.serial_mem_rate,
+        ),
+    )
+
+
+def export_app(name: str) -> ScenarioDoc:
+    """Export one built-in Perfect-Benchmark app as a scenario."""
+    key = name.upper()
+    builder = PAPER_APPS.get(key)
+    if builder is None:
+        raise ScenarioError(
+            "$", f"unknown application {name!r}; expected one of {sorted(PAPER_APPS)}"
+        )
+    return scenario_from_model(
+        builder(),
+        description=(
+            f"{key} exported from the hand-coded model in "
+            f"src/repro/apps/{key.lower()}.py; compiles and runs "
+            f"byte-identically to `cedar-repro run --app {key.lower()}`."
+        ),
+    )
+
+
+def synthetic_examples() -> tuple[ScenarioDoc, ScenarioDoc]:
+    """The two committed synthetic examples.
+
+    ``topology-sweep`` exercises machine overrides (a half-size Cedar
+    with deeper switch queues); ``background-traffic`` exercises the
+    multiprogramming section (a 25 % competitor at a 5 ms quantum).
+    Both are sized to run in well under a second at their default
+    scale, so they double as documentation *and* smoke-test inputs.
+    """
+    topology = ScenarioDoc(
+        name="topology-sweep",
+        description=(
+            "A CXLMemSim-style what-if: the FLO52-like flux sweep on a "
+            "half-size Cedar (2 clusters, 16 banks) with deeper switch "
+            "queues. Compare against the stock topology to isolate the "
+            "network's share of contention."
+        ),
+        n_steps=4,
+        defaults=ScenarioDefaults(n_processors=16, scale=1.0, seed=1994),
+        machine=(
+            ("n_clusters", 2),
+            ("n_memory_modules", 16),
+            ("switch_queue_depth", 8),
+        ),
+        init=InitSection(serial_ns=20_000_000, pages=4),
+        serial=SerialSection(per_step_ns=10_000_000, mem_fraction=0.2),
+        loops=(
+            LoopSpec(
+                construct="sdoall",
+                n_outer=5,
+                n_inner=14,
+                iter_time_ns=2_000_000,
+                mem_fraction=0.55,
+                mem_rate=0.6,
+                work_skew=0.5,
+                label="flux-sweep",
+            ),
+            LoopSpec(
+                construct="xdoall",
+                n_inner=96,
+                iter_time_ns=500_000,
+                mem_fraction=0.35,
+                mem_rate=0.5,
+                label="smoother",
+            ),
+        ),
+    )
+    background = ScenarioDoc(
+        name="background-traffic",
+        description=(
+            "A multiprogramming what-if the paper's single-user "
+            "measurements exclude: a cluster-local stencil time-shared "
+            "against a 25% background competitor on a 5 ms quantum, "
+            "clusters drifting independently (Xylem's actual behaviour)."
+        ),
+        n_steps=6,
+        defaults=ScenarioDefaults(n_processors=8, scale=1.0, seed=1994),
+        background=BackgroundTraffic(share=0.25, quantum_ns=5_000_000),
+        serial=SerialSection(per_step_ns=5_000_000, syscalls=1),
+        loops=(
+            LoopSpec(
+                construct="cluster_only",
+                n_inner=48,
+                iter_time_ns=400_000,
+                mem_fraction=0.3,
+                mem_rate=0.5,
+                iters_per_page=16,
+                label="stencil",
+            ),
+            LoopSpec(
+                construct="cdoacross",
+                n_inner=32,
+                iter_time_ns=600_000,
+                mem_fraction=0.4,
+                mem_rate=0.5,
+                label="pipeline",
+            ),
+        ),
+    )
+    return topology, background
+
+
+def write_examples(directory: str | Path) -> list[Path]:
+    """Write the seven example scenarios into *directory*.
+
+    Five exported Perfect apps plus the two synthetic examples, all in
+    canonical form -- re-running this over a clean checkout must be a
+    no-op, which ``tests/scenario/test_export.py`` asserts.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for name in PAPER_APPS:
+        path = target / f"{name.lower()}.json"
+        save_scenario(export_app(name), path)
+        written.append(path)
+    for doc in synthetic_examples():
+        path = target / f"{doc.name}.json"
+        save_scenario(doc, path)
+        written.append(path)
+    return written

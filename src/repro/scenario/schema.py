@@ -1,0 +1,671 @@
+"""The versioned scenario document schema (``cedar-repro/scenario/v1``).
+
+A *scenario* is a data description of a phase-program workload: an
+optional init section, ``n_steps`` repetitions of a step template of
+serial sections and parallel loops, optional machine-topology overrides
+and optional background traffic, plus the default ``(P, scale, seed)``
+point to run it at.  It is everything an
+:class:`~repro.apps.base.AppModel` is -- but as a versioned, validated,
+diffable JSON/YAML artifact instead of a Python class, in the spirit of
+gem5's standardized simulation configs.
+
+Validation discipline
+---------------------
+Validation is *eager* and *total*: :func:`parse_scenario` walks the
+whole document, rejects unknown fields at every level, checks every
+range the downstream :class:`~repro.runtime.loops.ParallelLoop` /
+:class:`~repro.hardware.config.CedarConfig` constructors would check,
+and reports failures as :class:`ScenarioError` carrying the precise
+document path (``loops[2].mem_rate: must be in (0, 1]``).  A document
+that parses is guaranteed to compile and run; a document that does not
+parse fails with :class:`ScenarioError` and nothing else.  The fuzzing
+suite (``tests/scenario/``) holds both halves of that contract.
+
+Canonical form
+--------------
+:func:`scenario_to_dict` is a pure function of the document (optional
+sections are omitted when they hold their defaults, loop objects are
+always written in full), so save -> load -> save round-trips
+byte-identically.  :func:`canonical_scenario_json` (compact, sorted
+keys) feeds :func:`scenario_digest` -- the BLAKE2 fingerprint that
+names the workload in result-cache cell keys
+(:func:`repro.parallel.cache.cell_key`): two scenario files that merely
+share a ``name`` can never collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.runtime.loops import LoopConstruct
+
+__all__ = [
+    "SCENARIO_SCHEMA",
+    "BackgroundTraffic",
+    "InitSection",
+    "LoopSpec",
+    "ScenarioDefaults",
+    "ScenarioDoc",
+    "ScenarioError",
+    "SerialSection",
+    "canonical_scenario_json",
+    "load_scenario",
+    "parse_scenario",
+    "save_scenario",
+    "scenario_digest",
+    "scenario_to_dict",
+]
+
+SCENARIO_SCHEMA = "cedar-repro/scenario/v1"
+
+#: Default workload scale, matching ``repro.core.runner.DEFAULT_SCALE``
+#: (imported lazily there to keep this module dependency-light).
+_DEFAULT_SCALE = 0.02
+
+#: Loop construct names accepted by the schema, in catalogue order.
+CONSTRUCT_NAMES = tuple(construct.value for construct in LoopConstruct)
+
+#: Machine-override fields, by the type each value must carry.  The
+#: names mirror :class:`repro.hardware.config.CedarConfig`; anything
+#: else under ``machine`` is rejected.
+MACHINE_INT_FIELDS = frozenset(
+    {
+        "n_clusters",
+        "ces_per_cluster",
+        "n_memory_modules",
+        "cycle_ns",
+        "memory_service_cycles",
+        "switch_radix",
+        "link_cycles",
+        "gi_cycles",
+        "switch_queue_depth",
+        "vector_window",
+        "global_memory_bytes",
+        "cluster_memory_bytes",
+        "page_bytes",
+    }
+)
+MACHINE_FLOAT_FIELDS = frozenset(
+    {"cluster_channel_words_per_cycle", "vector_issue_rate"}
+)
+MACHINE_BOOL_FIELDS = frozenset({"model_cluster_cache"})
+MACHINE_FIELDS = MACHINE_INT_FIELDS | MACHINE_FLOAT_FIELDS | MACHINE_BOOL_FIELDS
+
+
+class ScenarioError(ValueError):
+    """A scenario document is malformed.
+
+    ``path`` locates the offending field in JSON-ish dotted/indexed
+    notation (``loops[2].mem_rate``, ``machine.n_clusters``, ``$`` for
+    the document root); ``reason`` says what is wrong with it.
+    """
+
+    def __init__(self, path: str, reason: str) -> None:
+        self.path = path or "$"
+        self.reason = reason
+        super().__init__(f"{self.path}: {reason}")
+
+
+# ---------------------------------------------------------------------------
+# Document model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioDefaults:
+    """The ``(P, scale, seed)`` point a scenario runs at by default."""
+
+    n_processors: int = 32
+    scale: float = _DEFAULT_SCALE
+    seed: int = 1994
+
+
+@dataclass(frozen=True)
+class BackgroundTraffic:
+    """A competing Xylem process time-sharing the clusters.
+
+    Compiles onto :class:`repro.xylem.scheduler.BackgroundWorkload`;
+    the paper's own measurements are single-user, so this section is
+    how a scenario opts *into* multiprogrammed interference.
+    """
+
+    share: float
+    quantum_ns: int
+    coscheduled: bool = False
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class InitSection:
+    """The one-off initialisation phase."""
+
+    serial_ns: int = 0
+    pages: int = 0
+
+
+@dataclass(frozen=True)
+class SerialSection:
+    """The serial code of each time step."""
+
+    per_step_ns: int = 0
+    pages: int = 0
+    syscalls: int = 0
+    mem_fraction: float = 0.0
+    mem_rate: float = 0.3
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One parallel loop of the step template.
+
+    Field semantics match :class:`repro.apps.base.LoopShape` exactly --
+    the compiler is a transliteration, never an interpretation.
+    """
+
+    construct: str
+    n_inner: int
+    iter_time_ns: int
+    n_outer: int = 1
+    mem_fraction: float = 0.3
+    mem_rate: float = 0.5
+    iters_per_page: int = 0
+    fresh_pages_each_step: bool = False
+    work_skew: float = 0.0
+    cluster_ws_bytes: int = 0
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioDoc:
+    """A parsed, validated scenario document."""
+
+    name: str
+    n_steps: int
+    loops: tuple[LoopSpec, ...]
+    description: str = ""
+    defaults: ScenarioDefaults = ScenarioDefaults()
+    #: Machine-topology overrides as canonically-sorted ``(field,
+    #: value)`` pairs (kept hashable); see :data:`MACHINE_FIELDS`.
+    machine: tuple[tuple[str, int | float | bool], ...] = ()
+    background: BackgroundTraffic | None = None
+    init: InitSection = InitSection()
+    serial: SerialSection = SerialSection()
+
+    @property
+    def machine_overrides(self) -> dict[str, int | float | bool]:
+        """The topology overrides as a plain keyword dict."""
+        return dict(self.machine)
+
+
+# ---------------------------------------------------------------------------
+# Field readers (each failure names its precise path)
+# ---------------------------------------------------------------------------
+
+_MISSING = object()
+
+
+def _require_mapping(value: Any, path: str) -> Mapping[str, Any]:
+    if not isinstance(value, Mapping):
+        raise ScenarioError(path, f"must be an object, got {type(value).__name__}")
+    for key in value:
+        if not isinstance(key, str):
+            raise ScenarioError(path, f"object keys must be strings, got {key!r}")
+    return value
+
+
+def _reject_unknown(data: Mapping[str, Any], allowed: frozenset[str] | set[str], path: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ScenarioError(path, f"unknown field(s) {unknown}; allowed: {sorted(allowed)}")
+
+
+def _join(path: str, key: str) -> str:
+    return f"{path}.{key}" if path else key
+
+
+def _get_str(
+    data: Mapping[str, Any], key: str, path: str, default: Any = _MISSING
+) -> str:
+    value = data.get(key, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ScenarioError(_join(path, key), "is required")
+        return str(default)
+    if not isinstance(value, str):
+        raise ScenarioError(
+            _join(path, key), f"must be a string, got {type(value).__name__}"
+        )
+    return value
+
+
+def _get_bool(
+    data: Mapping[str, Any], key: str, path: str, default: Any = _MISSING
+) -> bool:
+    value = data.get(key, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ScenarioError(_join(path, key), "is required")
+        return bool(default)
+    if not isinstance(value, bool):
+        raise ScenarioError(
+            _join(path, key), f"must be a boolean, got {type(value).__name__}"
+        )
+    return value
+
+
+def _check_int(value: Any, path: str, lo: int | None, hi: int | None) -> int:
+    # bool is an int subclass; a scenario saying ``"n_steps": true`` is
+    # junk, not one step.
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ScenarioError(path, f"must be an integer, got {type(value).__name__}")
+    if lo is not None and value < lo:
+        raise ScenarioError(path, f"must be >= {lo}, got {value}")
+    if hi is not None and value > hi:
+        raise ScenarioError(path, f"must be <= {hi}, got {value}")
+    return value
+
+
+def _get_int(
+    data: Mapping[str, Any],
+    key: str,
+    path: str,
+    default: Any = _MISSING,
+    lo: int | None = None,
+    hi: int | None = None,
+) -> int:
+    value = data.get(key, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ScenarioError(_join(path, key), "is required")
+        return int(default)
+    return _check_int(value, _join(path, key), lo, hi)
+
+
+def _get_float(
+    data: Mapping[str, Any],
+    key: str,
+    path: str,
+    default: Any = _MISSING,
+    lo: float | None = None,
+    hi: float | None = None,
+    lo_open: bool = False,
+    hi_open: bool = False,
+) -> float:
+    value = data.get(key, _MISSING)
+    if value is _MISSING:
+        if default is _MISSING:
+            raise ScenarioError(_join(path, key), "is required")
+        return float(default)
+    where = _join(path, key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ScenarioError(where, f"must be a number, got {type(value).__name__}")
+    number = float(value)
+    if number != number or number in (float("inf"), float("-inf")):
+        raise ScenarioError(where, f"must be finite, got {value!r}")
+    lo_text = f"({lo}" if lo_open else f"[{lo}"
+    hi_text = f"{hi})" if hi_open else f"{hi}]"
+    bounds = f"must be in {lo_text}, {hi_text}, got {value!r}"
+    if lo is not None and (number < lo or (lo_open and number == lo)):
+        raise ScenarioError(where, bounds)
+    if hi is not None and (number > hi or (hi_open and number == hi)):
+        raise ScenarioError(where, bounds)
+    return number
+
+
+# ---------------------------------------------------------------------------
+# Section parsers
+# ---------------------------------------------------------------------------
+
+
+def _parse_defaults(data: Any, path: str) -> ScenarioDefaults:
+    section = _require_mapping(data, path)
+    _reject_unknown(section, {"n_processors", "scale", "seed"}, path)
+    return ScenarioDefaults(
+        n_processors=_get_int(section, "n_processors", path, default=32, lo=1),
+        scale=_get_float(
+            section, "scale", path, default=_DEFAULT_SCALE, lo=0.0, hi=1.0, lo_open=True
+        ),
+        seed=_get_int(section, "seed", path, default=1994, lo=0),
+    )
+
+
+def _parse_machine(data: Any, path: str) -> tuple[tuple[str, int | float | bool], ...]:
+    section = _require_mapping(data, path)
+    _reject_unknown(section, MACHINE_FIELDS, path)
+    overrides: dict[str, int | float | bool] = {}
+    for key in sorted(section):
+        where = _join(path, key)
+        if key in MACHINE_INT_FIELDS:
+            overrides[key] = _check_int(section[key], where, lo=1, hi=None)
+        elif key in MACHINE_FLOAT_FIELDS:
+            overrides[key] = _get_float(
+                section, key, path, lo=0.0, hi=None, lo_open=True
+            )
+        else:  # MACHINE_BOOL_FIELDS
+            overrides[key] = _get_bool(section, key, path)
+    if "switch_radix" in overrides and int(overrides["switch_radix"]) < 2:
+        raise ScenarioError(_join(path, "switch_radix"), "must be >= 2")
+    return tuple(sorted(overrides.items()))
+
+
+def _parse_background(data: Any, path: str) -> BackgroundTraffic:
+    section = _require_mapping(data, path)
+    _reject_unknown(section, {"share", "quantum_ns", "coscheduled", "seed"}, path)
+    return BackgroundTraffic(
+        share=_get_float(
+            section, "share", path, lo=0.0, hi=1.0, lo_open=True, hi_open=True
+        ),
+        quantum_ns=_get_int(section, "quantum_ns", path, lo=1),
+        coscheduled=_get_bool(section, "coscheduled", path, default=False),
+        seed=_get_int(section, "seed", path, default=7, lo=0),
+    )
+
+
+def _parse_init(data: Any, path: str) -> InitSection:
+    section = _require_mapping(data, path)
+    _reject_unknown(section, {"serial_ns", "pages"}, path)
+    return InitSection(
+        serial_ns=_get_int(section, "serial_ns", path, default=0, lo=0),
+        pages=_get_int(section, "pages", path, default=0, lo=0),
+    )
+
+
+def _parse_serial(data: Any, path: str) -> SerialSection:
+    section = _require_mapping(data, path)
+    _reject_unknown(
+        section, {"per_step_ns", "pages", "syscalls", "mem_fraction", "mem_rate"}, path
+    )
+    return SerialSection(
+        per_step_ns=_get_int(section, "per_step_ns", path, default=0, lo=0),
+        pages=_get_int(section, "pages", path, default=0, lo=0),
+        syscalls=_get_int(section, "syscalls", path, default=0, lo=0),
+        mem_fraction=_get_float(
+            section, "mem_fraction", path, default=0.0, lo=0.0, hi=1.0, hi_open=True
+        ),
+        mem_rate=_get_float(
+            section, "mem_rate", path, default=0.3, lo=0.0, hi=1.0, lo_open=True
+        ),
+    )
+
+
+_LOOP_FIELDS = frozenset(
+    {
+        "construct",
+        "n_outer",
+        "n_inner",
+        "iter_time_ns",
+        "mem_fraction",
+        "mem_rate",
+        "iters_per_page",
+        "fresh_pages_each_step",
+        "work_skew",
+        "cluster_ws_bytes",
+        "label",
+    }
+)
+
+
+def _parse_loop(data: Any, path: str) -> LoopSpec:
+    section = _require_mapping(data, path)
+    _reject_unknown(section, _LOOP_FIELDS, path)
+    construct = _get_str(section, "construct", path)
+    if construct not in CONSTRUCT_NAMES:
+        raise ScenarioError(
+            _join(path, "construct"),
+            f"unknown construct {construct!r}; expected one of {list(CONSTRUCT_NAMES)}",
+        )
+    n_outer = _get_int(section, "n_outer", path, default=1, lo=1)
+    if construct != LoopConstruct.SDOALL.value and n_outer != 1:
+        raise ScenarioError(
+            _join(path, "n_outer"),
+            f"{construct} loops have no outer spread iterations (n_outer must be 1)",
+        )
+    iters_per_page = _get_int(section, "iters_per_page", path, default=0, lo=0)
+    fresh = _get_bool(section, "fresh_pages_each_step", path, default=False)
+    if fresh and iters_per_page == 0:
+        raise ScenarioError(
+            _join(path, "fresh_pages_each_step"),
+            "requires paging (set iters_per_page >= 1)",
+        )
+    return LoopSpec(
+        construct=construct,
+        n_outer=n_outer,
+        n_inner=_get_int(section, "n_inner", path, lo=1),
+        iter_time_ns=_get_int(section, "iter_time_ns", path, lo=1),
+        mem_fraction=_get_float(
+            section, "mem_fraction", path, default=0.3, lo=0.0, hi=1.0, hi_open=True
+        ),
+        mem_rate=_get_float(
+            section, "mem_rate", path, default=0.5, lo=0.0, hi=1.0, lo_open=True
+        ),
+        iters_per_page=iters_per_page,
+        fresh_pages_each_step=fresh,
+        work_skew=_get_float(
+            section, "work_skew", path, default=0.0, lo=0.0, hi=1.0, hi_open=True
+        ),
+        cluster_ws_bytes=_get_int(section, "cluster_ws_bytes", path, default=0, lo=0),
+        label=_get_str(section, "label", path, default=""),
+    )
+
+
+_TOP_FIELDS = frozenset(
+    {
+        "schema",
+        "name",
+        "description",
+        "defaults",
+        "machine",
+        "background",
+        "init",
+        "n_steps",
+        "serial",
+        "loops",
+    }
+)
+
+
+def parse_scenario(data: Any) -> ScenarioDoc:
+    """Parse and validate one scenario document.
+
+    Raises :class:`ScenarioError` -- and only :class:`ScenarioError` --
+    on any malformation, carrying the precise document path.  A
+    returned :class:`ScenarioDoc` is guaranteed to compile
+    (:func:`repro.scenario.compiler.compile_scenario`) and run.
+    """
+    document = _require_mapping(data, "$")
+    _reject_unknown(document, _TOP_FIELDS, "$")
+    schema = _get_str(document, "schema", "")
+    if schema != SCENARIO_SCHEMA:
+        raise ScenarioError(
+            "schema", f"expected {SCENARIO_SCHEMA!r}, got {schema!r}"
+        )
+    name = _get_str(document, "name", "")
+    if not name:
+        raise ScenarioError("name", "must be non-empty")
+    loops_raw = document.get("loops", _MISSING)
+    if loops_raw is _MISSING:
+        raise ScenarioError("loops", "is required")
+    if not isinstance(loops_raw, list) or not loops_raw:
+        raise ScenarioError("loops", "must be a non-empty list of loop objects")
+    loops = tuple(
+        _parse_loop(raw, f"loops[{index}]") for index, raw in enumerate(loops_raw)
+    )
+    defaults = (
+        _parse_defaults(document["defaults"], "defaults")
+        if "defaults" in document
+        else ScenarioDefaults()
+    )
+    machine = (
+        _parse_machine(document["machine"], "machine")
+        if "machine" in document
+        else ()
+    )
+    doc = ScenarioDoc(
+        name=name,
+        n_steps=_get_int(document, "n_steps", "", lo=1),
+        loops=loops,
+        description=_get_str(document, "description", "", default=""),
+        defaults=defaults,
+        machine=machine,
+        background=(
+            _parse_background(document["background"], "background")
+            if "background" in document
+            else None
+        ),
+        init=_parse_init(document["init"], "init") if "init" in document else InitSection(),
+        serial=(
+            _parse_serial(document["serial"], "serial")
+            if "serial" in document
+            else SerialSection()
+        ),
+    )
+    _check_topology(doc)
+    return doc
+
+
+def _check_topology(doc: ScenarioDoc) -> None:
+    """Prove the machine overrides + default P build a valid config."""
+    from repro.hardware.config import CedarConfig
+
+    try:
+        config = CedarConfig(**doc.machine_overrides)
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError("machine", str(exc)) from exc
+    try:
+        config.with_processors(doc.defaults.n_processors)
+    except ValueError as exc:
+        raise ScenarioError("defaults.n_processors", str(exc)) from exc
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization
+# ---------------------------------------------------------------------------
+
+
+def scenario_to_dict(doc: ScenarioDoc) -> dict[str, Any]:
+    """The canonical JSON-serialisable form of *doc*.
+
+    Pure function of the document: loop objects always carry every
+    field; optional sections are omitted when they hold their defaults.
+    ``parse_scenario(scenario_to_dict(doc)) == doc`` for every valid
+    document.
+    """
+    data: dict[str, Any] = {
+        "schema": SCENARIO_SCHEMA,
+        "name": doc.name,
+        "description": doc.description,
+        "defaults": {
+            "n_processors": doc.defaults.n_processors,
+            "scale": doc.defaults.scale,
+            "seed": doc.defaults.seed,
+        },
+    }
+    if doc.machine:
+        data["machine"] = dict(doc.machine)
+    if doc.background is not None:
+        data["background"] = {
+            "share": doc.background.share,
+            "quantum_ns": doc.background.quantum_ns,
+            "coscheduled": doc.background.coscheduled,
+            "seed": doc.background.seed,
+        }
+    if doc.init != InitSection():
+        data["init"] = {"serial_ns": doc.init.serial_ns, "pages": doc.init.pages}
+    data["n_steps"] = doc.n_steps
+    if doc.serial != SerialSection():
+        data["serial"] = {
+            "per_step_ns": doc.serial.per_step_ns,
+            "pages": doc.serial.pages,
+            "syscalls": doc.serial.syscalls,
+            "mem_fraction": doc.serial.mem_fraction,
+            "mem_rate": doc.serial.mem_rate,
+        }
+    data["loops"] = [
+        {
+            "construct": loop.construct,
+            "n_outer": loop.n_outer,
+            "n_inner": loop.n_inner,
+            "iter_time_ns": loop.iter_time_ns,
+            "mem_fraction": loop.mem_fraction,
+            "mem_rate": loop.mem_rate,
+            "iters_per_page": loop.iters_per_page,
+            "fresh_pages_each_step": loop.fresh_pages_each_step,
+            "work_skew": loop.work_skew,
+            "cluster_ws_bytes": loop.cluster_ws_bytes,
+            "label": loop.label,
+        }
+        for loop in doc.loops
+    ]
+    return data
+
+
+def canonical_scenario_json(doc: ScenarioDoc) -> str:
+    """Compact, key-sorted JSON -- the digest (and cache-key) input."""
+    return json.dumps(scenario_to_dict(doc), sort_keys=True, separators=(",", ":"))
+
+
+def scenario_digest(doc: ScenarioDoc) -> str:
+    """BLAKE2 fingerprint of the canonical document.
+
+    This is the value the result cache folds into scenario cell keys:
+    equal digests mean byte-identical canonical documents, so two
+    different scenario files that happen to share a ``name`` can never
+    collide in the cache.
+    """
+    return hashlib.blake2b(
+        canonical_scenario_json(doc).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
+def load_scenario(path: str | Path) -> ScenarioDoc:
+    """Load and validate a scenario file (JSON, or YAML by suffix).
+
+    Raises :class:`ScenarioError` on unreadable files, parse errors and
+    every schema violation alike -- callers need one except clause.
+    """
+    file = Path(path)
+    try:
+        text = file.read_text()
+    except OSError as exc:
+        raise ScenarioError("$", f"cannot read scenario file {file}: {exc}") from exc
+    if file.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env without PyYAML
+            raise ScenarioError(
+                "$", "YAML scenarios need the optional PyYAML dependency; use JSON"
+            ) from exc
+        try:
+            data = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError("$", f"{file} is not valid YAML: {exc}") from exc
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError("$", f"{file} is not valid JSON: {exc}") from exc
+    return parse_scenario(data)
+
+
+def save_scenario(doc: ScenarioDoc, path: str | Path) -> None:
+    """Write *doc* canonically (pretty JSON, or YAML by suffix).
+
+    The output round-trips: ``save -> load -> save`` produces
+    byte-identical files.
+    """
+    file = Path(path)
+    data = scenario_to_dict(doc)
+    if file.suffix.lower() in (".yaml", ".yml"):
+        try:
+            import yaml
+        except ImportError as exc:  # pragma: no cover - env without PyYAML
+            raise ScenarioError(
+                "$", "YAML scenarios need the optional PyYAML dependency; use JSON"
+            ) from exc
+        file.write_text(yaml.safe_dump(data, sort_keys=False))
+    else:
+        file.write_text(json.dumps(data, indent=2) + "\n")

@@ -1,0 +1,118 @@
+"""CLI contract for scenarios: byte-identity, verdict lines, exit codes."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+
+
+def _capture(capsys, argv: list[str]) -> str:
+    main(argv)
+    return capsys.readouterr().out
+
+
+def test_run_scenario_is_byte_identical_to_run_app(capsys):
+    via_scenario = _capture(
+        capsys,
+        ["run", "--scenario", str(EXAMPLES / "flo52.json"), "--p", "8", "--scale", "0.01"],
+    )
+    via_app = _capture(capsys, ["run", "flo52", "8", "--scale", "0.01"])
+    via_app_flag = _capture(
+        capsys, ["run", "--app", "flo52", "--p", "8", "--scale", "0.01"]
+    )
+    assert via_scenario == via_app == via_app_flag
+    assert "FLO52 on 8 processors" in via_scenario
+
+
+def test_run_scenario_uses_document_defaults(capsys, tmp_path):
+    doc = {
+        "schema": "cedar-repro/scenario/v1",
+        "name": "tiny",
+        "defaults": {"n_processors": 4, "scale": 1.0, "seed": 3},
+        "n_steps": 1,
+        "loops": [
+            {"construct": "sdoall", "n_outer": 2, "n_inner": 8, "iter_time_ns": 200_000}
+        ],
+    }
+    path = tmp_path / "tiny.json"
+    path.write_text(json.dumps(doc))
+    out = _capture(capsys, ["run", "--scenario", str(path)])
+    assert "tiny on 4 processors (scale 1.0)" in out
+
+
+def test_run_rejects_scenario_plus_app(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "flo52", "8", "--scenario", str(EXAMPLES / "flo52.json")])
+    assert excinfo.value.code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_rejects_missing_workload(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run"])
+    assert excinfo.value.code == 2
+
+
+def test_run_malformed_scenario_exits_2(capsys, tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"schema": "nope"}))
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--scenario", str(path)])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: schema:")
+
+
+def test_scenario_validate_reports_each_file(capsys, tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{broken")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["scenario", "validate", str(EXAMPLES / "ocean.json"), str(bad)])
+    assert excinfo.value.code == 1
+    out = capsys.readouterr().out
+    assert "ocean.json: ok -- OCEAN" in out
+    assert "INVALID" in out
+    assert "1 of 2 scenario(s) invalid" in out
+
+
+def test_scenario_validate_all_committed_examples(capsys):
+    files = sorted(str(p) for p in EXAMPLES.glob("*.json"))
+    out = _capture(capsys, ["scenario", "validate", *files])
+    assert out.count(": ok -- ") == len(files) == 7
+
+
+def test_scenario_export_single_app(capsys, tmp_path):
+    target = tmp_path / "mdg.json"
+    out = _capture(capsys, ["scenario", "export", "--app", "mdg", "-o", str(target)])
+    assert "wrote MDG scenario" in out
+    assert target.read_bytes() == (EXAMPLES / "mdg.json").read_bytes()
+
+
+def test_scenario_export_all(capsys, tmp_path):
+    out = _capture(capsys, ["scenario", "export", "--all", "-o", str(tmp_path)])
+    assert out.count("wrote ") == 7
+    assert (tmp_path / "flo52.json").exists()
+    assert (tmp_path / "topology-sweep.json").exists()
+
+
+def test_scenario_generate_then_run(capsys, tmp_path):
+    _capture(
+        capsys,
+        ["scenario", "generate", "-o", str(tmp_path), "--seed", "7", "-n", "2"],
+    )
+    written = sorted(tmp_path.glob("*.json"))
+    assert [p.name for p in written] == ["fuzz-7-0000.json", "fuzz-7-0001.json"]
+    out = _capture(capsys, ["run", "--scenario", str(written[0])])
+    assert "completion time" in out
+
+
+def test_scenario_generate_rejects_bad_count(capsys, tmp_path):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["scenario", "generate", "-o", str(tmp_path), "-n", "0"])
+    assert excinfo.value.code == 2

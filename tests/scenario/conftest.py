@@ -1,0 +1,63 @@
+"""Shared fixtures for the scenario-DSL suite."""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+
+def minimal_doc() -> dict:
+    """The smallest interesting valid scenario document."""
+    return {
+        "schema": "cedar-repro/scenario/v1",
+        "name": "minimal",
+        "n_steps": 2,
+        "loops": [
+            {"construct": "sdoall", "n_outer": 2, "n_inner": 8, "iter_time_ns": 100_000}
+        ],
+    }
+
+
+def rich_doc() -> dict:
+    """A valid document exercising every optional section."""
+    return {
+        "schema": "cedar-repro/scenario/v1",
+        "name": "rich",
+        "description": "every optional section populated",
+        "defaults": {"n_processors": 8, "scale": 0.5, "seed": 7},
+        "machine": {"n_clusters": 2, "switch_queue_depth": 8},
+        "background": {"share": 0.25, "quantum_ns": 10_000_000},
+        "init": {"serial_ns": 1_000_000, "pages": 2},
+        "n_steps": 3,
+        "serial": {"per_step_ns": 500_000, "pages": 1, "syscalls": 1},
+        "loops": [
+            {
+                "construct": "sdoall",
+                "n_outer": 4,
+                "n_inner": 16,
+                "iter_time_ns": 200_000,
+                "iters_per_page": 16,
+                "fresh_pages_each_step": True,
+                "work_skew": 0.3,
+                "label": "waves",
+            },
+            {
+                "construct": "cluster_only",
+                "n_inner": 8,
+                "iter_time_ns": 150_000,
+                "cluster_ws_bytes": 8192,
+                "label": "stencil",
+            },
+        ],
+    }
+
+
+@pytest.fixture
+def minimal() -> dict:
+    return copy.deepcopy(minimal_doc())
+
+
+@pytest.fixture
+def rich() -> dict:
+    return copy.deepcopy(rich_doc())

@@ -1,0 +1,87 @@
+"""Cache-key discipline for scenario cells.
+
+The negative tests are the point: two scenario documents that merely
+share a display name must produce *different* cell keys (the key folds
+in the document digest, not the name), and a scenario cell must never
+collide with the plain named-app cell it shadows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.cache import KEY_SCHEMA, cell_key
+from repro.parallel.executor import CellSpec
+from repro.parallel.journal import spec_from_dict, spec_to_dict
+from repro.scenario import canonical_scenario_json, compile_scenario, parse_scenario
+
+
+def _spec(doc_data: dict | None = None, **kwargs) -> CellSpec:
+    scenario = None
+    if doc_data is not None:
+        scenario = canonical_scenario_json(parse_scenario(doc_data))
+    defaults = dict(app="FLO52", n_processors=8, scale=0.02, seed=1994)
+    defaults.update(kwargs)
+    return CellSpec(scenario=scenario, **defaults)
+
+
+def test_key_schema_was_bumped_for_scenarios():
+    assert KEY_SCHEMA == "cedar-repro/cell-key/v2"
+
+
+def test_same_name_different_documents_never_collide(minimal, rich):
+    rich["name"] = minimal["name"]
+    a = _spec(minimal, app=minimal["name"])
+    b = _spec(rich, app=minimal["name"])
+    assert a.app == b.app
+    assert cell_key(a) != cell_key(b)
+
+
+def test_scenario_cell_never_collides_with_named_app_cell(minimal):
+    minimal["name"] = "FLO52"
+    assert cell_key(_spec(minimal)) != cell_key(_spec(None))
+
+
+def test_identical_documents_share_a_key(minimal):
+    import copy
+
+    assert cell_key(_spec(minimal)) == cell_key(_spec(copy.deepcopy(minimal)))
+
+
+def test_key_still_tracks_the_grid_point(minimal):
+    base = _spec(minimal)
+    assert cell_key(base) != cell_key(_spec(minimal, n_processors=16))
+    assert cell_key(base) != cell_key(_spec(minimal, seed=7))
+    assert cell_key(base) != cell_key(_spec(minimal, scale=0.01))
+
+
+def test_spec_rejects_scenario_plus_campaign(minimal):
+    from repro.faults.spec import CampaignSpec
+
+    campaign = CampaignSpec(name="c", seed=1, faults=())
+    with pytest.raises(ValueError, match="scenario"):
+        CellSpec(
+            app="X",
+            n_processors=8,
+            scale=0.02,
+            seed=1,
+            campaign=campaign,
+            scenario=canonical_scenario_json(parse_scenario(minimal)),
+        )
+
+
+def test_journal_roundtrips_scenario_specs(minimal):
+    spec = _spec(minimal)
+    assert spec_from_dict(spec_to_dict(spec)) == spec
+    assert spec_from_dict(spec_to_dict(spec)).key() == spec.key()
+
+
+def test_run_cell_executes_scenario_specs(minimal):
+    from repro.analyze.race import fingerprint_result
+    from repro.parallel.executor import run_cell
+
+    minimal["defaults"] = {"scale": 1.0}
+    compiled = compile_scenario(minimal)
+    snapshot = run_cell(_spec(minimal, app="minimal", n_processors=4, scale=1.0))
+    direct = compiled.run(4, 1.0, 1994)
+    assert fingerprint_result(snapshot).digest == fingerprint_result(direct).digest

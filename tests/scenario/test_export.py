@@ -1,0 +1,68 @@
+"""Exporters: exact round trips and a committed-examples sync check."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.apps import PAPER_APPS
+from repro.scenario import (
+    ScenarioError,
+    compile_scenario,
+    export_app,
+    parse_scenario,
+    scenario_from_model,
+    scenario_to_dict,
+    synthetic_examples,
+    write_examples,
+)
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples" / "scenarios"
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_APPS))
+def test_export_roundtrip_is_exact(name):
+    model = PAPER_APPS[name]()
+    recompiled = compile_scenario(scenario_from_model(model)).model
+    # AppModel compares by identity; the exported document is a total,
+    # structural view of the model, so export-equality is exactness.
+    assert scenario_from_model(recompiled) == scenario_from_model(model)
+
+
+def test_export_app_is_case_insensitive():
+    assert export_app("ocean") == export_app("OCEAN")
+
+
+def test_export_unknown_app_raises_scenario_error():
+    with pytest.raises(ScenarioError, match="unknown application"):
+        export_app("linpack")
+
+
+def test_synthetic_examples_validate_and_compile():
+    topology, background = synthetic_examples()
+    for doc in (topology, background):
+        assert parse_scenario(scenario_to_dict(doc)) == doc
+        compile_scenario(doc)
+    assert topology.machine_overrides["n_clusters"] == 2
+    assert background.background is not None
+
+
+def test_committed_examples_are_in_sync(tmp_path):
+    """`scenario export --all` over a clean checkout must be a no-op."""
+    written = write_examples(tmp_path)
+    assert len(written) == 7
+    for path in written:
+        committed = EXAMPLES_DIR / path.name
+        assert committed.is_file(), (
+            f"{committed} is missing; run `cedar-repro scenario export --all`"
+        )
+        assert committed.read_bytes() == path.read_bytes(), (
+            f"{committed} is stale; run `cedar-repro scenario export --all`"
+        )
+
+
+def test_committed_examples_have_no_strays():
+    fresh = {f"{name.lower()}.json" for name in PAPER_APPS}
+    fresh |= {f"{doc.name}.json" for doc in synthetic_examples()}
+    assert {p.name for p in EXAMPLES_DIR.glob("*.json")} == fresh

@@ -1,0 +1,86 @@
+"""The seeded fuzzer: deterministic, prefix-stable, always valid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import (
+    compile_scenario,
+    generate_scenarios,
+    parse_scenario,
+    scenario_to_dict,
+)
+
+
+def test_generation_is_deterministic():
+    assert generate_scenarios(5, 10) == generate_scenarios(5, 10)
+
+
+def test_streams_are_prefix_stable():
+    assert generate_scenarios(5, 4) == generate_scenarios(5, 10)[:4]
+
+
+def test_names_carry_seed_and_index():
+    docs = generate_scenarios(0x2A, 3)
+    assert [doc.name for doc in docs] == [
+        "fuzz-2a-0000",
+        "fuzz-2a-0001",
+        "fuzz-2a-0002",
+    ]
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError, match=">= 0"):
+        generate_scenarios(1, -1)
+
+
+def test_zero_count_is_empty():
+    assert generate_scenarios(1, 0) == []
+
+
+def test_generated_documents_roundtrip_and_compile():
+    for doc in generate_scenarios(1994, 20):
+        assert parse_scenario(scenario_to_dict(doc)) == doc
+        compile_scenario(doc)
+
+
+def test_draw_space_is_covered():
+    docs = generate_scenarios(3, 80)
+    constructs = {loop.construct for doc in docs for loop in doc.loops}
+    assert constructs == {"sdoall", "xdoall", "cluster_only", "cdoacross"}
+    assert any(doc.machine for doc in docs)
+    assert any(doc.background is not None for doc in docs)
+    assert any(
+        loop.iters_per_page for doc in docs for loop in doc.loops
+    )
+    assert any(
+        loop.fresh_pages_each_step for doc in docs for loop in doc.loops
+    )
+
+
+def test_paging_is_wave_aligned():
+    """Page boundaries must land on outer-iteration wave boundaries.
+
+    Misaligned pages put straggler faults on the knife edge of earlier
+    fault completions, where join-vs-new classification depends on
+    same-tick event order (docs/scenarios.md, "Paging alignment") --
+    the generator must never emit them.
+    """
+    for doc in generate_scenarios(17, 60):
+        for loop in doc.loops:
+            if loop.iters_per_page:
+                assert loop.iters_per_page % loop.n_inner == 0
+
+
+def test_os_budget_keeps_background_periods_bounded():
+    """Scenarios with background traffic must span several quanta."""
+    for doc in generate_scenarios(23, 60):
+        if doc.background is None:
+            continue
+        period = doc.background.quantum_ns / doc.background.share
+        work = sum(
+            loop.n_outer * loop.n_inner * loop.iter_time_ns / doc.defaults.n_processors
+            for loop in doc.loops
+        )
+        wall_lb = doc.init.serial_ns + doc.n_steps * (doc.serial.per_step_ns + work)
+        assert wall_lb >= 3.0 * period

@@ -1,0 +1,245 @@
+"""Property suite: the schema contract under adversarial documents.
+
+Two halves, mirroring the docstring contract of
+:func:`repro.scenario.schema.parse_scenario`:
+
+* every document the *valid* strategy builds parses, compiles and
+  round-trips;
+* every document the *adversarial* strategies build -- junk values,
+  deleted fields, injected fields, arbitrary JSON -- either parses or
+  fails with :class:`ScenarioError`, never with anything else, and a
+  document that parses always compiles.
+
+A third, smaller property takes generator output through the full
+runtime gauntlet (two same-seed runs byte-identical, tie-break
+perturbation hazard-free) -- the same check CI's ``scenario-fuzz`` job
+runs at scale.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenario import (
+    ScenarioDoc,
+    ScenarioError,
+    compile_scenario,
+    generate_scenarios,
+    parse_scenario,
+    scenario_to_dict,
+)
+
+# ---------------------------------------------------------------------------
+# Valid-document strategy
+# ---------------------------------------------------------------------------
+
+_SAFE_MACHINES = (
+    {},
+    {"n_memory_modules": 16},
+    {"switch_queue_depth": 8},
+    {"n_clusters": 2, "model_cluster_cache": True},
+    {"cluster_channel_words_per_cycle": 1.5},
+)
+
+
+def _loops():
+    sdoall = st.fixed_dictionaries(
+        {
+            "construct": st.just("sdoall"),
+            "n_outer": st.integers(1, 6),
+            "n_inner": st.integers(1, 32),
+            "iter_time_ns": st.integers(1, 10_000_000),
+        },
+        optional={
+            "mem_fraction": st.floats(0.0, 0.99),
+            "mem_rate": st.floats(0.01, 1.0),
+            "work_skew": st.floats(0.0, 0.99),
+            "cluster_ws_bytes": st.integers(0, 1 << 20),
+            "label": st.text(max_size=12),
+        },
+    )
+    flat = st.fixed_dictionaries(
+        {
+            "construct": st.sampled_from(("xdoall", "cluster_only", "cdoacross")),
+            "n_inner": st.integers(1, 32),
+            "iter_time_ns": st.integers(1, 10_000_000),
+        },
+        optional={
+            "mem_fraction": st.floats(0.0, 0.99),
+            "mem_rate": st.floats(0.01, 1.0),
+            "label": st.text(max_size=12),
+        },
+    )
+
+    def add_paging(loop):
+        # iters_per_page aligned to n_inner waves, as the generator does.
+        total = loop.get("n_outer", 1) * loop["n_inner"]
+        return st.one_of(
+            st.just(loop),
+            st.integers(1, max(1, total // loop["n_inner"])).map(
+                lambda k: {**loop, "iters_per_page": k * loop["n_inner"]}
+            ),
+        )
+
+    return st.one_of(sdoall, flat).flatmap(add_paging)
+
+
+def valid_documents():
+    return st.fixed_dictionaries(
+        {
+            "schema": st.just("cedar-repro/scenario/v1"),
+            "name": st.text(min_size=1, max_size=20),
+            "n_steps": st.integers(1, 8),
+            "loops": st.lists(_loops(), min_size=1, max_size=3),
+        },
+        optional={
+            "description": st.text(max_size=40),
+            "defaults": st.fixed_dictionaries(
+                {},
+                optional={
+                    "n_processors": st.sampled_from((1, 2, 4, 8, 16, 32)),
+                    "scale": st.floats(0.001, 1.0),
+                    "seed": st.integers(0, 2**31),
+                },
+            ),
+            "machine": st.sampled_from(_SAFE_MACHINES),
+            "background": st.fixed_dictionaries(
+                {
+                    "share": st.floats(0.05, 0.95),
+                    "quantum_ns": st.integers(1_000_000, 50_000_000),
+                },
+                optional={
+                    "coscheduled": st.booleans(),
+                    "seed": st.integers(0, 1000),
+                },
+            ),
+            "init": st.fixed_dictionaries(
+                {},
+                optional={
+                    "serial_ns": st.integers(0, 10_000_000),
+                    "pages": st.integers(0, 8),
+                },
+            ),
+            "serial": st.fixed_dictionaries(
+                {},
+                optional={
+                    "per_step_ns": st.integers(0, 10_000_000),
+                    "pages": st.integers(0, 4),
+                    "syscalls": st.integers(0, 4),
+                    "mem_fraction": st.floats(0.0, 0.99),
+                    "mem_rate": st.floats(0.01, 1.0),
+                },
+            ),
+        },
+    )
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=valid_documents())
+def test_valid_documents_parse_compile_and_roundtrip(data):
+    doc = parse_scenario(data)
+    assert isinstance(doc, ScenarioDoc)
+    compiled = compile_scenario(doc)
+    assert compiled.model.n_steps == doc.n_steps
+    assert parse_scenario(scenario_to_dict(doc)) == doc
+
+
+# ---------------------------------------------------------------------------
+# Adversarial strategies
+# ---------------------------------------------------------------------------
+
+_JUNK = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(2**40), 2**40),
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.text(max_size=8),
+    st.lists(st.integers(), max_size=3),
+    st.dictionaries(st.text(max_size=5), st.integers(), max_size=3),
+)
+
+
+def _mutate(document: dict, op: int, key_path: list, junk) -> dict:
+    """Apply one structural mutation at a (possibly nested) location."""
+    mutated = copy.deepcopy(document)
+    node = mutated
+    for key in key_path:
+        if isinstance(node, dict) and node:
+            node = node[sorted(node)[key % len(node)]]
+        elif isinstance(node, list) and node:
+            node = node[key % len(node)]
+        else:
+            break
+    if not isinstance(node, dict):
+        node = mutated
+    keys = sorted(node)
+    if op == 0 and keys:  # replace a value with junk
+        node[keys[key_path[-1] % len(keys)] if key_path else keys[0]] = junk
+    elif op == 1 and keys:  # delete a field
+        del node[keys[(key_path[-1] if key_path else 0) % len(keys)]]
+    else:  # inject an unknown field
+        node["__fuzz__"] = junk
+    return mutated
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    data=valid_documents(),
+    op=st.integers(0, 2),
+    key_path=st.lists(st.integers(0, 7), max_size=3),
+    junk=_JUNK,
+)
+def test_mutated_documents_never_crash_with_other_errors(data, op, key_path, junk):
+    mutated = _mutate(data, op, key_path, junk)
+    try:
+        doc = parse_scenario(mutated)
+    except ScenarioError:
+        return  # rejected with the contracted error type: fine
+    # Validate-then-compile: a document that parses must compile.
+    compile_scenario(doc)
+
+
+_ARBITRARY_JSON = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(),
+        st.floats(allow_nan=True, allow_infinity=True),
+        st.text(max_size=10),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=_ARBITRARY_JSON)
+def test_arbitrary_values_never_crash_with_other_errors(data):
+    try:
+        doc = parse_scenario(data)
+    except ScenarioError:
+        return
+    compile_scenario(doc)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end property on generator output
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2**16))
+def test_generated_scenarios_survive_the_gauntlet(seed):
+    from repro.scenario import verify_scenario
+
+    (doc,) = generate_scenarios(seed, 1)
+    verification = verify_scenario(doc, race_seeds=(1,))
+    assert verification.passed, verification.format()
+    assert verification.tie_breaks >= 0
+    assert verification.fingerprint and verification.schedule_hash

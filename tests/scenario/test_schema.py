@@ -1,0 +1,235 @@
+"""Schema validation: precise paths, total coverage, canonical form."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.scenario import (
+    SCENARIO_SCHEMA,
+    ScenarioDefaults,
+    ScenarioError,
+    canonical_scenario_json,
+    load_scenario,
+    parse_scenario,
+    save_scenario,
+    scenario_digest,
+    scenario_to_dict,
+)
+
+
+def test_minimal_document_parses_with_defaults(minimal):
+    doc = parse_scenario(minimal)
+    assert doc.name == "minimal"
+    assert doc.n_steps == 2
+    assert doc.defaults == ScenarioDefaults(n_processors=32, scale=0.02, seed=1994)
+    assert doc.machine == ()
+    assert doc.background is None
+    assert doc.init.serial_ns == 0
+    assert doc.serial.per_step_ns == 0
+    (loop,) = doc.loops
+    assert loop.construct == "sdoall"
+    assert loop.mem_fraction == 0.3
+    assert loop.label == ""
+
+
+def test_rich_document_parses(rich):
+    doc = parse_scenario(rich)
+    assert doc.machine_overrides == {"n_clusters": 2, "switch_queue_depth": 8}
+    assert doc.background is not None and doc.background.share == 0.25
+    assert doc.loops[0].fresh_pages_each_step
+    assert doc.loops[1].cluster_ws_bytes == 8192
+
+
+def _reject(data, path_fragment: str, reason_fragment: str = "") -> None:
+    with pytest.raises(ScenarioError) as excinfo:
+        parse_scenario(data)
+    assert path_fragment in excinfo.value.path, excinfo.value
+    assert reason_fragment in excinfo.value.reason, excinfo.value
+
+
+def test_non_mapping_document_rejected():
+    _reject([1, 2, 3], "$", "must be an object")
+
+
+def test_wrong_schema_marker_rejected(minimal):
+    minimal["schema"] = "cedar-repro/scenario/v999"
+    _reject(minimal, "schema", "expected")
+
+
+def test_unknown_top_level_field_rejected(minimal):
+    minimal["turbo"] = True
+    _reject(minimal, "$", "unknown field(s) ['turbo']")
+
+
+def test_missing_name_rejected(minimal):
+    del minimal["name"]
+    _reject(minimal, "name", "is required")
+
+
+def test_empty_name_rejected(minimal):
+    minimal["name"] = ""
+    _reject(minimal, "name", "non-empty")
+
+
+def test_missing_loops_rejected(minimal):
+    del minimal["loops"]
+    _reject(minimal, "loops", "is required")
+
+
+def test_empty_loops_rejected(minimal):
+    minimal["loops"] = []
+    _reject(minimal, "loops", "non-empty")
+
+
+def test_bool_is_not_an_integer(minimal):
+    # bool subclasses int in Python; the schema must still reject it.
+    minimal["n_steps"] = True
+    _reject(minimal, "n_steps", "must be an integer")
+
+
+def test_zero_steps_rejected(minimal):
+    minimal["n_steps"] = 0
+    _reject(minimal, "n_steps", ">= 1")
+
+
+def test_unknown_construct_named_with_index(minimal):
+    minimal["loops"][0]["construct"] = "doacross_turbo"
+    _reject(minimal, "loops[0].construct", "unknown construct")
+
+
+def test_unknown_loop_field_rejected(minimal):
+    minimal["loops"][0]["stride"] = 2
+    _reject(minimal, "loops[0]", "unknown field(s) ['stride']")
+
+
+def test_non_sdoall_outer_spread_rejected(minimal):
+    minimal["loops"].append(
+        {"construct": "xdoall", "n_outer": 3, "n_inner": 4, "iter_time_ns": 1000}
+    )
+    _reject(minimal, "loops[1].n_outer", "n_outer must be 1")
+
+
+def test_fresh_pages_require_paging(minimal):
+    minimal["loops"][0]["fresh_pages_each_step"] = True
+    _reject(minimal, "loops[0].fresh_pages_each_step", "iters_per_page")
+
+
+def test_nan_and_infinity_rejected(minimal):
+    minimal["loops"][0]["mem_fraction"] = float("nan")
+    _reject(minimal, "loops[0].mem_fraction", "finite")
+    minimal["loops"][0]["mem_fraction"] = float("inf")
+    _reject(minimal, "loops[0].mem_fraction", "finite")
+
+
+def test_mem_rate_zero_is_outside_the_open_bound(minimal):
+    minimal["loops"][0]["mem_rate"] = 0.0
+    _reject(minimal, "loops[0].mem_rate", "must be in (0")
+
+
+def test_mem_fraction_one_is_outside_the_open_bound(minimal):
+    minimal["loops"][0]["mem_fraction"] = 1.0
+    _reject(minimal, "loops[0].mem_fraction", "1.0)")
+
+
+def test_scale_zero_rejected(minimal):
+    minimal["defaults"] = {"scale": 0.0}
+    _reject(minimal, "defaults.scale", "(0")
+
+
+def test_unknown_machine_field_rejected(minimal):
+    minimal["machine"] = {"warp_drive": 9}
+    _reject(minimal, "machine", "unknown field(s) ['warp_drive']")
+
+
+def test_machine_switch_radix_floor(minimal):
+    minimal["machine"] = {"switch_radix": 1}
+    _reject(minimal, "machine.switch_radix", ">= 2")
+
+
+def test_incompatible_processor_count_rejected(minimal):
+    # 12 CEs is not a whole number of 8-CE clusters.
+    minimal["defaults"] = {"n_processors": 12}
+    _reject(minimal, "defaults.n_processors", "whole number")
+
+
+def test_background_share_bounds(minimal):
+    minimal["background"] = {"share": 1.0, "quantum_ns": 1_000_000}
+    _reject(minimal, "background.share", "1.0)")
+
+
+def test_roundtrip_dict_equality(rich):
+    doc = parse_scenario(rich)
+    assert parse_scenario(scenario_to_dict(doc)) == doc
+
+
+def test_canonical_json_is_stable(rich):
+    doc = parse_scenario(rich)
+    assert canonical_scenario_json(doc) == canonical_scenario_json(
+        parse_scenario(scenario_to_dict(doc))
+    )
+
+
+def test_digest_tracks_content_and_name(rich):
+    doc = parse_scenario(rich)
+    renamed = parse_scenario({**scenario_to_dict(doc), "name": "other"})
+    retimed = dict(scenario_to_dict(doc))
+    retimed["loops"] = [dict(retimed["loops"][0], iter_time_ns=999), *retimed["loops"][1:]]
+    assert scenario_digest(doc) != scenario_digest(renamed)
+    assert scenario_digest(doc) != scenario_digest(parse_scenario(retimed))
+    assert scenario_digest(doc) == scenario_digest(parse_scenario(scenario_to_dict(doc)))
+
+
+def test_save_load_save_is_byte_identical(rich, tmp_path):
+    doc = parse_scenario(rich)
+    first = tmp_path / "a.json"
+    second = tmp_path / "b.json"
+    save_scenario(doc, first)
+    save_scenario(load_scenario(first), second)
+    assert first.read_bytes() == second.read_bytes()
+
+
+def test_yaml_roundtrip(rich, tmp_path):
+    pytest.importorskip("yaml")
+    doc = parse_scenario(rich)
+    path = tmp_path / "scenario.yaml"
+    save_scenario(doc, path)
+    assert load_scenario(path) == doc
+
+
+def test_load_missing_file_is_scenario_error(tmp_path):
+    with pytest.raises(ScenarioError, match="cannot read"):
+        load_scenario(tmp_path / "nope.json")
+
+
+def test_load_invalid_json_is_scenario_error(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text("{not json")
+    with pytest.raises(ScenarioError, match="not valid JSON"):
+        load_scenario(path)
+
+
+def test_load_invalid_yaml_is_scenario_error(tmp_path):
+    pytest.importorskip("yaml")
+    path = tmp_path / "broken.yaml"
+    path.write_text("a: [unclosed")
+    with pytest.raises(ScenarioError, match="not valid YAML"):
+        load_scenario(path)
+
+
+def test_error_message_carries_path_and_reason():
+    err = ScenarioError("loops[2].mem_rate", "must be in (0, 1]")
+    assert str(err) == "loops[2].mem_rate: must be in (0, 1]"
+    assert isinstance(err, ValueError)
+
+
+def test_schema_constant_matches_documents():
+    assert SCENARIO_SCHEMA == "cedar-repro/scenario/v1"
+    example = json.loads(canonical_scenario_json(parse_scenario({
+        "schema": SCENARIO_SCHEMA,
+        "name": "x",
+        "n_steps": 1,
+        "loops": [{"construct": "xdoall", "n_inner": 1, "iter_time_ns": 1}],
+    })))
+    assert example["schema"] == SCENARIO_SCHEMA
