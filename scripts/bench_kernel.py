@@ -6,11 +6,30 @@ Measures three layers (the same layers the fast-path work targets):
 1. **Kernel microbenchmarks** -- pure event-loop workloads (a timeout
    chain, a process fan-out, an any-of race with abandoned waits) whose
    event counts are known analytically, so ``events/sec`` is exact.
+   When the compiled ``_corefast`` loop is built it serves these runs;
+   the committed gate figure was recorded pure-Python, so the gate only
+   ever tightens.
 2. **Vector memory traffic** -- packet-level ``vector_access`` streams
    through the :class:`~repro.hardware.memory.GlobalMemorySystem`
    (words/sec; the batched-transaction fast path shows up here).
-3. **Cold sweep cells** -- ``run_cell`` wall time for FLO52/OCEAN at
-   P=8 and P=32 (no cache), the end-to-end quantity users feel.
+3. **Contention cells** -- barrier-heavy (many short spread loops) and
+   pickup-heavy (high-P small-chunk XDOALL) full-stack workloads that
+   stress the runtime-layer fast paths (``repro.runtime.fastpath``).
+   Each cell is timed with the fast paths hot *and* with
+   ``CEDAR_REPRO_FASTPATH=off``, and the two completion times must be
+   identical -- the bench doubles as an end-to-end exactness check.
+4. **Cold sweep cells** -- ``run_cell`` wall time for FLO52/OCEAN at
+   P=8 and P=32 (no cache), the end-to-end quantity users feel.  The
+   timed run is sink-free (fast paths + compiled loop hot); the
+   schedule hash is recorded from a separate exact sink-on run whose
+   ``ct_ns`` must match the timed run's.
+
+Contention and sweep cells are timed as the minimum over ``REPEATS``
+runs after one untimed warm-up (the microbenchmark idiom): the minimum
+of repeated identical runs estimates the noise floor, and the warm-up
+keeps lazy imports and allocator growth out of the first sample.  The
+cyclic collector is paused for each timed window (the pyperf idiom)
+and the debt collected between windows.
 
 Raw wall time is not portable across machines, so every figure is also
 reported normalised by a pure-Python calibration loop timed in the same
@@ -32,21 +51,29 @@ more than ``MAX_REGRESSION`` below FILE's committed value.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import os
 import platform
 import statistics
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 from time import perf_counter
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
+from repro.core.runner import run_phases  # noqa: E402
 from repro.hardware.config import paper_configuration  # noqa: E402
 from repro.hardware.memory import GlobalMemorySystem  # noqa: E402
 from repro.parallel.executor import CellSpec, run_cell  # noqa: E402
+from repro.runtime.loops import LoopConstruct, ParallelLoop  # noqa: E402
 from repro.sim import Simulator  # noqa: E402
 
-SCHEMA = "cedar-repro/bench-kernel/v1"
+# v1 -> v2: sweep cells split timed (sink-free) from hashed (exact
+# sink-on) runs and grew fastpath-off baselines; new "contention"
+# section with barrier-heavy / pickup-heavy cells.
+SCHEMA = "cedar-repro/bench-kernel/v2"
 
 #: CI gate: fail when normalised micro events/sec drop below
 #: ``(1 - MAX_REGRESSION)`` of the committed figure.
@@ -58,6 +85,30 @@ MAX_REGRESSION = 0.20
 REPEATS = 5
 REPEATS_QUICK = 3
 
+#: Contention/sweep cells repeat more: one run is only tens of
+#: milliseconds, so extra draws are cheap, and the minimum needs more
+#: samples to dodge preemption windows on a time-shared host.
+REPEATS_CELLS = 9
+REPEATS_CELLS_QUICK = 3
+
+
+@contextmanager
+def _gc_paused():
+    """Cyclic collector paused for a timed window (the pyperf idiom).
+
+    A GC pass landing mid-run adds milliseconds of pure noise to a
+    tens-of-milliseconds figure; the debt is collected on exit, outside
+    the timed region.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.collect()
+
 
 def _calibration_s() -> float:
     """Pure-Python reference loop (the machine-speed yardstick)."""
@@ -66,6 +117,12 @@ def _calibration_s() -> float:
     for i in range(6_000_000):
         total += i & 7
     return perf_counter() - begin
+
+
+def _calibration_median_s(samples: int = 5) -> float:
+    """Median of several calibration samples (one sample wobbles ~10%
+    on a loaded host, and every normalised figure scales with it)."""
+    return statistics.median(_calibration_s() for _ in range(samples))
 
 
 # -- kernel microbenchmarks -------------------------------------------------
@@ -154,10 +211,11 @@ def run_micro(quick: bool) -> dict:
         bench()  # warm-up: bytecode caches, allocator arenas, branch history
         walls = []
         events = 0
-        for _ in range(repeats):
-            cals.append(_calibration_s())
-            events, wall = bench()
-            walls.append(wall)
+        with _gc_paused():
+            for _ in range(repeats):
+                cals.append(_calibration_s())
+                events, wall = bench()
+                walls.append(wall)
         wall = min(walls)
         cal = statistics.median(cals)
         out[name] = {
@@ -213,6 +271,99 @@ def run_vector(quick: bool) -> dict:
     }
 
 
+# -- contention cells (runtime-layer fast paths) -----------------------------
+
+
+class _ExactMismatch(RuntimeError):
+    """Fast-path and exact-path runs disagreed -- the bench refuses."""
+
+
+@contextmanager
+def _fastpaths_off():
+    """Force every layer exact (the unified kill switch) for a block."""
+    saved = os.environ.get("CEDAR_REPRO_FASTPATH")
+    os.environ["CEDAR_REPRO_FASTPATH"] = "off"
+    try:
+        yield
+    finally:
+        if saved is None:
+            del os.environ["CEDAR_REPRO_FASTPATH"]
+        else:
+            os.environ["CEDAR_REPRO_FASTPATH"] = saved
+
+
+def _barrier_heavy_phases(quick: bool) -> list:
+    """Many short skewed spread loops: finish-barrier traffic dominates."""
+    n_loops = 12 if quick else 40
+    return [
+        ParallelLoop(
+            construct=LoopConstruct.SDOALL,
+            n_outer=16,
+            n_inner=2,
+            work_ns_per_iter=300,
+            work_skew=0.3,
+            label=f"bar{i}",
+        )
+        for i in range(n_loops)
+    ]
+
+
+def _pickup_heavy_phases(quick: bool) -> list:
+    """High-P small-chunk XDOALLs: the test&set pickup queue dominates."""
+    n_loops = 4 if quick else 10
+    return [
+        ParallelLoop(
+            construct=LoopConstruct.XDOALL,
+            n_inner=600,
+            work_ns_per_iter=80,
+            label=f"pick{i}",
+        )
+        for i in range(n_loops)
+    ]
+
+
+def run_contention(quick: bool) -> dict:
+    """Time the barrier/pickup-heavy cells hot and exact; require equal CT."""
+    cases = {
+        "barrier_heavy_P32": _barrier_heavy_phases(quick),
+        "pickup_heavy_P32": _pickup_heavy_phases(quick),
+    }
+    out = {}
+    repeats = REPEATS_CELLS_QUICK if quick else REPEATS_CELLS
+    for name, phases in cases.items():
+        cal = _calibration_median_s()
+        run_phases(list(phases), 32)  # warm-up
+        wall_fast = float("inf")
+        with _gc_paused():
+            for _ in range(repeats):
+                begin = perf_counter()
+                fast = run_phases(list(phases), 32)
+                wall_fast = min(wall_fast, perf_counter() - begin)
+        with _fastpaths_off():
+            run_phases(list(phases), 32)  # warm-up on the exact paths too
+            wall_exact = float("inf")
+            with _gc_paused():
+                for _ in range(repeats):
+                    begin = perf_counter()
+                    exact = run_phases(list(phases), 32)
+                    wall_exact = min(wall_exact, perf_counter() - begin)
+        if fast.ct_ns != exact.ct_ns:
+            raise _ExactMismatch(
+                f"{name}: fast ct_ns {fast.ct_ns} != exact ct_ns {exact.ct_ns}"
+            )
+        stats = fast.runtime.fastpath.stats
+        out[name] = {
+            "ct_ns": fast.ct_ns,
+            "wall_s": round(wall_fast, 4),
+            "wall_over_cal": round(wall_fast / cal, 3),
+            "fastpath_off_wall_s": round(wall_exact, 4),
+            "fastpath_speedup": round(wall_exact / wall_fast, 2),
+            "lean_barrier_detaches": stats.lean_barrier_detaches,
+            "lean_pickups": stats.lean_pickups,
+        }
+    return out
+
+
 # -- cold sweep cells --------------------------------------------------------
 
 
@@ -223,18 +374,58 @@ def run_cells(quick: bool) -> dict:
     scale = 0.01 if quick else 0.02
     out = {}
     for app, n_processors in points:
-        cal = _calibration_s()
-        spec = CellSpec(app=app, n_processors=n_processors, scale=scale, seed=1994)
-        begin = perf_counter()
-        result = run_cell(spec)
-        wall = perf_counter() - begin
+        cal = _calibration_median_s()
+        # Timed run: sink-free, every fast path and the compiled loop
+        # (when built) hot -- the configuration sweeps actually run in.
+        timed_spec = CellSpec(
+            app=app,
+            n_processors=n_processors,
+            scale=scale,
+            seed=1994,
+            fingerprint_schedule=False,
+        )
+        run_cell(timed_spec)  # warm-up: lazy imports, allocator, caches
+        repeats = REPEATS_CELLS_QUICK if quick else REPEATS_CELLS
+        wall = float("inf")
+        with _gc_paused():
+            for _ in range(repeats):
+                begin = perf_counter()
+                result = run_cell(timed_spec)
+                wall = min(wall, perf_counter() - begin)
+        # Hash run: exact path with the determinism sink attached (the
+        # sink forces the Python loops, so recorded hashes are
+        # interpreter- and fast-path-independent by construction).
+        hash_spec = CellSpec(app=app, n_processors=n_processors, scale=scale, seed=1994)
+        hashed = run_cell(hash_spec)
+        if hashed.ct_ns != result.ct_ns:
+            raise _ExactMismatch(
+                f"{app} P{n_processors}: sink-free ct_ns {result.ct_ns} != "
+                f"sink-on ct_ns {hashed.ct_ns}"
+            )
+        # Baseline: the same sink-free cell with every fast path off.
+        with _fastpaths_off():
+            run_cell(timed_spec)  # warm-up on the exact paths too
+            wall_off = float("inf")
+            with _gc_paused():
+                for _ in range(repeats):
+                    begin = perf_counter()
+                    off = run_cell(timed_spec)
+                    wall_off = min(wall_off, perf_counter() - begin)
+        if off.ct_ns != result.ct_ns:
+            raise _ExactMismatch(
+                f"{app} P{n_processors}: fastpath-off ct_ns {off.ct_ns} != "
+                f"fastpath-on ct_ns {result.ct_ns}"
+            )
         out[f"{app}_P{n_processors}"] = {
             "scale": scale,
             "wall_s": round(wall, 4),
             "loop_wall_s": round(result.wall_s, 4),
             "wall_over_cal": round(wall / cal, 3),
+            "fastpath_off_wall_s": round(wall_off, 4),
+            "fastpath_speedup": round(wall_off / wall, 2),
             "ct_ns": result.ct_ns,
-            "schedule_hash": result.schedule_hash,
+            "schedule_hash": hashed.schedule_hash,
+            "fastpath_modes": dict(result.fastpath_modes),
         }
     return out
 
@@ -253,6 +444,7 @@ def run_all(quick: bool) -> dict:
         },
         "micro": run_micro(quick),
         "vector": run_vector(quick),
+        "contention": run_contention(quick),
         "cells": run_cells(quick),
     }
 
@@ -289,6 +481,12 @@ def _ratios(current: dict, baseline: dict) -> dict:
         base = baseline.get("cells", {}).get(cell)
         if base and figures.get("wall_over_cal"):
             ratios[f"cell_{cell}_wall"] = round(
+                base["wall_over_cal"] / figures["wall_over_cal"], 2
+            )
+    for cell, figures in current.get("contention", {}).items():
+        base = baseline.get("contention", {}).get(cell)
+        if base and figures.get("wall_over_cal"):
+            ratios[f"contention_{cell}_wall"] = round(
                 base["wall_over_cal"] / figures["wall_over_cal"], 2
             )
     return ratios
@@ -330,8 +528,17 @@ def main() -> int:
         f"vector: {vector['words']} words in {vector['wall_s']}s "
         f"({vector['words_per_s']:.0f} words/s)"
     )
+    for cell, figures in report["current"].get("contention", {}).items():
+        print(
+            f"contention {cell}: {figures['wall_s']}s hot / "
+            f"{figures['fastpath_off_wall_s']}s exact "
+            f"(x{figures['fastpath_speedup']} fast-path speedup)"
+        )
     for cell, figures in report["current"]["cells"].items():
-        print(f"cell {cell}: {figures['wall_s']}s (x{figures['wall_over_cal']} cal)")
+        print(
+            f"cell {cell}: {figures['wall_s']}s (x{figures['wall_over_cal']} cal, "
+            f"x{figures.get('fastpath_speedup', '?')} vs fastpaths off)"
+        )
     for name, value in report.get("ratios", {}).items():
         print(f"ratio {name}: {value}x")
 

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Build the compiled simulation kernel (``repro.sim._corefast``).
+
+Compiles ``src/repro/sim/_corefast.c`` into an extension module placed
+next to its source, where ``repro.sim.core`` discovers it at import.
+The build is intentionally toolchain-light: one ``cc -O2 -shared
+-fPIC`` invocation against the running interpreter's headers -- no
+setuptools build isolation, no temporary build trees.
+
+Exit codes:
+
+* 0 -- built (or ``--check``: extension present and importable)
+* 1 -- build failed
+* 2 -- no C compiler available (callers treat this as "pure-Python
+  mode", not an error; CI jobs that *require* the compiled kernel
+  check for it explicitly with ``--check``)
+
+The extension is optional by design: without it the kernel runs the
+pure-Python ``_run_fast`` loop with identical results (see
+``docs/benchmarking.md``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SOURCE = REPO / "src" / "repro" / "sim" / "_corefast.c"
+
+
+def ext_path() -> Path:
+    """Where the built extension lives (per-interpreter suffix)."""
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    return SOURCE.with_name(f"_corefast{suffix}")
+
+
+def find_compiler() -> str | None:
+    """The C compiler to use, or ``None`` if the box has none."""
+    for cc in ("cc", "gcc", "clang"):
+        if shutil.which(cc):
+            return cc
+    return None
+
+
+def build(verbose: bool = False) -> int:
+    """Compile the extension; returns a process exit code."""
+    cc = find_compiler()
+    if cc is None:
+        print("build_kernel: no C compiler found; staying pure-Python")
+        return 2
+    include = sysconfig.get_path("include")
+    out = ext_path()
+    cmd = [
+        cc,
+        "-O2",
+        "-fPIC",
+        "-shared",
+        "-fno-strict-aliasing",
+        f"-I{include}",
+        str(SOURCE),
+        "-o",
+        str(out),
+    ]
+    if verbose:
+        print("build_kernel:", " ".join(cmd))
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print("build_kernel: compilation failed", file=sys.stderr)
+        sys.stderr.write(proc.stderr)
+        return 1
+    print(f"build_kernel: built {out.name}")
+    return 0
+
+
+def check() -> int:
+    """Verify the compiled loop is installed *and* active."""
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.sim import core
+
+    if core.compiled_loop_active():
+        print(f"build_kernel: compiled loop active (v{core.compiled_loop_version()})")
+        return 0
+    print("build_kernel: compiled loop NOT active", file=sys.stderr)
+    return 1
+
+
+def clean() -> int:
+    """Remove any built extension (all interpreter suffixes)."""
+    removed = False
+    for path in SOURCE.parent.glob("_corefast*.so"):
+        path.unlink()
+        print(f"build_kernel: removed {path.name}")
+        removed = True
+    if not removed:
+        print("build_kernel: nothing to clean")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the compiled loop imports and is active (no build)",
+    )
+    parser.add_argument(
+        "--clean", action="store_true", help="remove built extensions"
+    )
+    parser.add_argument("--verbose", action="store_true", help="echo the cc command")
+    args = parser.parse_args(argv)
+    if args.clean:
+        return clean()
+    if args.check:
+        return check()
+    return build(verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

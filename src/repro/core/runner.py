@@ -77,10 +77,20 @@ class RunResult:
     #: versions the event-stream definition.
     schedule_hash: str | None = None
     #: Kernel fast-path counters harvested at end of run: Timeout-pool
-    #: reuse (``pool.*``) and the batched/exact memory transaction
-    #: split (``fastpath.*``).  Keys match the ``kernel.*`` metric
-    #: suffixes emitted by :mod:`repro.obs.instrument`.
+    #: reuse (``pool.*``), the batched/exact memory transaction split
+    #: (``fastpath.*``), the runtime/OS-layer fast-path activity
+    #: (``runtime.fastpath.*`` / ``xylem.fastpath.*``) and the compiled
+    #: dispatch loop (``pool.compiled_steps``).  Keys match the
+    #: ``kernel.*`` metric suffixes emitted by
+    #: :mod:`repro.obs.instrument`.
     kernel_stats: dict = field(default_factory=dict)
+    #: Which execution mode each acceleration layer ran in:
+    #: ``memory`` / ``runtime`` / ``xylem`` are ``"batched"`` or
+    #: ``"exact"``, ``statfx`` is ``"push"`` or ``"exact"``, and
+    #: ``loop`` is ``"compiled"`` or ``"pure"``.  Every mode produces
+    #: bit-identical results by construction; the record exists so run
+    #: reports and regression triage can see which paths were active.
+    fastpath_modes: dict = field(default_factory=dict)
 
     #: Lazily-filled cache used by the analysis helpers.
     _cache: dict = field(default_factory=dict, repr=False)
@@ -189,19 +199,26 @@ def run_phases(
         runtime=runtime,
         hpm=hpm,
         wall_s=wall.elapsed_s,
-        kernel_stats=_harvest_kernel_stats(sim, machine),
+        kernel_stats=_harvest_kernel_stats(sim, machine, kernel, runtime),
+        fastpath_modes=_fastpath_modes(sim, machine, kernel, runtime, statfx),
     )
     if obs is not None:
         obs.collect(result)
     return result
 
 
-def _harvest_kernel_stats(sim: Simulator, machine: CedarMachine) -> dict:
+def _harvest_kernel_stats(
+    sim: Simulator,
+    machine: CedarMachine,
+    kernel: XylemKernel,
+    runtime: CedarFortranRuntime,
+) -> dict:
     """Kernel fast-path counters for ``RunResult.kernel_stats``."""
     stats = {
         "pool.timeouts_created": sim.timeouts_created,
         "pool.timeouts_reused": sim.timeouts_reused,
         "pool.ticks_rearmed": sim.ticks_rearmed,
+        "pool.compiled_steps": sim.compiled_steps,
     }
     memory = machine._memory
     if memory is not None:
@@ -217,7 +234,54 @@ def _harvest_kernel_stats(sim: Simulator, machine: CedarMachine) -> dict:
                 "fastpath.batched_fraction": fp.batched_fraction,
             }
         )
+    rfp = runtime.fastpath.stats
+    stats.update(
+        {
+            "runtime.fastpath.lean_pickups": rfp.lean_pickups,
+            "runtime.fastpath.exact_pickups": rfp.exact_pickups,
+            "runtime.fastpath.lean_barrier_detaches": rfp.lean_barrier_detaches,
+            "runtime.fastpath.exact_barrier_detaches": rfp.exact_barrier_detaches,
+            "runtime.fastpath.fused_spawns": rfp.fused_spawns,
+            "runtime.fastpath.lean_fraction": rfp.lean_fraction,
+        }
+    )
+    xfp = kernel.fastpath.stats
+    stats.update(
+        {
+            "xylem.fastpath.fused_spawns": xfp.fused_spawns,
+            "xylem.fastpath.warm_elisions": xfp.warm_elisions,
+            "xylem.fastpath.exact_spawns": xfp.exact_spawns,
+        }
+    )
     return stats
+
+
+def _fastpath_modes(
+    sim: Simulator,
+    machine: CedarMachine,
+    kernel: XylemKernel,
+    runtime: CedarFortranRuntime,
+    statfx: Statfx,
+) -> dict:
+    """Which mode each acceleration layer ran in (``RunResult.fastpath_modes``)."""
+    from repro.sim.core import compiled_loop_active
+    from repro.sim.policy import compiled_policy
+
+    memory = machine._memory
+    return {
+        "memory": memory.fastpath.mode if memory is not None else "exact",
+        "runtime": runtime.fastpath.mode,
+        "xylem": kernel.fastpath.mode,
+        "statfx": statfx.mode or "exact",
+        "loop": (
+            "compiled"
+            if compiled_loop_active()
+            and compiled_policy()
+            and not sim.tie_perturbed
+            and sim._sink is None
+            else "pure"
+        ),
+    }
 
 
 def run_application(

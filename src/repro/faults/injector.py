@@ -115,6 +115,12 @@ class FaultInjector:
         memory = self._packet_memory()
         if memory is not None:
             memory.fastpath.disable()
+        # Same discipline for the runtime and OS layers: lean locks,
+        # spawn fusion and warm-page elision all route exact for the
+        # whole campaign, so fault runs are bit-identical with the fast
+        # paths compiled in or out.
+        self.runtime.fastpath.disable()
+        self.kernel.fastpath.disable()
         for index, fault in enumerate(self.spec.faults):
             self.sim.process(
                 self._fault_process(fault),

@@ -121,7 +121,12 @@ class VectorTransactionEngine:
         self.config = memory.config
         self.stats = FastPathStats()
         #: Sticky machine-level switch; cleared only by :meth:`enable`.
-        self.enabled = True
+        #: Starts from the unified ``CEDAR_REPRO_FASTPATH`` kill switch
+        #: (see :mod:`repro.sim.policy`), so ``=off`` routes memory
+        #: traffic through the exact per-packet path too.
+        from repro.sim.policy import fastpath_policy
+
+        self.enabled = fastpath_policy()
         n_modules = self.config.n_memory_modules
         # Persistent bookings: absolute ns each link/bank frees up.
         self._link_free: dict[tuple, int] = {}
@@ -144,6 +149,11 @@ class VectorTransactionEngine:
     def enable(self) -> None:
         """Re-enable batching (tests / after a campaign is torn down)."""
         self.enabled = True
+
+    @property
+    def mode(self) -> str:
+        """``"batched"`` when the engine may plan, else ``"exact"``."""
+        return "batched" if self.enabled else "exact"
 
     def _machine_degraded(self) -> bool:
         """Any fault touching the memory system forces the exact path."""

@@ -99,6 +99,7 @@ class CedarMachine:
         self.load = LoadTracker(sim, n_clusters=config.n_clusters)
         self.mem_ledger = MemoryLedger(config.n_clusters)
         self._ideal_cache: dict[tuple[int, float], int] = {}
+        self._burst_ns_memo: dict[tuple[int, int, float, int], int] = {}
         self._memory: GlobalMemorySystem | None = None
         if packet_level_memory:
             self._memory = GlobalMemorySystem(sim, config)
@@ -153,6 +154,7 @@ class CedarMachine:
             link_penalty_cycles=link_penalty_cycles,
         )
         self._ideal_cache.clear()
+        self._burst_ns_memo.clear()
 
     # -- analytic fast path ------------------------------------------------
 
@@ -180,11 +182,18 @@ class CedarMachine:
         event-queue order; later segments start at arbitrary instants
         mid-stream and price at the tracker's settled view.
         """
-        start = self.sim.now
+        sim = self.sim
+        start = sim.now
         segments = min(self.BURST_SEGMENTS, n_words)
         base = n_words // segments
         remainder = n_words - base * segments
         load = self.load
+        # Segment cost memo: loop shapes recur heavily, so the same
+        # (words, load) tuple prices over and over; one dict probe
+        # replaces the contention fixed point *and* the ns conversion.
+        # Invalidated by :meth:`set_memory_degradation` together with
+        # the contention model's own memos.
+        memo = self._burst_ns_memo
         load.enter(rate, cluster_id)
         try:
             first = True
@@ -194,22 +203,27 @@ class CedarMachine:
                     continue
                 if first:
                     first = False
-                    yield self.sim.tail_event()
+                    yield sim.tail_event()
                     requesters = load.active
                     cluster_requesters = load.active_in_cluster(cluster_id)
                 else:
                     requesters = load.settled_active
                     cluster_requesters = load.settled_in_cluster(cluster_id)
-                cycles = self.contention.vector_time_cycles(
-                    words,
-                    requesters=requesters,
-                    rate=rate,
-                    cluster_requesters=cluster_requesters,
-                )
-                yield self.config.cycles_to_ns(cycles)
+                key = (words, requesters, rate, cluster_requesters)
+                delay = memo.get(key)
+                if delay is None:
+                    cycles = self.contention.vector_time_cycles(
+                        words,
+                        requesters=requesters,
+                        rate=rate,
+                        cluster_requesters=cluster_requesters,
+                    )
+                    delay = self.config.cycles_to_ns(cycles)
+                    memo[key] = delay
+                yield delay
         finally:
             load.exit(rate, cluster_id)
-        elapsed = self.sim.now - start
+        elapsed = sim.now - start
         ledger = self.mem_ledger
         ledger.busy_ns[cluster_id] += elapsed
         ledger.ideal_ns[cluster_id] += self._cached_ideal_ns(n_words, rate)

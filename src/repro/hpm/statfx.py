@@ -4,6 +4,35 @@
 processors) on each cluster by periodic sampling; for multi-cluster
 configurations the paper reports the sum of the per-cluster averages
 (Section 3.1).
+
+Sampling semantics
+------------------
+
+A sample at tick ``k * interval_ns`` reads the activity counts **as of
+the start of that tick** -- before any same-tick activity flip is
+applied.  This convention is order-free: it does not depend on how the
+kernel happens to interleave same-tick events, which is what lets the
+monitor run in either of two modes with identical sums:
+
+``exact``
+    A sampler process wakes every interval (one recycled Timeout per
+    tick) and reads the board's start-of-tick counts, which the board
+    maintains via a pre-mutation snapshot hook
+    (:meth:`repro.hpm.activity.ActivityBoard.watch_snapshots`).
+
+``push``
+    No sampler process at all.  The board's pre-mutation watch hook
+    calls back into the monitor before every effective activity flip;
+    since counts are constant between flips, the monitor multiplies the
+    standing counts by the number of sample ticks that elapsed.  This
+    removes the single hottest event source in dense-sampling runs
+    (one wake per 200 us of simulated time) while producing the exact
+    sampler's sums and sample counts to the bit.
+
+Push mode arms only for sink-free, unperturbed runs with the fast-path
+policy enabled (:func:`repro.sim.policy.fastpath_policy`): the sampler
+wake events disappear from the schedule, so runs that record event
+traces or schedule fingerprints keep the exact sampler.
 """
 
 from __future__ import annotations
@@ -12,6 +41,7 @@ from collections.abc import Generator
 
 from repro.hpm.activity import ActivityBoard
 from repro.sim import Simulator
+from repro.sim.policy import fastpath_policy
 
 __all__ = ["Statfx"]
 
@@ -36,30 +66,83 @@ class Statfx:
         self.sim = sim
         self.board = board
         self.interval_ns = interval_ns
-        self.samples = 0
+        self._samples = 0
         n_clusters = board.config.n_clusters
         self._sums = [0] * n_clusters
         self._process = None
+        #: ``"push"`` or ``"exact"`` once started, ``None`` before.
+        self.mode: str | None = None
 
     def start(self) -> None:
-        """Begin sampling (idempotent)."""
-        if self._process is None:
-            self._process = self.sim.process(self._sample_loop(), name="statfx")
+        """Begin sampling (idempotent).
+
+        Chooses the mode once, here: push accrual when the fast-path
+        policy allows it and the run is sink-free and unperturbed,
+        the exact sampler process otherwise.
+        """
+        if self.mode is not None:
+            return
+        sim = self.sim
+        if fastpath_policy() and sim._sink is None and not sim.tie_perturbed:
+            self.mode = "push"
+            self.board.watch(self._accrue)
+        else:
+            self.mode = "exact"
+            self.board.watch_snapshots()
+            self._process = sim.process(self._sample_loop(), name="statfx")
+
+    # -- push mode ---------------------------------------------------------
+
+    def _accrue(self) -> None:
+        """Credit all sample ticks up to ``sim.now`` with the standing
+        counts.
+
+        Runs as the board's pre-mutation watch: the counts have been
+        constant since the previous flip, so every sample tick in
+        ``(samples * interval, now]`` saw exactly these values -- and a
+        sample tick coinciding with ``now`` is credited the
+        start-of-tick counts, matching the exact convention.
+        """
+        k = self.sim.now // self.interval_ns
+        n = k - self._samples
+        if n > 0:
+            counts = self.board._cluster_active
+            sums = self._sums
+            for cluster_id in range(len(sums)):
+                sums[cluster_id] += counts[cluster_id] * n
+            self._samples = k
+
+    def _settle(self) -> None:
+        """Accrue pending push-mode samples before an accessor reads."""
+        if self.mode == "push":
+            self._accrue()
+
+    # -- exact mode --------------------------------------------------------
 
     def _sample_loop(self) -> Generator:
         # Direct-delay yield: the kernel re-arms one recycled Timeout
         # per tick, so dense sampling costs no allocation.
+        board = self.board
         while True:
             yield self.interval_ns
-            for cluster_id in range(self.board.config.n_clusters):
-                self._sums[cluster_id] += self.board.active_in_cluster(cluster_id)
-            self.samples += 1
+            for cluster_id in range(board.config.n_clusters):
+                self._sums[cluster_id] += board.start_of_tick_active(cluster_id)
+            self._samples += 1
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def samples(self) -> int:
+        """Samples taken so far (push mode settles lazily)."""
+        self._settle()
+        return self._samples
 
     def cluster_concurrency(self, cluster_id: int) -> float:
         """Sampled average concurrency on one cluster."""
-        if self.samples == 0:
+        self._settle()
+        if self._samples == 0:
             return 0.0
-        return self._sums[cluster_id] / self.samples
+        return self._sums[cluster_id] / self._samples
 
     def total_concurrency(self) -> float:
         """Sum of per-cluster average concurrencies (the paper's value)."""

@@ -111,15 +111,19 @@ def run_cell(spec: CellSpec, obs: "Observability | None" = None) -> "RunResult":
     :class:`~repro.obs.instrument.Observability` to keep hold of the
     run's metric registry (the telemetry seam: workers snapshot it into
     their :class:`~repro.obs.campaign.CellSpan`); the schedule-order
-    sink is attached to it either way.
+    sink is attached to it either way.  With ``obs=None`` *and*
+    ``fingerprint_schedule=False`` no Observability is materialised at
+    all: nobody can see the registry a throwaway instance would have
+    collected, and skipping the per-event metrics harvest keeps the
+    sink-free cell on the fast path end to end.
     """
     from repro.analyze.sanitize import DeterminismSink, _resolve_builder
     from repro.obs.instrument import Observability
 
-    if obs is None:
-        obs = Observability()
     sink = DeterminismSink(order_capacity=0) if spec.fingerprint_schedule else None
-    if sink is not None:
+    if obs is None and sink is not None:
+        obs = Observability()
+    if sink is not None and obs is not None:
         obs.extra_sinks.append(sink)
     if spec.scenario is not None:
         import json

@@ -32,6 +32,7 @@ from repro.hardware.machine import CedarMachine
 from repro.hpm.activity import ActivityBoard
 from repro.hpm.events import EventType
 from repro.hpm.monitor import CedarHpm
+from repro.runtime.fastpath import LeanLock, RuntimeFastPath
 from repro.runtime.loops import LoopConstruct, ParallelLoop, Phase, SerialPhase
 from repro.runtime.params import RuntimeParams
 from repro.sim import ArbitratedResource, DeadlockSuspected, Event, Resource, Simulator
@@ -93,6 +94,7 @@ class _LoopState:
         "detaches",
         "all_detached",
         "barrier_lock",
+        "lean_barrier",
         "_tree_nodes",
         "_sim",
     )
@@ -111,6 +113,9 @@ class _LoopState:
         #: about for a flat 32-task machine.  Arbitrated so same-instant
         #: detaches resolve by task id, not event-queue insertion order.
         self.barrier_lock = ArbitratedResource(sim, capacity=1)
+        #: Closed-form twin of ``barrier_lock``, used when the runtime
+        #: fast path is armed (flat barriers only).
+        self.lean_barrier = LeanLock(sim)
         self._tree_nodes: dict[tuple[int, int], _CombiningNode] = {}
         self._sim = sim
         if n_helpers == 0:
@@ -190,6 +195,13 @@ class CedarFortranRuntime:
         #: Lock protecting the SDOALL outer iteration index (same
         #: tie-stable arbitration, keyed by cluster task id).
         self._outer_lock = ArbitratedResource(sim, capacity=1)
+        #: Analytic fast-path engine: lean locks and spawn fusion, armed
+        #: only for sink-free unperturbed runs (fault campaigns sticky-
+        #: disable it before the run starts).
+        self.fastpath = RuntimeFastPath(sim)
+        #: Closed-form twins of the two self-scheduling locks above.
+        self._lean_outer = LeanLock(sim)
+        self._lean_iter = LeanLock(sim)
         self._post_event: Event = sim.event()
         self._loop_seq = 0
         self.process: XylemProcess | None = None
@@ -246,6 +258,48 @@ class CedarFortranRuntime:
     def _cycles_ns(self, cycles: int) -> int:
         return self.config.cycles_to_ns(cycles)
 
+    def _pickup_hold_ns(self, _waiting: int = 0) -> int:
+        """Self-scheduling pickup hold, priced at the grant tick.
+
+        Same arithmetic (and the same ``global_round_trip_ns`` ledger
+        side effect) as the exact path's post-grant pricing.
+        """
+        return self._round_trips_ns(self.params.pickup_round_trips) + self._cycles_ns(
+            self.params.pickup_overhead_cycles
+        )
+
+    def _xdoall_hold_ns(self, waiting: int) -> int:
+        """XDOALL pickup hold, inflated by the spinning CEs' test&set
+        retries hammering the lock's memory module (hot spot)."""
+        hold_ns = self._pickup_hold_ns()
+        return int(hold_ns * (1.0 + self.params.pickup_retry_factor * waiting))
+
+    def _run_child(self, gen: Generator) -> Generator:
+        """Run a strictly-sequential child generator.
+
+        When the fast path is armed the child is handed straight back
+        to the caller's ``yield from`` -- no process object, no
+        ``Initialize`` event, no termination event, and (because this
+        is a plain function, not a generator) no wrapper frame on the
+        delegation chain either -- which is exact for children awaited
+        immediately: every delay the child yields still elapses at the
+        same times, only the same-tick spawn/termination bookkeeping
+        events disappear.  Otherwise the child is spawned as a process,
+        reproducing the exact event shape.  Call sites must ``yield
+        from`` the return value immediately (the arming check happens
+        here, at call time).
+        """
+        fp = self.fastpath
+        if fp.on:
+            fp.stats.fused_spawns += 1
+            return gen
+        return self._spawn_child(gen)
+
+    def _spawn_child(self, gen: Generator) -> Generator:
+        """Exact-path child execution: a real process, full event shape."""
+        result = yield self.sim.process(gen)
+        return result
+
     # -- program execution -----------------------------------------------------
 
     def run_program(self, phases: Sequence[Phase]):
@@ -296,16 +350,16 @@ class CedarFortranRuntime:
         self._record(EventType.SERIAL_START, lead, main, payload=phase.label)
         self.stats.serial_sections += 1
         for _ in range(phase.syscalls):
-            yield self.sim.process(self.kernel.cluster_syscall(main.cluster_id))
+            yield from self._run_child(self.kernel.cluster_syscall(main.cluster_id))
         if phase.n_pages > 0 and phase.page_base >= 0:
             pages = range(phase.page_base, phase.page_base + phase.n_pages)
-            yield self.sim.process(self.kernel.vm.touch_many(main.cluster_id, pages))
+            yield from self._run_child(self.kernel.vm.touch_many(main.cluster_id, pages))
         if phase.mem_words > 0:
-            yield self.sim.process(
+            yield from self._run_child(
                 self.machine.memory_burst(phase.mem_words, phase.mem_rate, main.cluster_id)
             )
         if phase.work_ns > 0:
-            yield self.sim.process(self.kernel.execute(main.cluster_id, phase.work_ns))
+            yield from self._run_child(self.kernel.execute(main.cluster_id, phase.work_ns))
         self._record(EventType.SERIAL_END, lead, main, payload=phase.label)
 
     # -- main cluster-only loops ----------------------------------------------------
@@ -414,11 +468,25 @@ class CedarFortranRuntime:
         fanout = self.params.barrier_fanout
         rmw_ns = self._round_trips_ns(self.params.detach_round_trips)
         if fanout is None:
+            fp = self.fastpath
+            if fp.on:
+                # Closed form: the serialised RMWs settle through the
+                # lean lock, one completion event per detacher instead
+                # of request/grant/hold/arbitration round trips.  The
+                # RMW cost was priced at entry (above), exactly like
+                # the exact path's captured constant.
+                fp.stats.lean_barrier_detaches += 1
+                yield from state.lean_barrier.serve(task.task_id, lambda _w: rmw_ns)
+                return
+            fp.stats.exact_barrier_detaches += 1
+            fp.stats.fallback_disarmed += 1
             request = state.barrier_lock.request(key=task.task_id)
             yield request
             yield rmw_ns
             state.barrier_lock.release(request)
             return
+        self.fastpath.stats.exact_barrier_detaches += 1
+        self.fastpath.stats.fallback_shape += 1
         n_tasks = state.expected_detaches
         level = 0
         index = task.task_id - 1 if task.task_id > 0 else 0
@@ -447,13 +515,24 @@ class CedarFortranRuntime:
         payload = (state.seq, state.loop.construct.value, state.loop.label)
         while True:
             self._record(EventType.PICKUP_ENTER, lead, task, payload=payload)
-            request = self._outer_lock.request(key=task.task_id)
-            yield from self._await_pickup(request, self._outer_lock, state, "sdoall")
-            hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
-            hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)
-            yield hold_ns
-            outer = state.take_outer()
-            self._outer_lock.release(request)
+            fp = self.fastpath
+            if fp.on and self.params.pickup_deadline_ns is None:
+                fp.stats.lean_pickups += 1
+                yield from self._lean_outer.serve(task.task_id, self._pickup_hold_ns)
+                outer = state.take_outer()
+            else:
+                fp.stats.exact_pickups += 1
+                if fp.on:
+                    fp.stats.fallback_shape += 1
+                else:
+                    fp.stats.fallback_disarmed += 1
+                request = self._outer_lock.request(key=task.task_id)
+                yield from self._await_pickup(request, self._outer_lock, state, "sdoall")
+                hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
+                hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)
+                yield hold_ns
+                outer = state.take_outer()
+                self._outer_lock.release(request)
             self.stats.sdoall_pickups += 1
             self._record(EventType.PICKUP_EXIT, lead, task, payload=payload)
             if outer is None:
@@ -497,7 +576,7 @@ class CedarFortranRuntime:
         # CDOACROSS: the serialised residue runs on the lead CE.
         if loop.serial_fraction > 0.0:
             residue = int(loop.n_inner * loop.work_ns_per_iter * loop.serial_fraction)
-            yield sim.process(self.kernel.execute(task.cluster_id, residue))
+            yield from self._run_child(self.kernel.execute(task.cluster_id, residue))
         yield cluster.ccbus.synchronise_ns()
 
     def _cdoall_chunk(
@@ -518,7 +597,7 @@ class CedarFortranRuntime:
         self._record(EventType.ITER_START, ce_id, task, payload=payload)
         pages = self._pages_for_chunk(loop, outer, lo, hi)
         if pages:
-            yield sim.process(self.kernel.vm.touch_many(task.cluster_id, pages))
+            yield from self._run_child(self.kernel.vm.touch_many(task.cluster_id, pages))
         words = n_iters * loop.mem_words_per_iter
         parallel_fraction = 1.0 - loop.serial_fraction
         multiplier = loop.work_multiplier(outer, salt=seq or 0)
@@ -536,12 +615,12 @@ class CedarFortranRuntime:
         for index in range(slices):
             slice_words = words // slices + (1 if index < words % slices else 0)
             if slice_words > 0:
-                yield sim.process(
+                yield from self._run_child(
                     self.machine.memory_burst(slice_words, loop.mem_rate, task.cluster_id)
                 )
             slice_work = work_ns // slices + (1 if index < work_ns % slices else 0)
             if slice_work > 0:
-                yield sim.process(self.kernel.execute(task.cluster_id, slice_work))
+                yield from self._run_child(self.kernel.execute(task.cluster_id, slice_work))
         self._record(EventType.ITER_END, ce_id, task, payload=payload)
         self._set_idle(ce_id, task)
 
@@ -594,24 +673,40 @@ class CedarFortranRuntime:
             # parallel-loop concurrency of XDOALL codes drops below 8
             # per cluster (Table 3).
             self._record(EventType.PICKUP_ENTER, ce_id, task, payload=payload)
-            request = self._iter_lock.request(key=ce_id)
-            yield from self._await_pickup(request, self._iter_lock, state, "xdoall")
-            hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
-            hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)
-            # CEs spinning for the lock keep hammering its module with
-            # test&set reads, slowing the holder's RMW down (hot spot).
-            waiting = self._iter_lock.queue_length
-            hold_ns = int(hold_ns * (1.0 + self.params.pickup_retry_factor * waiting))
-            yield hold_ns
-            index = state.take_iteration()
-            self._iter_lock.release(request)
+            fp = self.fastpath
+            if fp.on and self.params.pickup_deadline_ns is None:
+                # Lean pickup: the post-grant queue length the inflation
+                # term needs is known at the lean lock's grant commit,
+                # so the whole request/grant/hold/release exchange
+                # collapses to one completion event.
+                fp.stats.lean_pickups += 1
+                yield from self._lean_iter.serve(ce_id, self._xdoall_hold_ns)
+                index = state.take_iteration()
+            else:
+                fp.stats.exact_pickups += 1
+                if fp.on:
+                    fp.stats.fallback_shape += 1
+                else:
+                    fp.stats.fallback_disarmed += 1
+                request = self._iter_lock.request(key=ce_id)
+                yield from self._await_pickup(request, self._iter_lock, state, "xdoall")
+                hold_ns = self._round_trips_ns(self.params.pickup_round_trips)
+                hold_ns += self._cycles_ns(self.params.pickup_overhead_cycles)
+                # CEs spinning for the lock keep hammering its module
+                # with test&set reads, slowing the holder's RMW down
+                # (hot spot).
+                waiting = self._iter_lock.queue_length
+                hold_ns = int(hold_ns * (1.0 + self.params.pickup_retry_factor * waiting))
+                yield hold_ns
+                index = state.take_iteration()
+                self._iter_lock.release(request)
             self.stats.xdoall_pickups += 1
             self._record(EventType.PICKUP_EXIT, ce_id, task, payload=payload)
             if index is None:
                 break
             page = loop.page_for_iteration(0, index)
             if page is not None:
-                yield sim.process(self.kernel.vm.touch(task.cluster_id, page))
+                yield from self._run_child(self.kernel.vm.touch(task.cluster_id, page))
             stall_ns = self.machine.cache_stall_ns(
                 task.cluster_id,
                 bytes_accessed=loop.cluster_ws_bytes // loop.n_inner,
@@ -622,7 +717,7 @@ class CedarFortranRuntime:
             self._set_active(ce_id)
             self._record(EventType.ITER_START, ce_id, task, payload=payload)
             if loop.mem_words_per_iter > 0:
-                yield sim.process(
+                yield from self._run_child(
                     self.machine.memory_burst(
                         loop.mem_words_per_iter, loop.mem_rate, task.cluster_id
                     )
@@ -631,6 +726,6 @@ class CedarFortranRuntime:
                 work_ns = int(
                     loop.work_ns_per_iter * loop.work_multiplier(index, salt=state.seq)
                 )
-                yield sim.process(self.kernel.execute(task.cluster_id, work_ns))
+                yield from self._run_child(self.kernel.execute(task.cluster_id, work_ns))
             self._record(EventType.ITER_END, ce_id, task, payload=payload)
             self._set_idle(ce_id, task)

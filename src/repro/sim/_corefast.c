@@ -1,0 +1,774 @@
+/* Compiled dispatch loop for the repro.sim kernel.
+ *
+ * A C transliteration of ``Simulator._run_fast`` (see
+ * ``src/repro/sim/core.py``): pop the earliest ``(key, eid, event)``
+ * heap entry, advance the clock, dispatch the event's callbacks with
+ * the dominant single-waiting-process case inlined (generator send,
+ * direct-delay Timeout re-arm, pool recycling), and raise EmptySchedule
+ * when the heap drains.
+ *
+ * Differences from the Python loop, all unobservable by design:
+ *
+ * - The one-slot lookahead is collapsed into a direct *sprint*: when a
+ *   direct-delay carrier is the only pending event and un-captured,
+ *   the loop advances the clock in place and resumes the process again
+ *   without parking an ``(key, eid, event)`` triple first.  The Python
+ *   loop's park step draws an eid and fills the carrier's ``delay`` /
+ *   ``callbacks`` slots; the sprint here skips all three.  None of it
+ *   is observable: the parked eid never reaches the heap (nothing else
+ *   can be scheduled while the sole process sleeps), eids only break
+ *   same-(time, priority) heap ties, and no model code reads a parked
+ *   carrier's slots (its only actor is the suspended process).  The
+ *   counter increments -- one ``ticks_rearmed`` per in-place advance,
+ *   the usual rearm/reuse/create draw on exit -- match the Python loop
+ *   exactly.
+ * - Heap keys are converted to C int64.  A key that does not fit
+ *   (simulated time beyond ~2^62 ns, i.e. >146 years) pushes the
+ *   entry back verbatim and delegates the rest of the run to the
+ *   Python loop; yielded delays that do not fit take an object-
+ *   arithmetic slow path.
+ *
+ * The module exports ``bind(namespace)`` -- called once by
+ * ``repro.sim.core`` with the kernel's classes, sentinels and heap
+ * primitives, from which slot offsets are captured -- and
+ * ``run_fast(sim)``.  The loop is only ever entered for sink-free,
+ * unperturbed runs (``Simulator.run`` gates it), so no trace hooks
+ * appear here.
+ *
+ * Build with ``python scripts/build_kernel.py`` (no toolchain -> the
+ * pure-Python loop serves; nothing else changes).
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+
+#define COREFAST_VERSION "1.1"
+
+/* -- bound state -------------------------------------------------------- */
+
+static PyObject *S_heappush;     /* heapq.heappush */
+static PyObject *S_heappop;      /* heapq.heappop */
+static PyObject *S_no_waiters;   /* core._NO_WAITERS sentinel */
+static PyObject *S_empty;        /* core EmptySchedule exception type */
+static PyObject *S_terminate;    /* unbound Process._terminate */
+static PyObject *S_continue;     /* unbound Process._continue */
+static PyTypeObject *S_Timeout;  /* core.Timeout */
+static PyTypeObject *S_Process;  /* core.Process */
+static Py_ssize_t S_pool_limit;
+
+/* Slot offsets (captured from the member descriptors at bind time). */
+static Py_ssize_t o_ev_sim, o_ev_callbacks, o_ev_value, o_ev_ok, o_ev_defused;
+static Py_ssize_t o_to_delay;
+static Py_ssize_t o_pr_generator, o_pr_target;
+static Py_ssize_t o_si_now, o_si_queue, o_si_pool, o_si_eid_next, o_si_active;
+static Py_ssize_t o_si_created, o_si_reused, o_si_rearmed, o_si_steps;
+
+static int S_bound = 0;
+
+/* Raw slot access.  Slots of pure-Python classes are PyObject* fields at
+ * a fixed offset; a NULL field means "never assigned" (cannot happen for
+ * the kernel's always-initialised slots, but reads stay defensive). */
+#define SLOT(obj, off) (*(PyObject **)((char *)(obj) + (off)))
+
+static void
+slot_store(PyObject *obj, Py_ssize_t off, PyObject *val) /* steals val */
+{
+    PyObject *old = SLOT(obj, off);
+    SLOT(obj, off) = val;
+    Py_XDECREF(old);
+}
+
+static int
+capture_offset(PyObject *type, const char *name, Py_ssize_t *out)
+{
+    PyObject *descr = PyObject_GetAttrString(type, name);
+    if (descr == NULL)
+        return -1;
+    if (!Py_IS_TYPE(descr, &PyMemberDescr_Type)) {
+        Py_DECREF(descr);
+        PyErr_Format(PyExc_TypeError,
+                     "_corefast.bind: %s is not a slot member descriptor", name);
+        return -1;
+    }
+    *out = ((PyMemberDescrObject *)descr)->d_member->offset;
+    Py_DECREF(descr);
+    return 0;
+}
+
+static PyObject *
+ns_take(PyObject *ns, const char *key)
+{
+    PyObject *val = PyDict_GetItemString(ns, key); /* borrowed */
+    if (val == NULL) {
+        PyErr_Format(PyExc_KeyError, "_corefast.bind: missing %s", key);
+        return NULL;
+    }
+    Py_INCREF(val);
+    return val;
+}
+
+/* -- bind --------------------------------------------------------------- */
+
+static PyObject *
+corefast_bind(PyObject *self, PyObject *ns)
+{
+    PyObject *sim_type = NULL, *event_type = NULL, *timeout_type = NULL;
+    PyObject *process_type = NULL, *limit = NULL;
+
+    if (!PyDict_Check(ns)) {
+        PyErr_SetString(PyExc_TypeError, "_corefast.bind expects a dict");
+        return NULL;
+    }
+
+    sim_type = ns_take(ns, "Simulator");
+    event_type = ns_take(ns, "Event");
+    timeout_type = ns_take(ns, "Timeout");
+    process_type = ns_take(ns, "Process");
+    if (!sim_type || !event_type || !timeout_type || !process_type)
+        goto fail;
+    if (!PyType_Check(timeout_type) || !PyType_Check(process_type)) {
+        PyErr_SetString(PyExc_TypeError, "_corefast.bind: classes expected");
+        goto fail;
+    }
+
+    Py_XDECREF(S_no_waiters);
+    S_no_waiters = ns_take(ns, "NO_WAITERS");
+    Py_XDECREF(S_empty);
+    S_empty = ns_take(ns, "EmptySchedule");
+    Py_XDECREF(S_heappush);
+    S_heappush = ns_take(ns, "heappush");
+    Py_XDECREF(S_heappop);
+    S_heappop = ns_take(ns, "heappop");
+    if (!S_no_waiters || !S_empty || !S_heappush || !S_heappop)
+        goto fail;
+
+    limit = ns_take(ns, "POOL_LIMIT");
+    if (!limit)
+        goto fail;
+    S_pool_limit = PyLong_AsSsize_t(limit);
+    Py_CLEAR(limit);
+    if (S_pool_limit < 0 && PyErr_Occurred())
+        goto fail;
+
+    Py_XDECREF(S_terminate);
+    S_terminate = PyObject_GetAttrString(process_type, "_terminate");
+    Py_XDECREF(S_continue);
+    S_continue = PyObject_GetAttrString(process_type, "_continue");
+    if (!S_terminate || !S_continue)
+        goto fail;
+
+    if (capture_offset(event_type, "sim", &o_ev_sim) < 0 ||
+        capture_offset(event_type, "callbacks", &o_ev_callbacks) < 0 ||
+        capture_offset(event_type, "_value", &o_ev_value) < 0 ||
+        capture_offset(event_type, "_ok", &o_ev_ok) < 0 ||
+        capture_offset(event_type, "_defused", &o_ev_defused) < 0 ||
+        capture_offset(timeout_type, "delay", &o_to_delay) < 0 ||
+        capture_offset(process_type, "_generator", &o_pr_generator) < 0 ||
+        capture_offset(process_type, "_target", &o_pr_target) < 0 ||
+        capture_offset(sim_type, "_now", &o_si_now) < 0 ||
+        capture_offset(sim_type, "_queue", &o_si_queue) < 0 ||
+        capture_offset(sim_type, "_timeout_pool", &o_si_pool) < 0 ||
+        capture_offset(sim_type, "_eid_next", &o_si_eid_next) < 0 ||
+        capture_offset(sim_type, "_active_process", &o_si_active) < 0 ||
+        capture_offset(sim_type, "timeouts_created", &o_si_created) < 0 ||
+        capture_offset(sim_type, "timeouts_reused", &o_si_reused) < 0 ||
+        capture_offset(sim_type, "ticks_rearmed", &o_si_rearmed) < 0 ||
+        capture_offset(sim_type, "compiled_steps", &o_si_steps) < 0)
+        goto fail;
+
+    Py_XDECREF((PyObject *)S_Timeout);
+    S_Timeout = (PyTypeObject *)timeout_type; /* steal */
+    timeout_type = NULL;
+    Py_XDECREF((PyObject *)S_Process);
+    S_Process = (PyTypeObject *)process_type; /* steal */
+    process_type = NULL;
+    Py_DECREF(sim_type);
+    Py_DECREF(event_type);
+    S_bound = 1;
+    Py_RETURN_NONE;
+
+fail:
+    Py_XDECREF(sim_type);
+    Py_XDECREF(event_type);
+    Py_XDECREF(timeout_type);
+    Py_XDECREF(process_type);
+    Py_XDECREF(limit);
+    return NULL;
+}
+
+/* -- counter flushing --------------------------------------------------- */
+
+static int
+bump_slot(PyObject *sim, Py_ssize_t off, long long delta)
+{
+    PyObject *cur, *d, *sum;
+
+    if (delta == 0)
+        return 0;
+    cur = SLOT(sim, off);
+    if (cur == NULL)
+        cur = Py_None; /* cannot happen; add will raise cleanly */
+    d = PyLong_FromLongLong(delta);
+    if (d == NULL)
+        return -1;
+    sum = PyNumber_Add(cur, d);
+    Py_DECREF(d);
+    if (sum == NULL)
+        return -1;
+    slot_store(sim, off, sum);
+    return 0;
+}
+
+static void
+flush_counters(PyObject *sim, long long rearmed, long long reused,
+               long long created, long long steps)
+{
+    /* Preserve any in-flight exception across the flush. */
+    PyObject *t, *v, *tb;
+    PyErr_Fetch(&t, &v, &tb);
+    (void)bump_slot(sim, o_si_rearmed, rearmed);
+    (void)bump_slot(sim, o_si_reused, reused);
+    (void)bump_slot(sim, o_si_created, created);
+    (void)bump_slot(sim, o_si_steps, steps);
+    if (PyErr_Occurred())
+        PyErr_Clear();
+    PyErr_Restore(t, v, tb);
+}
+
+/* -- run loop helpers --------------------------------------------------- */
+
+/* Make a fresh Timeout the way ``Timeout.__new__(Timeout)`` + the
+ * pool-miss path does: allocate, fill the invariant slots. */
+static PyObject *
+new_pool_timeout(PyObject *sim)
+{
+    PyObject *tick = S_Timeout->tp_alloc(S_Timeout, 0);
+    if (tick == NULL)
+        return NULL;
+    Py_INCREF(sim);
+    SLOT(tick, o_ev_sim) = sim;
+    Py_INCREF(Py_None);
+    SLOT(tick, o_ev_value) = Py_None;
+    Py_INCREF(Py_True);
+    SLOT(tick, o_ev_ok) = Py_True;
+    Py_INCREF(Py_False);
+    SLOT(tick, o_ev_defused) = Py_False;
+    return tick;
+}
+
+/* Push ``(key_obj, eid, tick)`` through heapq.  Steals nothing. */
+static int
+heap_push(PyObject *queue, PyObject *key_obj, PyObject *eid, PyObject *tick)
+{
+    PyObject *entry = PyTuple_New(3);
+    PyObject *r;
+    if (entry == NULL)
+        return -1;
+    Py_INCREF(key_obj);
+    PyTuple_SET_ITEM(entry, 0, key_obj);
+    Py_INCREF(eid);
+    PyTuple_SET_ITEM(entry, 1, eid);
+    Py_INCREF(tick);
+    PyTuple_SET_ITEM(entry, 2, tick);
+    r = PyObject_CallFunctionObjArgs(S_heappush, queue, entry, NULL);
+    Py_DECREF(entry);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* Direct-delay re-arm: put a Timeout carrying *delay* back on the heap
+ * for *cbs* at ``((now + nxt) << 1) | 1``.  Re-arms *event* in place
+ * when only the loop and ``cbs._target`` still reference it (the
+ * Python gate is getrefcount == 3: local binding + getrefcount
+ * argument + ``_target``; here our borrowed view sees refcount 2),
+ * otherwise takes a pooled/new Timeout and retargets the process.
+ * *delay* is the yielded int object (reference stolen, even on
+ * failure); *huge* selects object arithmetic for the key, reading the
+ * clock back out of ``sim._now``.  Returns 0, or -1 with an exception
+ * set. */
+static int
+rearm_push(PyObject *sim, PyObject *queue, PyObject *pool, PyObject *eid_next,
+           PyObject *event, PyObject *cbs, PyObject *delay,
+           long long now, long long nxt, int huge,
+           long long *rearmed, long long *reused, long long *created)
+{
+    PyObject *tick, *key2, *eid;
+    int failed = 0;
+
+    if (Py_IS_TYPE(event, S_Timeout) && Py_REFCNT(event) == 2) {
+        tick = event;
+        Py_INCREF(tick);
+        Py_INCREF(Py_None);
+        slot_store(tick, o_ev_value, Py_None);
+        (*rearmed)++;
+    } else {
+        Py_ssize_t psz = PyList_GET_SIZE(pool);
+        if (psz > 0) {
+            tick = PyList_GET_ITEM(pool, psz - 1);
+            Py_INCREF(tick);
+            if (PyList_SetSlice(pool, psz - 1, psz, NULL) < 0) {
+                Py_DECREF(tick);
+                Py_DECREF(delay);
+                return -1;
+            }
+            Py_INCREF(Py_None);
+            slot_store(tick, o_ev_value, Py_None);
+            (*reused)++;
+        } else {
+            tick = new_pool_timeout(sim);
+            if (tick == NULL) {
+                Py_DECREF(delay);
+                return -1;
+            }
+            (*created)++;
+        }
+        Py_INCREF(tick);
+        slot_store(cbs, o_pr_target, tick);
+    }
+    slot_store(tick, o_to_delay, delay); /* steals delay */
+    Py_INCREF(cbs);
+    slot_store(tick, o_ev_callbacks, cbs);
+    if (!huge) {
+        key2 = PyLong_FromLongLong(((now + nxt) << 1) | 1);
+    } else {
+        /* Object arithmetic for delays beyond int64:
+         * ((now + nxt) << 1) | 1. */
+        PyObject *delay_obj = SLOT(tick, o_to_delay);
+        PyObject *now_obj = SLOT(sim, o_si_now);
+        PyObject *when = PyNumber_Add(now_obj, delay_obj);
+        PyObject *shifted = NULL;
+        key2 = NULL;
+        if (when != NULL) {
+            PyObject *one = PyLong_FromLong(1);
+            if (one != NULL) {
+                shifted = PyNumber_Lshift(when, one);
+                if (shifted != NULL)
+                    key2 = PyNumber_Or(shifted, one);
+                Py_XDECREF(shifted);
+                Py_DECREF(one);
+            }
+            Py_DECREF(when);
+        }
+    }
+    if (key2 == NULL)
+        failed = 1;
+    else {
+        eid = PyObject_CallNoArgs(eid_next);
+        if (eid == NULL)
+            failed = 1;
+        else {
+            if (heap_push(queue, key2, eid, tick) < 0)
+                failed = 1;
+            Py_DECREF(eid);
+        }
+        Py_DECREF(key2);
+    }
+    Py_DECREF(tick);
+    return failed ? -1 : 0;
+}
+
+/* -- the compiled loop -------------------------------------------------- */
+
+static PyObject *
+corefast_run_fast(PyObject *self, PyObject *sim)
+{
+    PyObject *queue, *pool, *eid_next;
+    long long rearmed = 0, reused = 0, created = 0, steps = 0;
+    long long last_now = -1;
+
+    if (!S_bound) {
+        PyErr_SetString(PyExc_RuntimeError, "_corefast.run_fast before bind()");
+        return NULL;
+    }
+    queue = SLOT(sim, o_si_queue);
+    pool = SLOT(sim, o_si_pool);
+    eid_next = SLOT(sim, o_si_eid_next);
+    if (queue == NULL || pool == NULL || eid_next == NULL ||
+        !PyList_CheckExact(queue) || !PyList_CheckExact(pool)) {
+        PyErr_SetString(PyExc_TypeError, "_corefast.run_fast: bad Simulator state");
+        return NULL;
+    }
+    Py_INCREF(queue);
+    Py_INCREF(pool);
+    Py_INCREF(eid_next);
+
+    for (;;) {
+        PyObject *entry, *key_obj, *event, *cbs, *okobj;
+        long long key, now;
+        int ok;
+
+        entry = PyObject_CallOneArg(S_heappop, queue);
+        if (entry == NULL) {
+            if (PyErr_ExceptionMatches(PyExc_IndexError)) {
+                PyErr_Clear();
+                PyErr_SetString(S_empty, "no more events scheduled");
+            }
+            goto error;
+        }
+        if (!PyTuple_CheckExact(entry) || PyTuple_GET_SIZE(entry) != 3) {
+            Py_DECREF(entry);
+            PyErr_SetString(PyExc_TypeError, "_corefast: malformed heap entry");
+            goto error;
+        }
+        key_obj = PyTuple_GET_ITEM(entry, 0);
+        key = PyLong_AsLongLong(key_obj);
+        if (key == -1 && PyErr_Occurred()) {
+            /* Simulated time beyond int64: push the entry back (same
+             * key/eid -> identical heap order) and let the Python loop
+             * finish the run. */
+            PyObject *r;
+            PyErr_Clear();
+            r = PyObject_CallFunctionObjArgs(S_heappush, queue, entry, NULL);
+            Py_DECREF(entry);
+            if (r == NULL)
+                goto error;
+            Py_DECREF(r);
+            flush_counters(sim, rearmed, reused, created, steps);
+            Py_DECREF(queue);
+            Py_DECREF(pool);
+            Py_DECREF(eid_next);
+            return PyObject_CallMethod(sim, "_run_fast", NULL);
+        }
+        event = PyTuple_GET_ITEM(entry, 2);
+        Py_INCREF(event);
+        Py_DECREF(entry);
+        steps++;
+
+        now = key >> 1;
+        if (now != last_now) {
+            PyObject *now_obj = PyLong_FromLongLong(now);
+            if (now_obj == NULL) {
+                Py_DECREF(event);
+                goto error;
+            }
+            slot_store(sim, o_si_now, now_obj);
+            last_now = now;
+        }
+
+        cbs = SLOT(event, o_ev_callbacks);
+        Py_XINCREF(cbs);
+        Py_INCREF(Py_None);
+        slot_store(event, o_ev_callbacks, Py_None);
+
+        if (cbs != NULL && Py_IS_TYPE(cbs, S_Process)) {
+            okobj = SLOT(event, o_ev_ok);
+            ok = okobj ? PyObject_IsTrue(okobj) : 0;
+            if (ok < 0)
+                goto error_ev;
+            if (ok) {
+                /* Hot path: resume the single waiting process inline. */
+                PyObject *gen = SLOT(cbs, o_pr_generator);
+                PyObject *value = SLOT(event, o_ev_value);
+                PyObject *result = NULL;
+                PySendResult sr;
+
+                Py_INCREF(cbs);
+                slot_store(sim, o_si_active, cbs);
+                if (value == NULL)
+                    value = Py_None;
+                Py_INCREF(value);
+                sr = PyIter_Send(gen, value, &result);
+                Py_DECREF(value);
+
+                if (sr == PYGEN_RETURN) {
+                    PyObject *r = PyObject_CallFunctionObjArgs(
+                        S_terminate, cbs, Py_True, result, NULL);
+                    Py_DECREF(result);
+                    if (r == NULL)
+                        goto error_ev;
+                    Py_DECREF(r);
+                } else if (sr == PYGEN_ERROR) {
+                    /* The generator raised: terminate the process with
+                     * the exception as its (failure) value. */
+                    PyObject *t, *v, *tb, *r;
+                    PyErr_Fetch(&t, &v, &tb);
+                    PyErr_NormalizeException(&t, &v, &tb);
+                    if (v != NULL && tb != NULL)
+                        PyException_SetTraceback(v, tb);
+                    r = PyObject_CallFunctionObjArgs(
+                        S_terminate, cbs, Py_False, v ? v : Py_None, NULL);
+                    Py_XDECREF(t);
+                    Py_XDECREF(v);
+                    Py_XDECREF(tb);
+                    if (r == NULL)
+                        goto error_ev;
+                    Py_DECREF(r);
+                } else if (PyLong_CheckExact(result)) {
+                    /* Direct-delay yield. */
+                    int overflow;
+                    long long nxt =
+                        PyLong_AsLongLongAndOverflow(result, &overflow);
+                    int huge = overflow > 0 ||
+                               (overflow == 0 && nxt >= 0 &&
+                                nxt > (LLONG_MAX >> 1) - now);
+                    if (overflow < 0 || (overflow == 0 && nxt < 0)) {
+                        PyObject *msg = PyUnicode_FromFormat(
+                            "negative delay %S", result);
+                        PyObject *exc, *r;
+                        Py_DECREF(result);
+                        if (msg == NULL)
+                            goto error_ev;
+                        exc = PyObject_CallFunctionObjArgs(
+                            PyExc_ValueError, msg, NULL);
+                        Py_DECREF(msg);
+                        if (exc == NULL)
+                            goto error_ev;
+                        r = PyObject_CallFunctionObjArgs(
+                            S_terminate, cbs, Py_False, exc, NULL);
+                        Py_DECREF(exc);
+                        if (r == NULL)
+                            goto error_ev;
+                        Py_DECREF(r);
+                    } else if (!huge && PyList_GET_SIZE(queue) == 0 &&
+                               Py_IS_TYPE(event, S_Timeout) &&
+                               Py_REFCNT(event) == 2) {
+                        /* Sole-pending sprint (see the header comment):
+                         * the carrier would be the only heap entry, so
+                         * advance the clock in place and resume the
+                         * process again -- no heap traffic, no eid
+                         * draws -- until it schedules real events,
+                         * waits, or finishes. */
+                        long long snow = now;
+                        Py_INCREF(Py_None);
+                        slot_store(event, o_ev_value, Py_None);
+                        Py_CLEAR(result);
+                        for (;;) {
+                            PyObject *now_obj;
+                            snow += nxt;
+                            rearmed++;
+                            steps++;
+                            now_obj = PyLong_FromLongLong(snow);
+                            if (now_obj == NULL)
+                                goto error_ev;
+                            slot_store(sim, o_si_now, now_obj);
+                            last_now = snow;
+                            sr = PyIter_Send(gen, Py_None, &result);
+                            if (sr == PYGEN_RETURN) {
+                                PyObject *r = PyObject_CallFunctionObjArgs(
+                                    S_terminate, cbs, Py_True, result, NULL);
+                                Py_CLEAR(result);
+                                if (r == NULL)
+                                    goto error_ev;
+                                Py_DECREF(r);
+                                break;
+                            }
+                            if (sr == PYGEN_ERROR) {
+                                PyObject *t, *v, *tb, *r;
+                                PyErr_Fetch(&t, &v, &tb);
+                                PyErr_NormalizeException(&t, &v, &tb);
+                                if (v != NULL && tb != NULL)
+                                    PyException_SetTraceback(v, tb);
+                                r = PyObject_CallFunctionObjArgs(
+                                    S_terminate, cbs, Py_False,
+                                    v ? v : Py_None, NULL);
+                                Py_XDECREF(t);
+                                Py_XDECREF(v);
+                                Py_XDECREF(tb);
+                                if (r == NULL)
+                                    goto error_ev;
+                                Py_DECREF(r);
+                                break;
+                            }
+                            if (PyLong_CheckExact(result)) {
+                                int ov2;
+                                long long n2 = PyLong_AsLongLongAndOverflow(
+                                    result, &ov2);
+                                int huge2 = ov2 > 0 ||
+                                            (ov2 == 0 && n2 >= 0 &&
+                                             n2 > (LLONG_MAX >> 1) - snow);
+                                if (ov2 == 0 && n2 >= 0 && !huge2 &&
+                                    PyList_GET_SIZE(queue) == 0) {
+                                    /* Still the only pending event:
+                                     * keep sprinting. */
+                                    nxt = n2;
+                                    Py_CLEAR(result);
+                                    continue;
+                                }
+                                if (ov2 < 0 || (ov2 == 0 && n2 < 0)) {
+                                    PyObject *msg = PyUnicode_FromFormat(
+                                        "negative delay %S", result);
+                                    PyObject *exc, *r;
+                                    Py_CLEAR(result);
+                                    if (msg == NULL)
+                                        goto error_ev;
+                                    exc = PyObject_CallFunctionObjArgs(
+                                        PyExc_ValueError, msg, NULL);
+                                    Py_DECREF(msg);
+                                    if (exc == NULL)
+                                        goto error_ev;
+                                    r = PyObject_CallFunctionObjArgs(
+                                        S_terminate, cbs, Py_False, exc,
+                                        NULL);
+                                    Py_DECREF(exc);
+                                    if (r == NULL)
+                                        goto error_ev;
+                                    Py_DECREF(r);
+                                    break;
+                                }
+                                /* The resume scheduled real events (or
+                                 * the delay is huge): re-arm into the
+                                 * shared heap and leave the sprint. */
+                                if (rearm_push(sim, queue, pool, eid_next,
+                                               event, cbs, result, snow, n2,
+                                               huge2, &rearmed, &reused,
+                                               &created) < 0) {
+                                    result = NULL;
+                                    goto error_ev;
+                                }
+                                result = NULL;
+                                break;
+                            }
+                            /* Waiting on an event: subscribe and leave
+                             * the sprint. */
+                            {
+                                PyObject *r = PyObject_CallFunctionObjArgs(
+                                    S_continue, cbs, result, NULL);
+                                Py_CLEAR(result);
+                                if (r == NULL)
+                                    goto error_ev;
+                                Py_DECREF(r);
+                            }
+                            break;
+                        }
+                        /* The sprint exits mark the carrier processed;
+                         * fall through to the recycle check exactly
+                         * like the Python sprint does. */
+                        Py_INCREF(Py_None);
+                        slot_store(sim, o_si_active, Py_None);
+                        goto post_dispatch;
+                    } else {
+                        if (rearm_push(sim, queue, pool, eid_next, event,
+                                       cbs, result, now, nxt, huge, &rearmed,
+                                       &reused, &created) < 0) {
+                            result = NULL; /* stolen by rearm_push */
+                            goto error_ev;
+                        }
+                        result = NULL;
+                        Py_INCREF(Py_None);
+                        slot_store(sim, o_si_active, Py_None);
+                        Py_DECREF(cbs);
+                        Py_DECREF(event);
+                        continue; /* skip the recycle check, as Python does */
+                    }
+                } else {
+                    /* Waiting on an event (or other non-int yield):
+                     * subscribe through Process._continue. */
+                    PyObject *r = PyObject_CallFunctionObjArgs(
+                        S_continue, cbs, result, NULL);
+                    Py_DECREF(result);
+                    if (r == NULL)
+                        goto error_ev;
+                    Py_DECREF(r);
+                }
+                Py_INCREF(Py_None);
+                slot_store(sim, o_si_active, Py_None);
+                goto post_dispatch;
+            }
+            /* A failed event with a single process waiter: generic call
+             * (Process.__call__ delivers the failure). */
+            {
+                PyObject *r = PyObject_CallOneArg(cbs, event);
+                if (r == NULL)
+                    goto error_ev;
+                Py_DECREF(r);
+            }
+        } else if (cbs != NULL && PyList_CheckExact(cbs)) {
+            Py_ssize_t i;
+            for (i = 0; i < PyList_GET_SIZE(cbs); i++) {
+                PyObject *cb = PyList_GET_ITEM(cbs, i);
+                PyObject *r;
+                Py_INCREF(cb);
+                r = PyObject_CallOneArg(cb, event);
+                Py_DECREF(cb);
+                if (r == NULL)
+                    goto error_ev;
+                Py_DECREF(r);
+            }
+        } else if (cbs != NULL && cbs != S_no_waiters && cbs != Py_None) {
+            PyObject *r = PyObject_CallOneArg(cbs, event);
+            if (r == NULL)
+                goto error_ev;
+            Py_DECREF(r);
+        }
+
+    post_dispatch:
+        if (Py_IS_TYPE(event, S_Timeout)) {
+            /* A Timeout can never fail; recycle it when the loop holds
+             * the only remaining reference. */
+            if (Py_REFCNT(event) == 1 &&
+                PyList_GET_SIZE(pool) < S_pool_limit) {
+                if (PyList_Append(pool, event) < 0)
+                    goto error_ev;
+            }
+        } else {
+            PyObject *okobj2 = SLOT(event, o_ev_ok);
+            PyObject *defused = SLOT(event, o_ev_defused);
+            int ok2 = okobj2 ? PyObject_IsTrue(okobj2) : 1;
+            int df = defused ? PyObject_IsTrue(defused) : 0;
+            if (ok2 < 0 || df < 0)
+                goto error_ev;
+            if (!ok2 && !df) {
+                /* An unhandled failure: crash the simulation. */
+                PyObject *exc = SLOT(event, o_ev_value);
+                if (exc != NULL && PyExceptionInstance_Check(exc)) {
+                    Py_INCREF(exc);
+                    PyErr_SetObject((PyObject *)Py_TYPE(exc), exc);
+                    Py_DECREF(exc);
+                } else {
+                    PyErr_SetString(PyExc_TypeError,
+                                    "failed event value is not an exception");
+                }
+                goto error_ev;
+            }
+        }
+        Py_XDECREF(cbs);
+        Py_DECREF(event);
+        continue;
+
+    error_ev:
+        Py_XDECREF(cbs);
+        Py_DECREF(event);
+        goto error;
+    }
+
+error:
+    flush_counters(sim, rearmed, reused, created, steps);
+    Py_DECREF(queue);
+    Py_DECREF(pool);
+    Py_DECREF(eid_next);
+    return NULL;
+}
+
+/* -- module ------------------------------------------------------------- */
+
+static PyMethodDef corefast_methods[] = {
+    {"bind", corefast_bind, METH_O,
+     "Capture the kernel's classes, sentinels and slot offsets."},
+    {"run_fast", corefast_run_fast, METH_O,
+     "Run the sink-free dispatch loop on a Simulator until it stops."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef corefast_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro.sim._corefast",
+    "Compiled dispatch loop for the repro.sim kernel.",
+    -1,
+    corefast_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__corefast(void)
+{
+    PyObject *mod = PyModule_Create(&corefast_module);
+    if (mod == NULL)
+        return NULL;
+    if (PyModule_AddStringConstant(mod, "__version__", COREFAST_VERSION) < 0) {
+        Py_DECREF(mod);
+        return NULL;
+    }
+    return mod;
+}

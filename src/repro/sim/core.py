@@ -71,6 +71,7 @@ from repro.sim.errors import (
     SimulationError,
     StopSimulation,
 )
+from repro.sim.policy import compiled_policy
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.tracing import TraceSink
@@ -639,6 +640,8 @@ class Simulator:
         "timeouts_created",
         "timeouts_reused",
         "ticks_rearmed",
+        "tie_perturbed",
+        "compiled_steps",
         "_sink",
         "_sched_hook",
         "_sink_cb",
@@ -659,6 +662,13 @@ class Simulator:
         self.timeouts_created = 0
         self.timeouts_reused = 0
         self.ticks_rearmed = 0
+        #: True once :meth:`perturb_tie_breaks` armed the seeded eid
+        #: source.  The analytic fast paths consult this at construction
+        #: so perturbed runs exercise the exact machinery.
+        self.tie_perturbed = False
+        #: Events dispatched by the compiled ``_corefast`` loop (0 when
+        #: the pure-Python loops served the whole run).
+        self.compiled_steps = 0
         self._sink: "TraceSink | None" = None
         self._sched_hook: Callable[[Event, int, Process | None], None] | None = None
         self._sink_cb = False
@@ -853,6 +863,7 @@ class Simulator:
                 "perturb_tie_breaks() must be armed before any event is scheduled"
             )
         self._eid_next = _perturbed_eids(seed)
+        self.tie_perturbed = True
 
     def peek(self) -> int | float:
         """Time of the next scheduled event (``inf`` if none)."""
@@ -963,7 +974,22 @@ class Simulator:
             if max_events is not None or max_sim_time is not None:
                 self._run_watched(max_events, max_sim_time)
             elif self._sink is None:
-                self._run_fast()
+                if (
+                    _COMPILED_LOOP is not None
+                    and not self.tie_perturbed
+                    and compiled_policy()
+                ):
+                    # Compiled dispatch loop (see the module tail): a C
+                    # transliteration of _run_fast without the lookahead
+                    # slot.  Only the sink-free path compiles; sinks and
+                    # watchdogs always run the Python loops, so recorded
+                    # schedule hashes are interpreter-independent.  The
+                    # policy is re-read per run so the CLI's
+                    # ``--no-fastpath`` (which sets the variable after
+                    # import) is honoured.
+                    _COMPILED_LOOP(self)
+                else:
+                    self._run_fast()
             else:
                 self._run_sink()
         except StopSimulation as stop:
@@ -1483,3 +1509,62 @@ class Simulator:
             if isinstance(value, BaseException):
                 raise value
         raise StopSimulation(event._value)
+
+
+#: The compiled dispatch loop (``None`` -> pure Python ``_run_fast``).
+#: Installed at import when the optional ``repro.sim._corefast`` C
+#: extension is importable and the environment allows it (see
+#: :mod:`repro.sim.policy`; ``scripts/build_kernel.py`` builds the
+#: extension).  The compiled loop is a transliteration of ``_run_fast``
+#: without the lookahead slot: same dispatch semantics, same pool
+#: counters, identical results -- only the eid *values* drawn for
+#: sole-pending carriers differ, which is unobservable because eids
+#: only break heap ties and relative draw order is preserved.
+_COMPILED_LOOP: Callable[[Simulator], None] | None = None
+#: Version tag of the installed extension (feeds the code fingerprint
+#: of :mod:`repro.parallel.cache` so cached results never cross the
+#: compiled/pure boundary).
+_COMPILED_VERSION: str | None = None
+
+
+def compiled_loop_active() -> bool:
+    """Whether the compiled kernel loop is installed for this process."""
+    return _COMPILED_LOOP is not None
+
+
+def compiled_loop_version() -> str | None:
+    """Version tag of the installed compiled loop (``None`` if pure)."""
+    return _COMPILED_VERSION
+
+
+def _install_compiled_loop() -> None:
+    """Import, bind and install the ``_corefast`` loop if possible."""
+    global _COMPILED_LOOP, _COMPILED_VERSION
+    if not compiled_policy():
+        return
+    try:
+        from repro.sim import _corefast  # type: ignore[attr-defined]
+    except ImportError:
+        return
+    try:
+        _corefast.bind(
+            {
+                "Simulator": Simulator,
+                "Event": Event,
+                "Timeout": Timeout,
+                "Process": Process,
+                "NO_WAITERS": _NO_WAITERS,
+                "PENDING": PENDING,
+                "EmptySchedule": EmptySchedule,
+                "heappush": heapq.heappush,
+                "heappop": heapq.heappop,
+                "POOL_LIMIT": _POOL_LIMIT,
+            }
+        )
+    except Exception:  # pragma: no cover - defensive: stale binary
+        return
+    _COMPILED_LOOP = _corefast.run_fast
+    _COMPILED_VERSION = getattr(_corefast, "__version__", "unknown")
+
+
+_install_compiled_loop()

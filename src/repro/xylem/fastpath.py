@@ -1,0 +1,77 @@
+"""Analytic fast paths for the Xylem OS model.
+
+The OS layer's event cost is dominated by process bookkeeping, not by
+time: daemons, CPI gathers, critical-section visits and page-fault
+services are all *strictly sequential* children -- spawned with
+``sim.process`` and awaited immediately.  Each such spawn costs an
+``Initialize`` event, a termination event and a process object for a
+child whose delays are the only part that matters.
+
+When the fast path is armed, :meth:`XylemKernel._run_child` inlines
+those children with ``yield from`` (no events, identical delays), and
+:meth:`VirtualMemory.touch_many` elides already-resident pages without
+even entering the touch path -- the warm part of a warm/cold page sweep
+costs zero events instead of two per page.
+
+Arming follows the discipline of :mod:`repro.hardware.fastpath` and
+:mod:`repro.runtime.fastpath`: environment policy
+(:mod:`repro.sim.policy`), sink-free, unperturbed, and not sticky-
+disabled by a fault campaign (:meth:`repro.faults.FaultInjector.arm`
+routes every layer exact before the run starts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import Simulator
+from repro.sim.policy import fastpath_policy
+
+__all__ = ["XylemFastPath", "XylemFastPathStats"]
+
+
+@dataclass
+class XylemFastPathStats:
+    """Fused/exact split of OS-layer child execution
+    (``xylem.fastpath.*`` metrics namespace)."""
+
+    #: OS service children inlined instead of spawned (CPI gathers,
+    #: critical sections, context switches, page-fault services).
+    fused_spawns: int = 0
+    #: Already-resident pages skipped by the fused ``touch_many`` sweep.
+    warm_elisions: int = 0
+    #: Children spawned exactly because the engine was disarmed.
+    exact_spawns: int = 0
+
+
+class XylemFastPath:
+    """Arming state + counters for the OS-layer fast paths."""
+
+    __slots__ = ("sim", "stats", "enabled", "_armed")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.stats = XylemFastPathStats()
+        #: Sticky switch; cleared only by :meth:`enable` (tests).
+        self.enabled = True
+        self._armed = fastpath_policy() and sim._sink is None and not sim.tie_perturbed
+
+    @property
+    def on(self) -> bool:
+        """Whether children may be inlined right now."""
+        return self.enabled and self._armed
+
+    def disable(self) -> None:
+        """Sticky disable (armed fault campaign): everything goes exact."""
+        self.enabled = False
+
+    def enable(self) -> None:
+        """Re-enable after a campaign is torn down (tests)."""
+        self.enabled = True
+        sim = self.sim
+        self._armed = fastpath_policy() and sim._sink is None and not sim.tie_perturbed
+
+    @property
+    def mode(self) -> str:
+        """``"batched"`` or ``"exact"``: which path serves new children."""
+        return "batched" if self.on else "exact"

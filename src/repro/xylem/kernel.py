@@ -34,6 +34,7 @@ from repro.hpm.monitor import CedarHpm
 from repro.sim import ArbitratedResource, Gate, SimulationError, Simulator
 from repro.xylem.accounting import TimeAccounting
 from repro.xylem.categories import OsActivity
+from repro.xylem.fastpath import XylemFastPath
 from repro.xylem.locks import CriticalSections
 from repro.xylem.params import XylemParams
 from repro.xylem.vm import VirtualMemory
@@ -110,7 +111,13 @@ class XylemKernel:
         self.params = params or XylemParams()
         self.hpm = hpm
         self.accounting = TimeAccounting(config)
-        self.critical_sections = CriticalSections(sim, self.accounting, config.n_clusters)
+        #: Analytic fast-path engine shared by the OS layer (kernel,
+        #: critical sections, virtual memory): child services are
+        #: inlined instead of spawned when armed.
+        self.fastpath = XylemFastPath(sim)
+        self.critical_sections = CriticalSections(
+            sim, self.accounting, config.n_clusters, fastpath=self.fastpath
+        )
         self.clusters = [ClusterState(sim, i) for i in range(config.n_clusters)]
         self.vm = VirtualMemory(
             sim,
@@ -118,6 +125,7 @@ class XylemKernel:
             self.params,
             critical_sections=self.critical_sections,
             cpi_handler=self.cpi_gather,
+            fastpath=self.fastpath,
         )
         # The jitter streams are part of the calibrated operating point
         # (EXPERIMENTS.md): swapping the RNG backend or the keying would
@@ -192,6 +200,32 @@ class XylemKernel:
             # OS events are recorded against the cluster's first CE.
             self.hpm.record(event_type, cluster_id * self.config.ces_per_cluster)
 
+    def _run_child(self, gen: Generator, name: str) -> Generator:
+        """Run a strictly-sequential OS child generator.
+
+        When the fast path is armed the child generator is returned
+        as-is for the caller's ``yield from`` -- the child is awaited
+        immediately, so skipping the process spawn and its
+        Initialize/termination events leaves every yielded delay -- and
+        therefore every charge and freeze window -- at identical times,
+        and returning the child directly (instead of delegating through
+        a wrapper generator) keeps the resume chain one frame shorter.
+        Spawned as a named process otherwise (exact event shape).  Call
+        sites must ``yield from`` the return value immediately (the
+        arming check happens here, at call time).
+        """
+        fp = self.fastpath
+        if fp.on:
+            fp.stats.fused_spawns += 1
+            return gen
+        fp.stats.exact_spawns += 1
+        return self._spawn_child(gen, name)
+
+    def _spawn_child(self, gen: Generator, name: str) -> Generator:
+        """Exact-path child execution: a named process, full event shape."""
+        result = yield self.sim.process(gen, name=name)
+        return result
+
     # -- daemons -------------------------------------------------------------
 
     def start_daemons(self) -> None:
@@ -235,7 +269,7 @@ class XylemKernel:
         rng = self.jitter_stream("ctx", cluster_id)
         while True:
             yield self._jittered(rng, params.ctx_interval_ns)
-            yield self.sim.process(self.context_switch(cluster_id), name="ctx")
+            yield from self._run_child(self.context_switch(cluster_id), "ctx")
 
     def _sched_daemon(self, cluster_id: int) -> Generator:
         """Explicit resource-scheduling requests.
@@ -252,9 +286,8 @@ class XylemKernel:
         while True:
             yield self._jittered(rng, params.sched_interval_ns)
             self._record(EventType.SCHED_ENTER, cluster_id)
-            yield self.sim.process(
-                self.cpi_gather(cluster_id, key=_SERVICE_SCHED_GATHER),
-                name="sched-cpi",
+            yield from self._run_child(
+                self.cpi_gather(cluster_id, key=_SERVICE_SCHED_GATHER), "sched-cpi"
             )
             state = self.clusters[cluster_id]
             lock = self._service_locks[cluster_id]
@@ -262,19 +295,19 @@ class XylemKernel:
             yield request
             state.freeze()
             try:
-                yield self.sim.process(
+                yield from self._run_child(
                     self.critical_sections.access_cluster(
                         cluster_id, params.crsect_cluster_cost_ns
                     ),
-                    name="sched-crsect",
+                    "sched-crsect",
                 )
                 count += 1
                 if count % 8 == 0:
-                    yield self.sim.process(
+                    yield from self._run_child(
                         self.critical_sections.access_global(
                             cluster_id, params.crsect_global_cost_ns
                         ),
-                        name="sched-gcrsect",
+                        "sched-gcrsect",
                     )
             finally:
                 state.unfreeze()
@@ -312,8 +345,8 @@ class XylemKernel:
         """
         params = self.params
         self._record(EventType.CTX_SWITCH_ENTER, cluster_id)
-        yield self.sim.process(
-            self.cpi_gather(cluster_id, key=_SERVICE_CTX_GATHER), name="ctx-cpi"
+        yield from self._run_child(
+            self.cpi_gather(cluster_id, key=_SERVICE_CTX_GATHER), "ctx-cpi"
         )
         state = self.clusters[cluster_id]
         lock = self._service_locks[cluster_id]
@@ -324,11 +357,11 @@ class XylemKernel:
             yield params.ctx_cost_ns
             self.accounting.charge(cluster_id, OsActivity.CTX, params.ctx_cost_ns)
             for _ in range(params.crsect_per_ctx):
-                yield self.sim.process(
+                yield from self._run_child(
                     self.critical_sections.access_cluster(
                         cluster_id, params.crsect_cluster_cost_ns
                     ),
-                    name="ctx-crsect",
+                    "ctx-crsect",
                 )
         finally:
             state.unfreeze()
@@ -371,7 +404,7 @@ class XylemKernel:
         )
         self._syscall_counter += 1
         if self._needs_syscall_cpi():
-            yield self.sim.process(self.cpi_gather(cluster_id), name="syscall-cpi")
+            yield from self._run_child(self.cpi_gather(cluster_id), "syscall-cpi")
         self._record(EventType.SYSCALL_EXIT, cluster_id)
 
     def _needs_syscall_cpi(self) -> bool:
@@ -392,9 +425,9 @@ class XylemKernel:
         self.accounting.charge(
             cluster_id, OsActivity.SYSCALL_GLOBAL, params.syscall_global_cost_ns
         )
-        yield self.sim.process(
+        yield from self._run_child(
             self.critical_sections.access_global(cluster_id, params.crsect_global_cost_ns),
-            name="gsc-crsect",
+            "gsc-crsect",
         )
         self._record(EventType.SYSCALL_EXIT, cluster_id)
 

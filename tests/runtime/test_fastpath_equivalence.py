@@ -1,0 +1,264 @@
+"""Property tests: the runtime/OS fast paths match the exact paths.
+
+The batched engines (:mod:`repro.runtime.fastpath`,
+:mod:`repro.xylem.fastpath`, the push-mode statfx sampler and the
+compiled dispatch loop) exist purely for host speed: on a sink-free,
+unperturbed, fault-free run they must reproduce the exact paths'
+observable results bit for bit -- completion time, every
+``RuntimeStats`` counter, the per-category Xylem time accounting, the
+statfx concurrency integrals and the page-fault statistics.
+
+Hypothesis drives random phase lists (spread loops, XDOALLs,
+cluster-only loops, serial sections, paging patterns) through a full
+stack twice -- once with every fast path armed, once with everything
+forced exact via ``CEDAR_REPRO_FASTPATH=off`` -- and compares.
+"""
+
+from __future__ import annotations
+
+import os
+from unittest import mock
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runner import run_phases
+from repro.runtime.loops import LoopConstruct, ParallelLoop, SerialPhase
+from repro.sim import Simulator
+from repro.sim import core as sim_core
+from repro.xylem.categories import OsActivity
+
+# -- workload strategies ----------------------------------------------------
+
+_serial_phases = st.builds(
+    SerialPhase,
+    work_ns=st.integers(min_value=0, max_value=200_000),
+    page_base=st.just(-1),
+)
+
+_serial_paged = st.builds(
+    SerialPhase,
+    work_ns=st.integers(min_value=1_000, max_value=50_000),
+    page_base=st.just(5000),
+    n_pages=st.integers(min_value=1, max_value=6),
+)
+
+
+def _loop(construct: LoopConstruct, **overrides):
+    defaults = dict(
+        n_inner=st.integers(min_value=1, max_value=24),
+        work_ns_per_iter=st.integers(min_value=50, max_value=5_000),
+        work_skew=st.sampled_from([0.0, 0.2]),
+    )
+    defaults.update(overrides)
+    return st.builds(ParallelLoop, construct=st.just(construct), **defaults)
+
+
+_loops = st.one_of(
+    _loop(
+        LoopConstruct.SDOALL,
+        n_outer=st.integers(min_value=1, max_value=6),
+        n_inner=st.integers(min_value=1, max_value=12),
+        page_base=st.sampled_from([-1, 0]),
+        iters_per_page=st.sampled_from([4, 8]),
+    ),
+    _loop(
+        LoopConstruct.XDOALL,
+        n_inner=st.integers(min_value=1, max_value=40),
+        page_base=st.sampled_from([-1, 1000]),
+        iters_per_page=st.sampled_from([4, 8]),
+    ),
+    _loop(LoopConstruct.CLUSTER_ONLY),
+    _loop(
+        LoopConstruct.CDOACROSS,
+        n_inner=st.integers(min_value=1, max_value=12),
+        serial_fraction=st.sampled_from([0.0, 0.3]),
+        dependence_distance=st.sampled_from([0, 2]),
+    ),
+)
+
+_phase_lists = st.lists(
+    st.one_of(_serial_phases, _serial_paged, _loops), min_size=1, max_size=3
+)
+
+
+# -- the A/B harness --------------------------------------------------------
+
+
+def _run(phases, n_processors: int, exact: bool):
+    """One full-stack run; *exact* kills every fast path via the env."""
+    env = {"CEDAR_REPRO_FASTPATH": "off"} if exact else {}
+    with mock.patch.dict(os.environ, env, clear=False):
+        if not exact:
+            os.environ.pop("CEDAR_REPRO_FASTPATH", None)
+        return run_phases(list(phases), n_processors, statfx_interval_ns=50_000)
+
+
+def _fingerprint(result) -> dict:
+    """Everything the two modes must agree on."""
+    st_ = result.runtime.stats
+    sfx = result.statfx
+    acct = result.accounting
+    n_clusters = result.config.n_clusters
+    return {
+        "ct_ns": result.ct_ns,
+        "runtime": {
+            name: getattr(st_, name)
+            for name in (
+                "loops_posted",
+                "helper_joins",
+                "sdoall_pickups",
+                "xdoall_pickups",
+                "barriers",
+                "serial_sections",
+                "mc_loops",
+                "detaches",
+            )
+        },
+        "accounting": {
+            activity.name: [
+                acct.activity_ns(c, activity) for c in range(n_clusters)
+            ]
+            for activity in OsActivity
+        },
+        "faults": (
+            result.fault_stats.sequential,
+            result.fault_stats.concurrent,
+            result.fault_stats.joined,
+        ),
+        "statfx": {
+            "samples": sfx.samples,
+            "total": sfx.total_concurrency(),
+            "per_cluster": [
+                sfx.cluster_concurrency(c) for c in range(n_clusters)
+            ],
+        },
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(phases=_phase_lists, n_processors=st.sampled_from([8, 32]))
+def test_batched_matches_exact(phases, n_processors):
+    fast = _run(phases, n_processors, exact=False)
+    slow = _run(phases, n_processors, exact=True)
+    assert fast.fastpath_modes["runtime"] == "batched"
+    assert fast.fastpath_modes["statfx"] == "push"
+    assert slow.fastpath_modes["runtime"] == "exact"
+    assert slow.fastpath_modes["statfx"] == "exact"
+    assert _fingerprint(fast) == _fingerprint(slow)
+
+
+@settings(max_examples=15, deadline=None)
+@given(phases=_phase_lists)
+def test_compiled_loop_matches_pure(phases):
+    """With the extension built, compiled and pure runs agree exactly."""
+    if not sim_core.compiled_loop_active():
+        return  # pure-Python environment: nothing to compare
+    compiled = _run(phases, 8, exact=False)
+    with mock.patch.dict(os.environ, {"CEDAR_REPRO_COMPILED": "0"}):
+        pure = _run(phases, 8, exact=False)
+    assert compiled.fastpath_modes["loop"] == "compiled"
+    assert pure.fastpath_modes["loop"] == "pure"
+    assert compiled.kernel_stats["pool.compiled_steps"] > 0
+    assert pure.kernel_stats["pool.compiled_steps"] == 0
+    fp_c, fp_p = _fingerprint(compiled), _fingerprint(pure)
+    assert fp_c == fp_p
+    # The Timeout pool behaves identically too.
+    for key in ("pool.timeouts_created", "pool.timeouts_reused", "pool.ticks_rearmed"):
+        assert compiled.kernel_stats[key] == pure.kernel_stats[key]
+
+
+# -- fallback arming --------------------------------------------------------
+
+
+def _barrier_workload():
+    return [
+        ParallelLoop(
+            construct=LoopConstruct.SDOALL,
+            n_outer=4,
+            n_inner=8,
+            work_ns_per_iter=1_000,
+            work_skew=0.2,
+        )
+    ]
+
+
+def test_env_kill_switch_forces_exact(monkeypatch):
+    monkeypatch.setenv("CEDAR_REPRO_FASTPATH", "off")
+    result = run_phases(_barrier_workload(), 32)
+    assert result.fastpath_modes == {
+        "memory": "exact",
+        "runtime": "exact",
+        "xylem": "exact",
+        "statfx": "exact",
+        "loop": "pure",
+    }
+    stats = result.runtime.fastpath.stats
+    assert stats.lean_pickups == 0
+    assert stats.lean_barrier_detaches == 0
+    assert stats.exact_pickups > 0
+
+
+def test_tie_perturbation_forces_exact():
+    result = run_phases(_barrier_workload(), 32, tie_break_seed=7)
+    assert result.fastpath_modes["runtime"] == "exact"
+    assert result.fastpath_modes["xylem"] == "exact"
+    assert result.fastpath_modes["statfx"] == "exact"
+    assert result.fastpath_modes["loop"] == "pure"
+
+
+def test_trace_sink_forces_exact():
+    from repro.analyze.sanitize import DeterminismSink
+    from repro.obs import Observability
+
+    obs = Observability(extra_sinks=[DeterminismSink(order_capacity=0)])
+    result = run_phases(_barrier_workload(), 32, obs=obs)
+    assert result.fastpath_modes["runtime"] == "exact"
+    assert result.fastpath_modes["statfx"] == "exact"
+    assert result.fastpath_modes["loop"] == "pure"
+
+
+def test_fault_campaign_sticky_disables_every_layer():
+    from repro.faults import CampaignSpec, FaultEvent, FaultInjector
+
+    spec = CampaignSpec(
+        name="fp-disarm",
+        faults=[FaultEvent(kind="lock_inflate", at_ns=1_000, factor=2.0)],
+    )
+
+    modes = {}
+
+    def hook(sim, machine, kernel, runtime):
+        FaultInjector(sim, machine, kernel, runtime, spec).arm()
+        modes["runtime"] = runtime.fastpath.mode
+        modes["xylem"] = kernel.fastpath.mode
+
+    result = run_phases(_barrier_workload(), 32, pre_run_hook=hook)
+    assert modes == {"runtime": "exact", "xylem": "exact"}
+    assert result.runtime.fastpath.stats.lean_pickups == 0
+    assert result.kernel.fastpath.stats.fused_spawns == 0
+
+
+def test_runtime_engine_arming_rules(monkeypatch):
+    from repro.runtime.fastpath import RuntimeFastPath
+    from repro.xylem.fastpath import XylemFastPath
+
+    sim = Simulator()
+    assert RuntimeFastPath(sim).on
+    assert XylemFastPath(sim).on
+    sim2 = Simulator()
+    sim2.perturb_tie_breaks(3)
+    assert not RuntimeFastPath(sim2).on
+    assert not XylemFastPath(sim2).on
+    monkeypatch.setenv("CEDAR_REPRO_FASTPATH", "exact")
+    sim3 = Simulator()
+    assert not RuntimeFastPath(sim3).on
+    engine = RuntimeFastPath(sim3)
+    assert engine.mode == "exact"
+    monkeypatch.delenv("CEDAR_REPRO_FASTPATH")
+    engine.enable()
+    assert engine.on
+    engine.disable()
+    assert not engine.on
+    engine.enable()
+    assert engine.on
